@@ -1,0 +1,44 @@
+//! AIGER reading, writing and model conversion for the *"Space-
+//! Efficient Bounded Model Checking"* (DATE 2005) reproduction.
+//!
+//! AIGER is the interchange format of the hardware model checking
+//! community. This crate implements, from scratch:
+//!
+//! * the ASCII format `aag` ([`read::parse_ascii`],
+//!   [`write::write_ascii`]);
+//! * the binary format `aig` with its delta-encoded AND section
+//!   ([`read::parse_binary`], [`write::write_binary`]);
+//! * AIGER 1.9 extensions: bad-state properties, invariant
+//!   constraints, and latch reset values;
+//! * conversion to and from the workspace [`Model`](sebmc_model::Model)
+//!   ([`convert::aiger_to_model`], [`convert::model_to_aiger`]), so any
+//!   HWMCC-style circuit can be fed to the paper's engines.
+//!
+//! # Example
+//!
+//! ```
+//! use sebmc_aiger::{convert, read, write};
+//! use sebmc_model::builders::johnson_counter;
+//!
+//! let model = johnson_counter(4);
+//! let file = convert::model_to_aiger(&model)?;
+//! let text = write::to_ascii_string(&file);
+//! let parsed = read::parse_ascii(&text).expect("round-trip");
+//! assert_eq!(parsed, file);
+//! # Ok::<(), sebmc_aiger::ConvertError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod format;
+pub mod read;
+pub mod write;
+
+pub use convert::{aiger_to_model, model_to_aiger, model_to_aiger_with_resets, ConvertError};
+pub use format::{AigerAnd, AigerFile, AigerLatch, AigerReset, SymbolKind};
+pub use read::{parse_ascii, parse_auto, parse_binary, ParseAigerError};
+pub use write::{
+    reencode_binary_order, to_ascii_string, to_binary_vec, write_ascii, write_binary,
+};

@@ -1,0 +1,289 @@
+//! AIGER writing: ASCII (`aag`) and binary (`aig`).
+
+use std::io::{self, Write};
+
+use crate::format::{AigerFile, AigerReset};
+
+fn reset_token(lit: u32, reset: AigerReset) -> Option<u32> {
+    match reset {
+        AigerReset::Zero => None,
+        AigerReset::One => Some(1),
+        AigerReset::Uninitialized => Some(lit),
+    }
+}
+
+fn write_trailer<W: Write>(file: &AigerFile, mut w: W) -> io::Result<()> {
+    for (kind, pos, name) in &file.symbols {
+        writeln!(w, "{kind}{pos} {name}")?;
+    }
+    if !file.comments.is_empty() {
+        writeln!(w, "c")?;
+        for line in &file.comments {
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+fn header_counts(file: &AigerFile) -> String {
+    let base = format!(
+        "{} {} {} {} {}",
+        file.max_var,
+        file.inputs.len(),
+        file.latches.len(),
+        file.outputs.len(),
+        file.ands.len()
+    );
+    if file.bad.is_empty() && file.constraints.is_empty() {
+        base
+    } else {
+        format!("{base} {} {}", file.bad.len(), file.constraints.len())
+    }
+}
+
+/// Writes the ASCII (`aag`) format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_ascii<W: Write>(file: &AigerFile, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "aag {}", header_counts(file))?;
+    for &i in &file.inputs {
+        writeln!(writer, "{i}")?;
+    }
+    for l in &file.latches {
+        match reset_token(l.lit, l.reset) {
+            None => writeln!(writer, "{} {}", l.lit, l.next)?,
+            Some(r) => writeln!(writer, "{} {} {r}", l.lit, l.next)?,
+        }
+    }
+    for &o in &file.outputs {
+        writeln!(writer, "{o}")?;
+    }
+    for &b in &file.bad {
+        writeln!(writer, "{b}")?;
+    }
+    for &c in &file.constraints {
+        writeln!(writer, "{c}")?;
+    }
+    for a in &file.ands {
+        writeln!(writer, "{} {} {}", a.lhs, a.rhs0, a.rhs1)?;
+    }
+    write_trailer(file, writer)
+}
+
+/// Renders the ASCII format as a string.
+pub fn to_ascii_string(file: &AigerFile) -> String {
+    let mut buf = Vec::new();
+    write_ascii(file, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("aag output is ASCII")
+}
+
+/// Writes the binary (`aig`) format.
+///
+/// The file must be in canonical binary order: inputs are literals
+/// `2..=2I`, latches `2(I+1)..=2(I+L)`, AND gates `2(I+L+1)..` in
+/// ascending order with `lhs > rhs0 ≥ rhs1`. Files produced by
+/// [`crate::convert::model_to_aiger`] satisfy this;
+/// [`reencode_binary_order`] normalizes arbitrary files.
+///
+/// # Errors
+///
+/// Returns `io::ErrorKind::InvalidInput` if the file is not in
+/// canonical order, or propagates writer errors.
+pub fn write_binary<W: Write>(file: &AigerFile, mut writer: W) -> io::Result<()> {
+    let check = |ok: bool, what: &str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("aiger file not in canonical binary order: {what}"),
+            ))
+        }
+    };
+    let ni = file.inputs.len() as u32;
+    let nl = file.latches.len() as u32;
+    for (i, &lit) in file.inputs.iter().enumerate() {
+        check(lit == 2 * (i as u32 + 1), "inputs must be 2,4,…")?;
+    }
+    for (i, l) in file.latches.iter().enumerate() {
+        check(l.lit == 2 * (ni + i as u32 + 1), "latches must follow inputs")?;
+    }
+    for (i, a) in file.ands.iter().enumerate() {
+        check(a.lhs == 2 * (ni + nl + i as u32 + 1), "ands must follow latches")?;
+        check(a.rhs0 >= a.rhs1, "rhs0 >= rhs1")?;
+        check(a.lhs > a.rhs0, "lhs > rhs0")?;
+    }
+    check(
+        file.max_var == ni + nl + file.ands.len() as u32,
+        "M = I+L+A",
+    )?;
+
+    writeln!(writer, "aig {}", header_counts(file))?;
+    for l in &file.latches {
+        match reset_token(l.lit, l.reset) {
+            None => writeln!(writer, "{}", l.next)?,
+            Some(r) => writeln!(writer, "{} {r}", l.next)?,
+        }
+    }
+    for &o in &file.outputs {
+        writeln!(writer, "{o}")?;
+    }
+    for &b in &file.bad {
+        writeln!(writer, "{b}")?;
+    }
+    for &c in &file.constraints {
+        writeln!(writer, "{c}")?;
+    }
+    for a in &file.ands {
+        for mut delta in [a.lhs - a.rhs0, a.rhs0 - a.rhs1] {
+            loop {
+                let byte = (delta & 0x7f) as u8;
+                delta >>= 7;
+                if delta == 0 {
+                    writer.write_all(&[byte])?;
+                    break;
+                }
+                writer.write_all(&[byte | 0x80])?;
+            }
+        }
+    }
+    write_trailer(file, writer)
+}
+
+/// Renders the binary format into a byte vector.
+///
+/// # Errors
+///
+/// Same conditions as [`write_binary`].
+pub fn to_binary_vec(file: &AigerFile) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_binary(file, &mut buf)?;
+    Ok(buf)
+}
+
+/// Renumbers an arbitrary valid AIGER file into canonical binary order
+/// (inputs first, then latches, then topologically sorted ANDs).
+pub fn reencode_binary_order(file: &AigerFile) -> AigerFile {
+    let mut map: Vec<u32> = vec![u32::MAX; file.max_var as usize + 1];
+    map[0] = 0;
+    let mut next_var = 1u32;
+    for &i in &file.inputs {
+        map[(i >> 1) as usize] = next_var;
+        next_var += 1;
+    }
+    for l in &file.latches {
+        map[(l.lit >> 1) as usize] = next_var;
+        next_var += 1;
+    }
+    // ANDs are already topologically ordered (validated); keep order.
+    for a in &file.ands {
+        map[(a.lhs >> 1) as usize] = next_var;
+        next_var += 1;
+    }
+    let tr = |lit: u32| -> u32 {
+        let var = map[(lit >> 1) as usize];
+        debug_assert_ne!(var, u32::MAX, "literal {lit} unmapped");
+        var << 1 | (lit & 1)
+    };
+    let mut out = AigerFile {
+        max_var: next_var - 1,
+        inputs: file.inputs.iter().map(|&l| tr(l)).collect(),
+        latches: file
+            .latches
+            .iter()
+            .map(|l| crate::format::AigerLatch {
+                lit: tr(l.lit),
+                next: tr(l.next),
+                reset: l.reset,
+            })
+            .collect(),
+        outputs: file.outputs.iter().map(|&l| tr(l)).collect(),
+        bad: file.bad.iter().map(|&l| tr(l)).collect(),
+        constraints: file.constraints.iter().map(|&l| tr(l)).collect(),
+        ands: file
+            .ands
+            .iter()
+            .map(|a| {
+                let (r0, r1) = (tr(a.rhs0), tr(a.rhs1));
+                crate::format::AigerAnd {
+                    lhs: tr(a.lhs),
+                    rhs0: r0.max(r1),
+                    rhs1: r0.min(r1),
+                }
+            })
+            .collect(),
+        symbols: file.symbols.clone(),
+        comments: file.comments.clone(),
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    out.max_var = next_var - 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::{parse_ascii, parse_binary};
+
+    const TOGGLE: &str = "aag 1 0 1 2 0\n2 3\n2\n3\nl0 toggle\nc\nhello\n";
+
+    #[test]
+    fn ascii_round_trip() {
+        let f = parse_ascii(TOGGLE).unwrap();
+        assert_eq!(to_ascii_string(&f), TOGGLE);
+    }
+
+    #[test]
+    fn ascii_round_trip_with_19_sections() {
+        let text = "aag 2 1 1 0 0 1 1\n2\n4 2 4\n4\n2\n";
+        let f = parse_ascii(text).unwrap();
+        assert_eq!(to_ascii_string(&f), text);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let text = "aag 3 1 1 0 1\n2\n4 6\n6 4 2\n";
+        let f = parse_ascii(text).unwrap();
+        let bytes = to_binary_vec(&f).unwrap();
+        let g = parse_binary(&bytes).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn binary_rejects_non_canonical() {
+        // Inputs out of order.
+        let f = parse_ascii("aag 2 2 0 1 0\n4\n2\n4\n").unwrap();
+        let e = to_binary_vec(&f).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn reencode_normalizes_for_binary() {
+        let f = parse_ascii("aag 2 2 0 1 0\n4\n2\n4\n").unwrap();
+        let g = reencode_binary_order(&f);
+        let bytes = to_binary_vec(&g).unwrap();
+        let h = parse_binary(&bytes).unwrap();
+        assert_eq!(h.inputs, vec![2, 4]);
+        // The output literal followed its input through the renumbering:
+        // original output 4 was input #0 (literal 4), which maps to 2.
+        assert_eq!(h.outputs, vec![2]);
+    }
+
+    #[test]
+    fn multibyte_delta_round_trip() {
+        // Wide gap between gate and operands forces multi-byte deltas.
+        let mut text = String::from("aag 130 128 0 1 2\n");
+        for i in 1..=128 {
+            text.push_str(&format!("{}\n", 2 * i));
+        }
+        text.push_str("260\n");
+        text.push_str("258 4 2\n");
+        text.push_str("260 258 256\n");
+        let f = parse_ascii(&text).unwrap();
+        let bytes = to_binary_vec(&f).unwrap();
+        let g = parse_binary(&bytes).unwrap();
+        assert_eq!(f.ands, g.ands);
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared infrastructure for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `EXPERIMENTS.md` at the repository root for the index):
+//!
+//! * `table1` — the §3 solved-instance comparison (E1),
+//! * `fig_growth` — formula size vs bound per formulation (E2),
+//! * `table_squaring` — iterative-squaring prefix statistics (E3),
+//! * `fig_memory` — peak solver memory vs bound, unroll vs jSAT (E4),
+//! * `table_ablation` — jSAT design-choice ablation (E5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use sebmc::{BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, UnrollSat};
+
+/// A minimal command-line flag reader: `--name value`.
+pub fn flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parses `--name value` as an integer, with a default.
+pub fn flag_u64(name: &str, default: u64) -> u64 {
+    flag(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
+        })
+        .unwrap_or(default)
+}
+
+/// The paper's per-instance protocol, scaled: timeout in milliseconds
+/// and a memory cap in MiB (formula literals at 4 bytes each).
+pub fn budget(timeout_ms: u64, mem_mib: u64) -> EngineLimits {
+    EngineLimits {
+        timeout: Some(Duration::from_millis(timeout_ms)),
+        max_formula_lits: Some((mem_mib as usize) * 1024 * 1024 / 4),
+    }
+}
+
+/// The four engines of experiment E1, each with the given budget.
+pub fn e1_engines(limits: &EngineLimits) -> Vec<Box<dyn BoundedChecker + Send>> {
+    vec![
+        Box::new(UnrollSat::with_limits(limits.clone())),
+        Box::new(JSat::with_limits(limits.clone())),
+        Box::new(QbfLinear::with_limits(QbfBackend::Qdpll, limits.clone())),
+        Box::new(QbfSquaring::with_limits(
+            QbfBackend::Expansion,
+            limits.clone(),
+        )),
+    ]
+}
+
+/// A plain Markdown table writer for the harness output.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(["model", "solved"]);
+        t.row(["counter", "18"]);
+        t.row(["fifo_8", "9"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| counter |"));
+        assert!(md.lines().count() == 4);
+        assert!(md.lines().nth(1).unwrap().starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn budget_converts_units() {
+        let b = budget(500, 100);
+        assert_eq!(b.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(b.max_formula_lits, Some(100 * 1024 * 1024 / 4));
+    }
+
+    #[test]
+    fn e1_engine_lineup() {
+        let engines = e1_engines(&EngineLimits::none());
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sat-unroll",
+                "jsat",
+                "qbf-linear-qdpll",
+                "qbf-squaring-expansion"
+            ]
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The common interface of all bounded-reachability engines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use sebmc_model::{Model, Trace};
+
+/// Which bounded-reachability question to decide.
+///
+/// The paper's formulations check reachability in *exactly* `k` steps;
+/// the self-loop transformation (end of §2) turns this into *within*
+/// `k` steps. Both are first-class here.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// Is a target state reachable in exactly `k` steps?
+    Exactly,
+    /// Is a target state reachable in at most `k` steps?
+    Within,
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Semantics::Exactly => write!(f, "exactly"),
+            Semantics::Within => write!(f, "within"),
+        }
+    }
+}
+
+/// Verdict of a bounded check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BmcResult {
+    /// A target state is reachable; engines that construct concrete
+    /// paths attach a witness (QBF back-ends cannot).
+    Reachable(Option<Trace>),
+    /// No target state is reachable under the given bound/semantics.
+    Unreachable,
+    /// The engine gave up (budget exhausted or unsupported bound); the
+    /// string says why.
+    Unknown(String),
+}
+
+impl BmcResult {
+    /// `true` for [`BmcResult::Reachable`].
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, BmcResult::Reachable(_))
+    }
+
+    /// `true` for [`BmcResult::Unreachable`].
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, BmcResult::Unreachable)
+    }
+
+    /// `true` for [`BmcResult::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, BmcResult::Unknown(_))
+    }
+
+    /// The witness trace, if one was produced.
+    pub fn witness(&self) -> Option<&Trace> {
+        match self {
+            BmcResult::Reachable(t) => t.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Whether two verdicts agree (Unknown is compatible with anything).
+    pub fn agrees_with(&self, other: &BmcResult) -> bool {
+        !matches!(
+            (self, other),
+            (BmcResult::Reachable(_), BmcResult::Unreachable)
+                | (BmcResult::Unreachable, BmcResult::Reachable(_))
+        )
+    }
+}
+
+impl fmt::Display for BmcResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmcResult::Reachable(Some(t)) => write!(f, "reachable ({} steps)", t.len()),
+            BmcResult::Reachable(None) => write!(f, "reachable"),
+            BmcResult::Unreachable => write!(f, "unreachable"),
+            BmcResult::Unknown(why) => write!(f, "unknown: {why}"),
+        }
+    }
+}
+
+/// Resource budgets shared by every engine — the reproduction of the
+/// paper's per-instance 300 s / 1 GB protocol.
+#[derive(Clone, Debug, Default)]
+pub struct EngineLimits {
+    /// Wall-clock budget for the whole check.
+    pub timeout: Option<Duration>,
+    /// Memory budget expressed in live formula literals (≈ 4 bytes
+    /// each), applied to the dominant in-memory formula.
+    pub max_formula_lits: Option<usize>,
+}
+
+impl EngineLimits {
+    /// No limits.
+    pub fn none() -> Self {
+        EngineLimits::default()
+    }
+
+    /// Limits with only a timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        EngineLimits {
+            timeout: Some(timeout),
+            max_formula_lits: None,
+        }
+    }
+
+    /// The wall-clock deadline implied by [`EngineLimits::timeout`],
+    /// measured from `start`.
+    pub fn deadline_from(&self, start: Instant) -> Option<Instant> {
+        self.timeout.map(|t| start + t)
+    }
+}
+
+/// Size and effort metrics for one engine run — the raw material of
+/// the experiment tables (see `EXPERIMENTS.md`).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock time spent.
+    pub duration: Duration,
+    /// Variables in the encoded formula (0 if the engine does not build
+    /// a monolithic formula).
+    pub encode_vars: usize,
+    /// Clauses in the encoded formula.
+    pub encode_clauses: usize,
+    /// Literals in the encoded formula — the paper's formula-size
+    /// measure (E2).
+    pub encode_lits: usize,
+    /// Peak live literals held by the engine's solver(s) — the memory
+    /// proxy of experiment E4.
+    pub peak_formula_lits: usize,
+    /// Back-end solver conflicts (SAT) or decisions (QBF).
+    pub solver_effort: u64,
+}
+
+/// Outcome of a bounded check: verdict plus metrics.
+#[derive(Clone, Debug)]
+pub struct BmcOutcome {
+    /// The verdict.
+    pub result: BmcResult,
+    /// Metrics of the run.
+    pub stats: RunStats,
+}
+
+impl BmcOutcome {
+    /// Convenience constructor for unknown verdicts.
+    pub fn unknown(reason: impl Into<String>, stats: RunStats) -> Self {
+        BmcOutcome {
+            result: BmcResult::Unknown(reason.into()),
+            stats,
+        }
+    }
+}
+
+/// A bounded-reachability decision procedure.
+///
+/// Implementations: [`UnrollSat`](crate::UnrollSat) (formulation (1)),
+/// [`QbfLinear`](crate::QbfLinear) (formulation (2) via a
+/// general-purpose QBF solver), [`QbfSquaring`](crate::QbfSquaring)
+/// (formulation (3)), and [`JSat`](crate::JSat) (the paper's
+/// special-purpose procedure, formula (4)).
+pub trait BoundedChecker {
+    /// Short engine name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides whether a target state of `model` is reachable at bound
+    /// `k` under `semantics`.
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_predicates() {
+        let r = BmcResult::Reachable(None);
+        assert!(r.is_reachable() && !r.is_unreachable() && !r.is_unknown());
+        assert!(r.witness().is_none());
+        let u = BmcResult::Unreachable;
+        assert!(u.is_unreachable());
+        let q = BmcResult::Unknown("budget".into());
+        assert!(q.is_unknown());
+    }
+
+    #[test]
+    fn agreement_matrix() {
+        let r = BmcResult::Reachable(None);
+        let u = BmcResult::Unreachable;
+        let q = BmcResult::Unknown("x".into());
+        assert!(!r.agrees_with(&u));
+        assert!(!u.agrees_with(&r));
+        assert!(r.agrees_with(&r));
+        assert!(u.agrees_with(&u));
+        assert!(q.agrees_with(&r) && q.agrees_with(&u) && r.agrees_with(&q));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BmcResult::Unreachable.to_string(), "unreachable");
+        assert_eq!(
+            BmcResult::Unknown("timeout".into()).to_string(),
+            "unknown: timeout"
+        );
+        assert_eq!(Semantics::Exactly.to_string(), "exactly");
+        assert_eq!(Semantics::Within.to_string(), "within");
+    }
+
+    #[test]
+    fn deadline_computation() {
+        let l = EngineLimits::with_timeout(Duration::from_secs(1));
+        let now = Instant::now();
+        let d = l.deadline_from(now).unwrap();
+        assert!(d > now);
+        assert!(EngineLimits::none().deadline_from(now).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Incremental unrolling: one solver, growing bound.
+//!
+//! The classical BMC loop re-encodes the whole unrolled formula at
+//! every bound. With an incremental SAT solver the transition frames
+//! can be *added* instead — only the target constraint moves, which is
+//! handled with one activation literal per bound (assumed for the
+//! bound being checked, retired afterwards). Learnt clauses survive
+//! across bounds, which is where the speedup comes from.
+//!
+//! This is the engine a 2005 bounded model checker would actually run
+//! in its deepening loop;
+//! [`find_shortest_witness`](crate::incremental::find_shortest_witness)
+//! remains the from-scratch reference.
+
+use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
+use sebmc_model::{Model, Trace};
+use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+
+use crate::engine::{BmcResult, EngineLimits, Semantics};
+
+/// An incremental unrolled-BMC session over one model.
+///
+/// Bounds must be checked in increasing order via
+/// [`IncrementalUnroll::check_bound`]; frames are appended on demand
+/// and never re-encoded.
+///
+/// ```
+/// use sebmc::inc_unroll::IncrementalUnroll;
+/// use sebmc::Semantics;
+/// use sebmc_model::builders::shift_register;
+///
+/// let model = shift_register(4);
+/// let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+/// assert!(session.check_bound(3).is_unreachable());
+/// assert!(session.check_bound(4).is_reachable());
+/// ```
+#[derive(Debug)]
+pub struct IncrementalUnroll {
+    model: Model,
+    semantics: Semantics,
+    solver: Solver,
+    alloc: VarAlloc,
+    state_lits: Vec<Vec<Lit>>,
+    input_lits: Vec<Vec<Lit>>,
+    /// `target_act[k]` activates "F holds at frame k".
+    target_act: Vec<Lit>,
+    /// Per-frame target literal (for Within witness truncation).
+    target_lits: Vec<Lit>,
+    limits: EngineLimits,
+}
+
+impl IncrementalUnroll {
+    /// Starts a session for `model` under `semantics`.
+    pub fn new(model: &Model, semantics: Semantics) -> Self {
+        Self::with_limits(model, semantics, EngineLimits::none())
+    }
+
+    /// Starts a session with per-call resource budgets.
+    pub fn with_limits(model: &Model, semantics: Semantics, limits: EngineLimits) -> Self {
+        let mut s = IncrementalUnroll {
+            model: model.clone(),
+            semantics,
+            solver: Solver::new(),
+            alloc: VarAlloc::new(),
+            state_lits: Vec::new(),
+            input_lits: Vec::new(),
+            target_act: Vec::new(),
+            target_lits: Vec::new(),
+            limits,
+        };
+        // Frame 0: state variables + I(Z0) + F-at-0 activation.
+        let n = s.model.num_state_vars();
+        let frame0 = s.alloc.fresh_lits(n);
+        s.state_lits.push(frame0);
+        let mut cnf = Cnf::new();
+        let map = s.frame_map(0, None);
+        let mut enc = tseitin::Encoder::new(s.model.aig(), &map);
+        let init_root = enc.encode_ref(s.model.init_ref(), &mut s.alloc, &mut cnf);
+        cnf.add_unit(init_root);
+        let f0 = enc.encode_ref(s.model.target_ref(), &mut s.alloc, &mut cnf);
+        let act0 = s.alloc.fresh_lit();
+        cnf.add_binary(!act0, f0);
+        s.target_act.push(act0);
+        s.target_lits.push(f0);
+        cnf.ensure_vars(s.alloc.num_vars());
+        s.solver.add_cnf(&cnf);
+        s
+    }
+
+    /// Number of frames currently encoded (`highest bound + 1`).
+    pub fn encoded_frames(&self) -> usize {
+        self.state_lits.len()
+    }
+
+    /// Live-literal count of the underlying solver (the space proxy).
+    pub fn live_lits(&self) -> usize {
+        self.solver.stats().live_lits
+    }
+
+    fn frame_map(&self, t: usize, inputs: Option<usize>) -> Vec<Lit> {
+        let dummy = self.state_lits[t][0];
+        let mut map = vec![dummy; self.model.aig().num_inputs()];
+        for (i, &idx) in self.model.state_input_indices().iter().enumerate() {
+            map[idx] = self.state_lits[t][i];
+        }
+        if let Some(step) = inputs {
+            for (j, &idx) in self.model.free_input_indices().iter().enumerate() {
+                map[idx] = self.input_lits[step][j];
+            }
+        }
+        map
+    }
+
+    /// Appends one transition frame.
+    fn extend(&mut self) {
+        let t = self.state_lits.len() - 1;
+        let n = self.model.num_state_vars();
+        let m = self.model.num_inputs();
+        self.input_lits.push(self.alloc.fresh_lits(m));
+        let next_frame = self.alloc.fresh_lits(n);
+        self.state_lits.push(next_frame);
+        let mut cnf = Cnf::new();
+        let map = self.frame_map(t, Some(t));
+        let mut enc = tseitin::Encoder::new(self.model.aig(), &map);
+        let next_roots = enc.encode_roots(self.model.next_refs(), &mut self.alloc, &mut cnf);
+        for (i, &nl) in next_roots.iter().enumerate() {
+            cnf.add_equiv(nl, self.state_lits[t + 1][i]);
+        }
+        for &c in self.model.constraint_refs() {
+            let cl = enc.encode_ref(c, &mut self.alloc, &mut cnf);
+            cnf.add_unit(cl);
+        }
+        // F at the new frame, guarded.
+        let map_new = self.frame_map(t + 1, None);
+        let mut enc_new = tseitin::Encoder::new(self.model.aig(), &map_new);
+        let f = enc_new.encode_ref(self.model.target_ref(), &mut self.alloc, &mut cnf);
+        let act = self.alloc.fresh_lit();
+        cnf.add_binary(!act, f);
+        self.target_act.push(act);
+        self.target_lits.push(f);
+        cnf.ensure_vars(self.alloc.num_vars());
+        self.solver.add_cnf(&cnf);
+    }
+
+    /// Checks the given bound, extending the encoding as needed.
+    ///
+    /// Bounds may be queried in any order but each query reuses every
+    /// clause (and learnt clause) from previous queries.
+    pub fn check_bound(&mut self, k: usize) -> BmcResult {
+        while self.state_lits.len() <= k {
+            self.extend();
+        }
+        let start = std::time::Instant::now();
+        self.solver.set_limits(SatLimits {
+            deadline: self.limits.deadline_from(start),
+            max_live_lits: self.limits.max_formula_lits,
+            ..SatLimits::none()
+        });
+        // Assumptions: F at frame k (exact) or F somewhere ≤ k (within,
+        // via an OR over activation literals — expressed by assuming a
+        // fresh selector that implies the disjunction).
+        let result = match self.semantics {
+            Semantics::Exactly => self.solver.solve_with(&[self.target_act[k]]),
+            Semantics::Within => {
+                // selector → (act0 ∨ … ∨ actk) is wrong (acts are
+                // guards); instead: selector → (f0 ∨ … ∨ fk).
+                let sel = self.alloc.fresh_lit();
+                self.solver.ensure_vars(self.alloc.num_vars());
+                let mut clause = vec![!sel];
+                clause.extend(self.target_lits.iter().take(k + 1).copied());
+                self.solver.add_clause(clause);
+                let r = self.solver.solve_with(&[sel]);
+                // Retire the selector so later bounds are unaffected.
+                self.solver.add_clause([!sel]);
+                r
+            }
+        };
+        match result {
+            SolveResult::Sat => {
+                let value = |l: Lit| self.solver.lit_value_model(l).unwrap_or(false);
+                let mut trace = Trace {
+                    states: self.state_lits[..=k]
+                        .iter()
+                        .map(|f| f.iter().map(|&l| value(l)).collect())
+                        .collect(),
+                    inputs: self.input_lits[..k]
+                        .iter()
+                        .map(|f| f.iter().map(|&l| value(l)).collect())
+                        .collect(),
+                };
+                if self.semantics == Semantics::Within {
+                    if let Some(t) = trace
+                        .states
+                        .iter()
+                        .position(|s| self.model.eval_target(s))
+                    {
+                        trace.states.truncate(t + 1);
+                        trace.inputs.truncate(t);
+                    }
+                }
+                debug_assert_eq!(self.model.check_trace(&trace), Ok(()));
+                BmcResult::Reachable(Some(trace))
+            }
+            SolveResult::Unsat => BmcResult::Unreachable,
+            SolveResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_model::builders::{counter_with_reset, lfsr, shift_register, traffic_light};
+    use sebmc_model::explicit;
+
+    #[test]
+    fn matches_oracle_across_increasing_bounds() {
+        let model = counter_with_reset(3);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        for k in 0..10 {
+            let got = session.check_bound(k);
+            let expect = explicit::reachable_in_exactly(&model, k);
+            assert_eq!(got.is_reachable(), expect, "bound {k}");
+            if let Some(t) = got.witness() {
+                assert_eq!(model.check_trace(t), Ok(()));
+                assert_eq!(t.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn within_semantics_matches_oracle() {
+        let model = lfsr(4, 6);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Within);
+        for k in 0..10 {
+            let got = session.check_bound(k);
+            assert_eq!(
+                got.is_reachable(),
+                explicit::reachable_within(&model, k),
+                "bound {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_are_reused_not_reencoded() {
+        let model = shift_register(6);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        session.check_bound(4);
+        let frames_after_4 = session.encoded_frames();
+        session.check_bound(2); // lower bound: no new frames
+        assert_eq!(session.encoded_frames(), frames_after_4);
+        session.check_bound(8);
+        assert_eq!(session.encoded_frames(), 9);
+    }
+
+    #[test]
+    fn unsat_family_stays_unreachable_incrementally() {
+        let model = traffic_light();
+        let mut session = IncrementalUnroll::new(&model, Semantics::Within);
+        for k in 0..8 {
+            assert!(session.check_bound(k).is_unreachable(), "bound {k}");
+        }
+    }
+
+    #[test]
+    fn bounds_can_be_revisited() {
+        let model = shift_register(4);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        assert!(session.check_bound(4).is_reachable());
+        assert!(session.check_bound(3).is_unreachable());
+        assert!(session.check_bound(4).is_reachable(), "re-query works");
+    }
+
+    #[test]
+    fn live_lits_grow_linearly_with_frames() {
+        let model = counter_with_reset(4);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        session.check_bound(4);
+        let l4 = session.live_lits();
+        session.check_bound(8);
+        let l8 = session.live_lits();
+        assert!(l8 > l4, "more frames, more clauses");
+    }
+}

@@ -1,0 +1,133 @@
+//! Iterative-deepening BMC driver.
+//!
+//! The paper frames complete model checking as increasing the bound
+//! "iteratively up to the length of the longest simple path". This
+//! driver runs that loop over any [`BoundedChecker`], stopping at the
+//! first witness, a global budget, or the requested maximum bound.
+
+use std::time::{Duration, Instant};
+
+use sebmc_model::Model;
+
+use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, Semantics};
+
+/// Result of an iterative-deepening run.
+#[derive(Debug)]
+pub enum DeepeningResult {
+    /// A witness was found at the given bound (the minimal one, since
+    /// bounds are tried in increasing order under exact semantics).
+    FoundAt {
+        /// The bound at which the witness appeared.
+        bound: usize,
+        /// The engine outcome at that bound.
+        outcome: BmcOutcome,
+    },
+    /// Every bound up to `max_bound` is unreachable.
+    ExhaustedBounds {
+        /// The largest bound checked.
+        max_bound: usize,
+    },
+    /// The engine returned Unknown (budget) at the given bound.
+    GaveUpAt {
+        /// The bound at which the engine gave up.
+        bound: usize,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl DeepeningResult {
+    /// The witness bound, if one was found.
+    pub fn found_bound(&self) -> Option<usize> {
+        match self {
+            DeepeningResult::FoundAt { bound, .. } => Some(*bound),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `engine` at bounds `0..=max_bound` (exact semantics) until a
+/// witness is found, a bound fails with Unknown, or the optional global
+/// timeout expires.
+pub fn find_shortest_witness(
+    engine: &mut dyn BoundedChecker,
+    model: &Model,
+    max_bound: usize,
+    global_timeout: Option<Duration>,
+) -> DeepeningResult {
+    let start = Instant::now();
+    for k in 0..=max_bound {
+        if let Some(t) = global_timeout {
+            if start.elapsed() >= t {
+                return DeepeningResult::GaveUpAt {
+                    bound: k,
+                    reason: "global timeout".into(),
+                };
+            }
+        }
+        let outcome = engine.check(model, k, Semantics::Exactly);
+        match outcome.result {
+            BmcResult::Reachable(_) => {
+                return DeepeningResult::FoundAt { bound: k, outcome }
+            }
+            BmcResult::Unreachable => {}
+            BmcResult::Unknown(ref why) => {
+                return DeepeningResult::GaveUpAt {
+                    bound: k,
+                    reason: why.clone(),
+                }
+            }
+        }
+    }
+    DeepeningResult::ExhaustedBounds { max_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsat::JSat;
+    use crate::unroll::UnrollSat;
+    use sebmc_model::builders::{shift_register, traffic_light};
+    use sebmc_model::explicit;
+
+    #[test]
+    fn finds_minimal_bound_with_unroll() {
+        let m = shift_register(4);
+        let mut e = UnrollSat::default();
+        let r = find_shortest_witness(&mut e, &m, 10, None);
+        assert_eq!(r.found_bound(), Some(4));
+        assert_eq!(explicit::min_steps_to_target(&m, 10), Some(4));
+    }
+
+    #[test]
+    fn finds_minimal_bound_with_jsat() {
+        let m = shift_register(4);
+        let mut e = JSat::default();
+        let r = find_shortest_witness(&mut e, &m, 10, None);
+        assert_eq!(r.found_bound(), Some(4));
+        if let DeepeningResult::FoundAt { outcome, .. } = r {
+            let t = outcome.result.witness().expect("jsat gives witnesses");
+            assert_eq!(t.len(), 4);
+        }
+    }
+
+    #[test]
+    fn exhausts_bounds_on_unsat_instance() {
+        let m = traffic_light();
+        let mut e = UnrollSat::default();
+        let r = find_shortest_witness(&mut e, &m, 6, None);
+        assert!(matches!(
+            r,
+            DeepeningResult::ExhaustedBounds { max_bound: 6 }
+        ));
+        assert_eq!(r.found_bound(), None);
+    }
+
+    #[test]
+    fn global_timeout_stops_early() {
+        let m = traffic_light();
+        let mut e = UnrollSat::default();
+        let r = find_shortest_witness(&mut e, &m, 1000, Some(Duration::ZERO));
+        assert!(matches!(r, DeepeningResult::GaveUpAt { .. }));
+    }
+}

@@ -1,0 +1,637 @@
+//! jSAT — the paper's special-purpose decision procedure.
+//!
+//! Motivated by the failure of general-purpose QBF solvers on
+//! formulation (2), the paper develops jSAT: a DPLL-based procedure
+//! that only ever holds formula (4) in memory,
+//!
+//! `I(Z₀) ∧ TR(U, V) ∧ F(Z_k)`
+//!
+//! together with one concrete assignment per time frame. The pair
+//! `(U, V)` is *implicitly* associated with the current/next state of
+//! the frontier frame instead of carrying the `(U↔Zᵢ)∧(V↔Zᵢ₊₁)` terms
+//! of (2). Operationally this is a depth-first search of the state
+//! graph from the initial states toward the target:
+//!
+//! 1. decide `Z₀ ⊨ I` (a SAT call on `I(U)`);
+//! 2. with `U` assumed equal to the frontier state, ask the incremental
+//!    CDCL solver for a `TR` successor (`F`-constrained at the last
+//!    frame);
+//! 3. on success advance the frontier; on exhaustion *block* the
+//!    refuted state behind a per-frame activation literal and
+//!    backtrack, retiring the frame's blocking clauses so memory stays
+//!    proportional to the path length.
+//!
+//! Two refinements beyond the paper's sketch are configurable
+//! ([`JSatConfig`]) and ablated in experiment E5: a bounded
+//! failed-state cache ("state σ cannot reach F in r steps") and the
+//! periodic `simplify()` garbage collection of retired blocking
+//! clauses.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
+use sebmc_model::{Model, Trace};
+use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+
+use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+
+/// Tuning knobs of the jSAT procedure (ablated in experiment E5).
+#[derive(Clone, Debug)]
+pub struct JSatConfig {
+    /// Cache "state σ cannot reach F within/in-exactly r steps" facts
+    /// and prune repeat visits. The cache is the difference between
+    /// exponential path enumeration and state-graph search on UNSAT
+    /// instances.
+    pub use_failed_cache: bool,
+    /// Maximum cache entries before the cache is wholesale cleared
+    /// (bounded memory, as the paper's space argument demands).
+    pub max_cache_entries: usize,
+    /// Run the solver's satisfied-clause garbage collection after this
+    /// many frame pops (retired blocking clauses are physically freed).
+    pub simplify_interval: u64,
+}
+
+impl Default for JSatConfig {
+    fn default() -> Self {
+        JSatConfig {
+            use_failed_cache: true,
+            max_cache_entries: 1 << 20,
+            simplify_interval: 64,
+        }
+    }
+}
+
+/// Search statistics of a jSAT run.
+#[derive(Clone, Debug, Default)]
+pub struct JSatStats {
+    /// Incremental SAT calls made.
+    pub sat_calls: u64,
+    /// Successor states enumerated.
+    pub successors: u64,
+    /// Frames popped (backtracks).
+    pub backtracks: u64,
+    /// Failed-state cache hits.
+    pub cache_hits: u64,
+    /// Maximum frontier depth reached.
+    pub max_depth: usize,
+}
+
+/// Packs a state into a hashable key.
+fn state_key(state: &[bool]) -> Vec<u64> {
+    let mut key = vec![0u64; state.len().div_ceil(64)];
+    for (i, &b) in state.iter().enumerate() {
+        if b {
+            key[i / 64] |= 1 << (i % 64);
+        }
+    }
+    key
+}
+
+/// Failed-state memory: exact mode records (state, remaining) pairs;
+/// within mode records the largest remaining budget that failed.
+#[derive(Debug, Default)]
+struct FailedCache {
+    exact: HashSet<(Vec<u64>, u32)>,
+    within: HashMap<Vec<u64>, u32>,
+}
+
+impl FailedCache {
+    fn len(&self) -> usize {
+        self.exact.len() + self.within.len()
+    }
+
+    fn clear(&mut self) {
+        self.exact.clear();
+        self.within.clear();
+    }
+
+    fn is_hopeless(&self, semantics: Semantics, state: &[bool], remaining: usize) -> bool {
+        let key = state_key(state);
+        match semantics {
+            Semantics::Exactly => self.exact.contains(&(key, remaining as u32)),
+            Semantics::Within => self
+                .within
+                .get(&key)
+                .is_some_and(|&r| r >= remaining as u32),
+        }
+    }
+
+    fn record(&mut self, semantics: Semantics, state: &[bool], remaining: usize) {
+        let key = state_key(state);
+        match semantics {
+            Semantics::Exactly => {
+                self.exact.insert((key, remaining as u32));
+            }
+            Semantics::Within => {
+                let slot = self.within.entry(key).or_insert(0);
+                *slot = (*slot).max(remaining as u32);
+            }
+        }
+    }
+}
+
+/// One frontier frame of the DFS: a concrete state, the inputs that
+/// produced it, and the activation literal guarding the blocking
+/// clauses of its already-refuted successors.
+#[derive(Debug)]
+struct Frame {
+    state: Vec<bool>,
+    inputs_from_pred: Vec<bool>,
+    act: Lit,
+}
+
+/// The jSAT engine (formula (4) + implicit `(U,V)` association).
+///
+/// ```
+/// use sebmc::{BoundedChecker, JSat, Semantics};
+/// use sebmc_model::builders::shift_register;
+///
+/// let model = shift_register(4);
+/// let mut engine = JSat::default();
+/// let out = engine.check(&model, 4, Semantics::Exactly);
+/// assert!(out.result.is_reachable());
+/// assert!(engine.check(&model, 3, Semantics::Exactly).result.is_unreachable());
+/// ```
+#[derive(Debug, Default)]
+pub struct JSat {
+    /// Resource budgets applied per check.
+    pub limits: EngineLimits,
+    /// Algorithm configuration.
+    pub config: JSatConfig,
+    stats: JSatStats,
+}
+
+impl JSat {
+    /// Creates the engine with the given budgets and default config.
+    pub fn with_limits(limits: EngineLimits) -> Self {
+        JSat {
+            limits,
+            ..JSat::default()
+        }
+    }
+
+    /// Creates the engine with explicit configuration.
+    pub fn with_config(limits: EngineLimits, config: JSatConfig) -> Self {
+        JSat {
+            limits,
+            config,
+            stats: JSatStats::default(),
+        }
+    }
+
+    /// Statistics of the most recent check.
+    pub fn jsat_stats(&self) -> &JSatStats {
+        &self.stats
+    }
+}
+
+/// The static formula (4) loaded into the incremental solver, plus the
+/// variable maps jSAT drives it through.
+struct Formula4 {
+    solver: Solver,
+    u_lits: Vec<Lit>,
+    v_lits: Vec<Lit>,
+    w_lits: Vec<Lit>,
+    /// Activates `I(U)`.
+    act_init: Lit,
+    /// Activates `F(V)`.
+    act_target_v: Lit,
+    /// Activates `F(U)` (for the k = 0 degenerate case).
+    act_target_u: Lit,
+    /// Guards the blocking clauses of refuted *initial* states.
+    act_init_block: Lit,
+    /// Size of the static formula, for the run statistics.
+    base_vars: usize,
+    base_clauses: usize,
+    base_lits: usize,
+}
+
+fn build_formula4(model: &Model, limits: &EngineLimits, start: Instant) -> Formula4 {
+    let n = model.num_state_vars();
+    let m = model.num_inputs();
+    let mut alloc = VarAlloc::new();
+    let u_lits = alloc.fresh_lits(n);
+    let v_lits = alloc.fresh_lits(n);
+    let w_lits = alloc.fresh_lits(m);
+    let act_init = alloc.fresh_lit();
+    let act_target_v = alloc.fresh_lit();
+    let act_target_u = alloc.fresh_lit();
+    let act_init_block = alloc.fresh_lit();
+    let mut cnf = Cnf::new();
+
+    // Input-literal map over the model AIG for the (U, W) frame.
+    let dummy = u_lits.first().copied().unwrap_or(Lit::from_code(0));
+    let mut map_uw = vec![dummy; model.aig().num_inputs()];
+    for (i, &idx) in model.state_input_indices().iter().enumerate() {
+        map_uw[idx] = u_lits[i];
+    }
+    for (j, &idx) in model.free_input_indices().iter().enumerate() {
+        map_uw[idx] = w_lits[j];
+    }
+    // TR(U, W) → V: one copy, shared by every frame.
+    {
+        let mut enc = tseitin::Encoder::new(model.aig(), &map_uw);
+        let next_roots = enc.encode_roots(model.next_refs(), &mut alloc, &mut cnf);
+        for (i, &nl) in next_roots.iter().enumerate() {
+            cnf.add_equiv(nl, v_lits[i]);
+        }
+        for &c in model.constraint_refs() {
+            let cl = enc.encode_ref(c, &mut alloc, &mut cnf);
+            cnf.add_unit(cl);
+        }
+        // I(U), guarded (same U/W map; init cannot mention W).
+        let init_root = enc.encode_ref(model.init_ref(), &mut alloc, &mut cnf);
+        cnf.add_binary(!act_init, init_root);
+        // F(U), guarded (k = 0 case).
+        let fu_root = enc.encode_ref(model.target_ref(), &mut alloc, &mut cnf);
+        cnf.add_binary(!act_target_u, fu_root);
+    }
+    // F(V), guarded.
+    {
+        let mut map_v = vec![dummy; model.aig().num_inputs()];
+        for (i, &idx) in model.state_input_indices().iter().enumerate() {
+            map_v[idx] = v_lits[i];
+        }
+        let mut enc = tseitin::Encoder::new(model.aig(), &map_v);
+        let fv_root = enc.encode_ref(model.target_ref(), &mut alloc, &mut cnf);
+        cnf.add_binary(!act_target_v, fv_root);
+    }
+    cnf.ensure_vars(alloc.num_vars());
+
+    let mut solver = Solver::new();
+    solver.set_limits(SatLimits {
+        deadline: limits.deadline_from(start),
+        max_live_lits: limits.max_formula_lits,
+        ..SatLimits::none()
+    });
+    solver.add_cnf(&cnf);
+    Formula4 {
+        base_vars: cnf.num_vars(),
+        base_clauses: cnf.num_clauses(),
+        base_lits: cnf.num_literals(),
+        solver,
+        u_lits,
+        v_lits,
+        w_lits,
+        act_init,
+        act_target_v,
+        act_target_u,
+        act_init_block,
+    }
+}
+
+impl Formula4 {
+    fn read_state(&self, lits: &[Lit]) -> Vec<bool> {
+        lits.iter()
+            .map(|&l| self.solver.lit_value_model(l).unwrap_or(false))
+            .collect()
+    }
+
+    fn read_inputs(&self) -> Vec<bool> {
+        self.read_state(&self.w_lits)
+    }
+
+    /// Assumption literals pinning `U` to a concrete state.
+    fn assume_u(&self, state: &[bool]) -> Vec<Lit> {
+        state
+            .iter()
+            .zip(&self.u_lits)
+            .map(|(&b, &l)| if b { l } else { !l })
+            .collect()
+    }
+
+    /// Adds a guarded blocking clause excluding `state` on `lits`.
+    fn block_state(&mut self, guard: Lit, lits: &[Lit], state: &[bool]) {
+        let mut clause = Vec::with_capacity(state.len() + 1);
+        clause.push(!guard);
+        for (&b, &l) in state.iter().zip(lits) {
+            clause.push(if b { !l } else { l });
+        }
+        self.solver.add_clause(clause);
+    }
+}
+
+impl BoundedChecker for JSat {
+    fn name(&self) -> &'static str {
+        "jsat"
+    }
+
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+        let start = Instant::now();
+        self.stats = JSatStats::default();
+        let mut f4 = build_formula4(model, &self.limits, start);
+        let mut stats = RunStats {
+            encode_vars: f4.base_vars,
+            encode_clauses: f4.base_clauses,
+            encode_lits: f4.base_lits,
+            ..RunStats::default()
+        };
+        let result = self.search(model, k, semantics, &mut f4);
+        stats.duration = start.elapsed();
+        stats.peak_formula_lits = f4.solver.stats().peak_live_lits;
+        stats.solver_effort = f4.solver.stats().conflicts;
+        if let BmcResult::Reachable(Some(ref t)) = result {
+            debug_assert_eq!(model.check_trace(t), Ok(()));
+        }
+        BmcOutcome { result, stats }
+    }
+}
+
+impl JSat {
+    fn search(
+        &mut self,
+        model: &Model,
+        k: usize,
+        semantics: Semantics,
+        f4: &mut Formula4,
+    ) -> BmcResult {
+        // Degenerate bound: is some initial state a target state?
+        if k == 0 {
+            self.stats.sat_calls += 1;
+            return match f4.solver.solve_with(&[f4.act_init, f4.act_target_u]) {
+                SolveResult::Sat => {
+                    let s0 = f4.read_state(&f4.u_lits);
+                    BmcResult::Reachable(Some(Trace {
+                        states: vec![s0],
+                        inputs: vec![],
+                    }))
+                }
+                SolveResult::Unsat => BmcResult::Unreachable,
+                SolveResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+            };
+        }
+
+        let mut cache = FailedCache::default();
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut alloc = VarAlloc::starting_at(f4.solver.num_vars());
+        let mut pops_since_simplify = 0u64;
+
+        loop {
+            if !f4.solver.is_ok() {
+                // Top-level inconsistency can only mean the instance is
+                // globally unsatisfiable (e.g. unsatisfiable constraints).
+                return BmcResult::Unreachable;
+            }
+            if frames.is_empty() {
+                // Select a (new) initial state.
+                self.stats.sat_calls += 1;
+                match f4.solver.solve_with(&[f4.act_init, f4.act_init_block]) {
+                    SolveResult::Sat => {
+                        let s0 = f4.read_state(&f4.u_lits);
+                        // Block it as an initial choice for when we return.
+                        f4.block_state(f4.act_init_block, &f4.u_lits.clone(), &s0);
+                        if semantics == Semantics::Within && model.eval_target(&s0) {
+                            return BmcResult::Reachable(Some(Trace {
+                                states: vec![s0],
+                                inputs: vec![],
+                            }));
+                        }
+                        if self.config.use_failed_cache
+                            && cache.is_hopeless(semantics, &s0, k)
+                        {
+                            self.stats.cache_hits += 1;
+                            continue;
+                        }
+                        let act = alloc.fresh_lit();
+                        f4.solver.ensure_vars(alloc.num_vars());
+                        frames.push(Frame {
+                            state: s0,
+                            inputs_from_pred: Vec::new(),
+                            act,
+                        });
+                        self.stats.max_depth = self.stats.max_depth.max(frames.len());
+                    }
+                    SolveResult::Unsat => return BmcResult::Unreachable,
+                    SolveResult::Unknown => {
+                        return BmcResult::Unknown("budget exhausted".into())
+                    }
+                }
+                continue;
+            }
+
+            let depth = frames.len() - 1; // steps taken so far
+            let frontier_state = frames.last().expect("non-empty").state.clone();
+            let frontier_act = frames.last().expect("non-empty").act;
+            // Ask for a successor: U = σ_depth, this frame's blocking
+            // clauses active, F(V) required at the final step.
+            let mut assumptions = f4.assume_u(&frontier_state);
+            assumptions.push(frontier_act);
+            if depth + 1 == k {
+                assumptions.push(f4.act_target_v);
+            }
+            self.stats.sat_calls += 1;
+            match f4.solver.solve_with(&assumptions) {
+                SolveResult::Sat => {
+                    self.stats.successors += 1;
+                    let succ = f4.read_state(&f4.v_lits);
+                    let step_inputs = f4.read_inputs();
+                    // Never offer this successor again at this frame.
+                    f4.block_state(frontier_act, &f4.v_lits.clone(), &succ);
+                    let reached_target = if depth + 1 == k {
+                        true // act_target_v was assumed
+                    } else {
+                        semantics == Semantics::Within && model.eval_target(&succ)
+                    };
+                    if reached_target {
+                        let mut states: Vec<Vec<bool>> =
+                            frames.iter().map(|f| f.state.clone()).collect();
+                        let mut inputs: Vec<Vec<bool>> = frames
+                            .iter()
+                            .skip(1)
+                            .map(|f| f.inputs_from_pred.clone())
+                            .collect();
+                        states.push(succ);
+                        inputs.push(step_inputs);
+                        return BmcResult::Reachable(Some(Trace { states, inputs }));
+                    }
+                    let remaining = k - (depth + 1);
+                    if self.config.use_failed_cache
+                        && cache.is_hopeless(semantics, &succ, remaining)
+                    {
+                        self.stats.cache_hits += 1;
+                        continue;
+                    }
+                    let act = alloc.fresh_lit();
+                    f4.solver.ensure_vars(alloc.num_vars());
+                    frames.push(Frame {
+                        state: succ,
+                        inputs_from_pred: step_inputs,
+                        act,
+                    });
+                    self.stats.max_depth = self.stats.max_depth.max(frames.len());
+                }
+                SolveResult::Unsat => {
+                    // σ_depth is exhausted for its remaining budget.
+                    let popped = frames.pop().expect("non-empty");
+                    self.stats.backtracks += 1;
+                    if self.config.use_failed_cache {
+                        if cache.len() >= self.config.max_cache_entries {
+                            cache.clear();
+                        }
+                        cache.record(semantics, &popped.state, k - depth);
+                    }
+                    // Retire the frame's blocking clauses and
+                    // periodically reclaim their memory.
+                    f4.solver.add_clause([!popped.act]);
+                    pops_since_simplify += 1;
+                    if pops_since_simplify >= self.config.simplify_interval {
+                        f4.solver.simplify();
+                        pops_since_simplify = 0;
+                    }
+                }
+                SolveResult::Unknown => {
+                    return BmcResult::Unknown("budget exhausted".into())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_model::builders::{
+        counter_with_reset, johnson_counter, lfsr, peterson, shift_register, token_ring,
+        traffic_light,
+    };
+    use sebmc_model::explicit;
+
+    fn check_all_bounds(model: &sebmc_model::Model, max_k: usize, semantics: Semantics) {
+        let mut e = JSat::default();
+        for k in 0..=max_k {
+            let got = e.check(model, k, semantics);
+            let expect = match semantics {
+                Semantics::Exactly => explicit::reachable_in_exactly(model, k),
+                Semantics::Within => explicit::reachable_within(model, k),
+            };
+            assert_eq!(
+                got.result.is_reachable(),
+                expect,
+                "model {} bound {k} ({semantics})",
+                model.name()
+            );
+            assert!(!got.result.is_unknown());
+            if let Some(t) = got.result.witness() {
+                assert_eq!(model.check_trace(t), Ok(()), "witness at bound {k}");
+                match semantics {
+                    Semantics::Exactly => assert_eq!(t.len(), k),
+                    Semantics::Within => assert!(t.len() <= k),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_exact_matches_oracle() {
+        check_all_bounds(&counter_with_reset(3), 9, Semantics::Exactly);
+    }
+
+    #[test]
+    fn counter_within_matches_oracle() {
+        check_all_bounds(&counter_with_reset(3), 9, Semantics::Within);
+    }
+
+    #[test]
+    fn shift_register_both_semantics() {
+        check_all_bounds(&shift_register(4), 6, Semantics::Exactly);
+        check_all_bounds(&shift_register(4), 6, Semantics::Within);
+    }
+
+    #[test]
+    fn lfsr_needle_exact() {
+        check_all_bounds(&lfsr(4, 6), 8, Semantics::Exactly);
+    }
+
+    #[test]
+    fn johnson_periodicity() {
+        check_all_bounds(&johnson_counter(4), 13, Semantics::Exactly);
+    }
+
+    #[test]
+    fn unsat_families_are_unreachable() {
+        check_all_bounds(&traffic_light(), 6, Semantics::Exactly);
+        check_all_bounds(&peterson(), 5, Semantics::Within);
+    }
+
+    #[test]
+    fn token_ring_within() {
+        check_all_bounds(&token_ring(4), 6, Semantics::Within);
+    }
+
+    #[test]
+    fn cache_ablation_agrees() {
+        let m = counter_with_reset(3);
+        let mut with = JSat::default();
+        let mut without = JSat::with_config(
+            EngineLimits::none(),
+            JSatConfig {
+                use_failed_cache: false,
+                ..JSatConfig::default()
+            },
+        );
+        for k in 0..8 {
+            let a = with.check(&m, k, Semantics::Exactly).result.is_reachable();
+            let b = without
+                .check(&m, k, Semantics::Exactly)
+                .result
+                .is_reachable();
+            assert_eq!(a, b, "bound {k}");
+        }
+    }
+
+    #[test]
+    fn cache_reduces_sat_calls_on_unsat() {
+        let m = counter_with_reset(3);
+        // Bound 6 < 7 is UNSAT and forces full exhaustion.
+        let mut with = JSat::default();
+        with.check(&m, 6, Semantics::Exactly);
+        let calls_with = with.jsat_stats().sat_calls;
+        let mut without = JSat::with_config(
+            EngineLimits::none(),
+            JSatConfig {
+                use_failed_cache: false,
+                ..JSatConfig::default()
+            },
+        );
+        without.check(&m, 6, Semantics::Exactly);
+        let calls_without = without.jsat_stats().sat_calls;
+        assert!(
+            calls_with <= calls_without,
+            "cache must not increase SAT calls ({calls_with} vs {calls_without})"
+        );
+    }
+
+    #[test]
+    fn timeout_gives_unknown() {
+        let m = sebmc_model::builders::random_fsm(20, 2, 11);
+        let mut e = JSat::with_limits(EngineLimits::with_timeout(
+            std::time::Duration::from_nanos(1),
+        ));
+        assert!(e.check(&m, 10, Semantics::Exactly).result.is_unknown());
+    }
+
+    #[test]
+    fn memory_stays_flat_across_bounds() {
+        // The paper's headline: jSAT's formula does not grow with k.
+        let m = counter_with_reset(3);
+        let mut e = JSat::default();
+        let s1 = e.check(&m, 7, Semantics::Exactly).stats;
+        let s2 = e.check(&m, 7 + 4, Semantics::Exactly).stats;
+        assert_eq!(
+            s1.encode_lits, s2.encode_lits,
+            "formula (4) is independent of the bound"
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let m = shift_register(4);
+        let mut e = JSat::default();
+        let out = e.check(&m, 4, Semantics::Exactly);
+        assert!(out.result.is_reachable());
+        assert!(e.jsat_stats().sat_calls > 0);
+        assert!(e.jsat_stats().max_depth >= 4);
+        assert!(out.stats.peak_formula_lits > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Space-efficient bounded model checking — a from-scratch Rust
+//! reproduction of *"Space-Efficient Bounded Model Checking"* (Jacob
+//! Katz, Ziyad Hanna, Nachum Dershowitz; DATE 2005).
+//!
+//! Classical BMC (formulation (1)) unrolls the transition relation `k`
+//! times, so its formula carries `k` copies of `TR` — the memory
+//! explosion the paper attacks. The paper's alternatives keep **one**
+//! copy:
+//!
+//! | Formulation | Module | Engine | Growth per bound |
+//! |---|---|---|---|
+//! | (1) unrolled CNF | [`unroll`] | [`UnrollSat`] | Θ(\|TR\|) |
+//! | (2) linear QBF | [`qbf_enc`] | [`QbfLinear`] | Θ(n), constant #∀ |
+//! | (3) iterative squaring | [`squaring`] | [`QbfSquaring`] | log₂ k iterations, growing #∀ |
+//! | (4) jSAT | [`jsat`] | [`JSat`] | constant formula |
+//!
+//! All engines implement [`BoundedChecker`] and accept the paper's
+//! per-instance resource budgets through [`EngineLimits`]. Engines
+//! that find reachable targets produce replayable witness
+//! [`Trace`](sebmc_model::Trace)s (except the QBF back-ends, which
+//! decide validity only — as in 2005).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sebmc::{BoundedChecker, JSat, Semantics, UnrollSat};
+//! use sebmc_model::builders::counter_with_reset;
+//!
+//! let model = counter_with_reset(3); // 3-bit counter, target 7
+//! let mut jsat = JSat::default();
+//! let mut unroll = UnrollSat::default();
+//! for k in 0..9 {
+//!     let a = jsat.check(&model, k, Semantics::Exactly).result;
+//!     let b = unroll.check(&model, k, Semantics::Exactly).result;
+//!     assert!(a.agrees_with(&b));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod inc_unroll;
+pub mod incremental;
+pub mod induction;
+pub mod jsat;
+pub mod portfolio;
+pub mod qbf_enc;
+pub mod squaring;
+pub mod unroll;
+
+pub use engine::{
+    BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics,
+};
+pub use inc_unroll::IncrementalUnroll;
+pub use incremental::{find_shortest_witness, DeepeningResult};
+pub use induction::{k_induction, InductionResult};
+pub use jsat::{JSat, JSatConfig, JSatStats};
+pub use portfolio::{first_decided, run_portfolio, PortfolioEntry};
+pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear};
+pub use squaring::{encode_qbf_squaring, QbfSquaring};
+pub use unroll::{encode_unrolled, UnrolledCnf, UnrollSat};

@@ -1,0 +1,110 @@
+//! Parallel engine portfolio.
+//!
+//! Runs several bounded checkers on the same instance in parallel OS
+//! threads (each with its own budgets) and reports every outcome. The
+//! harness uses it to cross-check engines; callers wanting a single
+//! verdict take the first decided one.
+
+use crossbeam::thread;
+use sebmc_model::Model;
+
+use crate::engine::{BmcOutcome, BoundedChecker, Semantics};
+
+/// The outcome of one engine inside a portfolio run.
+#[derive(Debug)]
+pub struct PortfolioEntry {
+    /// Engine name.
+    pub engine: &'static str,
+    /// The engine's outcome.
+    pub outcome: BmcOutcome,
+}
+
+/// Runs every engine on `(model, k, semantics)` concurrently and
+/// returns their outcomes in input order.
+///
+/// # Panics
+///
+/// Panics if an engine thread panics.
+pub fn run_portfolio(
+    model: &Model,
+    k: usize,
+    semantics: Semantics,
+    engines: Vec<Box<dyn BoundedChecker + Send>>,
+) -> Vec<PortfolioEntry> {
+    thread::scope(|s| {
+        let handles: Vec<_> = engines
+            .into_iter()
+            .map(|mut engine| {
+                s.spawn(move |_| {
+                    let name = engine.name();
+                    let outcome = engine.check(model, k, semantics);
+                    PortfolioEntry {
+                        engine: name,
+                        outcome,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio engine panicked"))
+            .collect()
+    })
+    .expect("portfolio scope panicked")
+}
+
+/// Returns the first decided (non-Unknown) outcome of a portfolio run,
+/// if any, together with the engine that produced it.
+pub fn first_decided(entries: &[PortfolioEntry]) -> Option<&PortfolioEntry> {
+    entries.iter().find(|e| !e.outcome.result.is_unknown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineLimits;
+    use crate::jsat::JSat;
+    use crate::qbf_enc::{QbfBackend, QbfLinear};
+    use crate::unroll::UnrollSat;
+    use sebmc_model::builders::token_ring;
+    use std::time::Duration;
+
+    #[test]
+    fn portfolio_runs_all_engines_and_agrees() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn BoundedChecker + Send>> = vec![
+            Box::new(UnrollSat::default()),
+            Box::new(JSat::default()),
+            Box::new(QbfLinear::new(QbfBackend::Qdpll)),
+        ];
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines);
+        assert_eq!(entries.len(), 3);
+        for e in &entries {
+            assert!(
+                e.outcome.result.is_reachable(),
+                "{} disagrees: {}",
+                e.engine,
+                e.outcome.result
+            );
+        }
+        let winner = first_decided(&entries).expect("someone decides");
+        assert!(!winner.outcome.result.is_unknown());
+    }
+
+    #[test]
+    fn first_decided_skips_unknowns() {
+        let m = sebmc_model::builders::random_fsm(16, 2, 9);
+        let engines: Vec<Box<dyn BoundedChecker + Send>> = vec![
+            // Hopeless budget: always Unknown.
+            Box::new(QbfLinear::with_limits(
+                QbfBackend::Qdpll,
+                EngineLimits::with_timeout(Duration::from_nanos(1)),
+            )),
+            Box::new(UnrollSat::default()),
+        ];
+        let entries = run_portfolio(&m, 3, Semantics::Within, engines);
+        assert!(entries[0].outcome.result.is_unknown());
+        let w = first_decided(&entries).expect("unroll decides");
+        assert_eq!(w.engine, "sat-unroll");
+    }
+}

@@ -1,0 +1,360 @@
+//! Formulation (2): bounded reachability as QBF with one copy of `TR`.
+//!
+//! `R_k(Z₀,…,Z_k) = I(Z₀) ∧ F(Z_k) ∧
+//!    ∀U,V. ⋀_{i<k} ((U↔Zᵢ ∧ V↔Zᵢ₊₁) → TR(U,V))`
+//!
+//! The transition relation appears **once**; raising the bound adds
+//! only a new state copy `Z` and one implication — `O(n)` growth per
+//! iteration, independent of `|TR|`, and a constant number of
+//! universal variables. This is the paper's space argument, measured by
+//! experiment E2.
+//!
+//! [`QbfLinear`] feeds the encoding to one of the general-purpose QBF
+//! solvers (QDPLL search or universal expansion), reproducing the
+//! paper's negative result about those solvers.
+
+use std::time::Instant;
+
+use sebmc_logic::{tseitin, Aig, AigRef, Cnf, Lit, Var, VarAlloc};
+use sebmc_model::Model;
+use sebmc_qbf::{
+    ExpansionLimits, ExpansionSolver, QbfFormula, QbfLimits, QbfResult, QdpllSolver, Quantifier,
+};
+
+use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+
+/// Which general-purpose QBF solver an engine uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QbfBackend {
+    /// Search-based QDPLL (QuBE/semprop class).
+    Qdpll,
+    /// Universal expansion to SAT (Quantor class).
+    Expansion,
+}
+
+/// A QBF encoding plus the variable maps needed for statistics.
+#[derive(Debug)]
+pub struct QbfEncoding {
+    /// The prenex-CNF formula.
+    pub formula: QbfFormula,
+    /// Literals of the frame state variables (`z_lits[t][i]`).
+    pub z_lits: Vec<Vec<Lit>>,
+}
+
+/// Builds the full-input literal map for importing a model cone into a
+/// scratch graph: state variables bound to `states`, free inputs to
+/// `inputs` (or folded to constant false when the cone cannot mention
+/// them, as validated for init/target predicates).
+pub(crate) fn import_map(
+    model: &Model,
+    states: &[AigRef],
+    inputs: Option<&[AigRef]>,
+) -> Vec<AigRef> {
+    let mut map = vec![AigRef::FALSE; model.aig().num_inputs()];
+    for (i, &idx) in model.state_input_indices().iter().enumerate() {
+        map[idx] = states[i];
+    }
+    if let Some(ins) = inputs {
+        for (j, &idx) in model.free_input_indices().iter().enumerate() {
+            map[idx] = ins[j];
+        }
+    }
+    map
+}
+
+/// Imports `TR(u, v) = ∃w. constraints(u,w) ∧ ⋀ᵢ vᵢ ↔ nextᵢ(u,w)` into
+/// the scratch graph, returning a single "TR holds" reference.
+pub(crate) fn import_tr(
+    g: &mut Aig,
+    model: &Model,
+    u: &[AigRef],
+    v: &[AigRef],
+    w: &[AigRef],
+) -> AigRef {
+    let map = import_map(model, u, Some(w));
+    let mut roots: Vec<AigRef> = model.next_refs().to_vec();
+    roots.extend_from_slice(model.constraint_refs());
+    let imported = g.import(model.aig(), &roots, &map);
+    let n = model.num_state_vars();
+    let mut ok = AigRef::TRUE;
+    for i in 0..n {
+        let eq = g.iff(imported[i], v[i]);
+        ok = g.and(ok, eq);
+    }
+    for &c in &imported[n..] {
+        ok = g.and(ok, c);
+    }
+    ok
+}
+
+/// Encodes "a target state is reachable from an initial state in
+/// exactly `k` steps" as the linear single-`TR` QBF (formulation (2)).
+pub fn encode_qbf_linear(model: &Model, k: usize) -> QbfEncoding {
+    let n = model.num_state_vars();
+    let m = model.num_inputs();
+    let mut g = Aig::new();
+    let z: Vec<Vec<AigRef>> = (0..=k).map(|_| g.inputs(n)).collect();
+    let u = g.inputs(n);
+    let v = g.inputs(n);
+    let w = g.inputs(m);
+
+    let tr_ok = import_tr(&mut g, model, &u, &v, &w);
+    let init_map = import_map(model, &z[0], None);
+    let init_root = g.import(model.aig(), &[model.init_ref()], &init_map)[0];
+    let target_map = import_map(model, &z[k], None);
+    let target_root = g.import(model.aig(), &[model.target_ref()], &target_map)[0];
+
+    let mut matrix_root = g.and(init_root, target_root);
+    for i in 0..k {
+        let eu = g.eq_words(&u, &z[i]);
+        let ev = g.eq_words(&v, &z[i + 1]);
+        let ante = g.and(eu, ev);
+        let imp = g.implies(ante, tr_ok);
+        matrix_root = g.and(matrix_root, imp);
+    }
+
+    // Allocate real variables in prefix order: ∃Z ∀U,V ∃W,aux.
+    let mut alloc = VarAlloc::new();
+    let mut input_lits: Vec<Lit> = Vec::with_capacity(g.num_inputs());
+    let z_lits: Vec<Vec<Lit>> = z
+        .iter()
+        .map(|frame| {
+            let lits = alloc.fresh_lits(frame.len());
+            input_lits.extend(&lits);
+            lits
+        })
+        .collect();
+    let uv_first = alloc.num_vars();
+    let u_lits = alloc.fresh_lits(n);
+    input_lits.extend(&u_lits);
+    let v_lits = alloc.fresh_lits(n);
+    input_lits.extend(&v_lits);
+    let uv_last = alloc.num_vars();
+    let w_lits = alloc.fresh_lits(m);
+    input_lits.extend(&w_lits);
+
+    let mut cnf = Cnf::new();
+    let root = tseitin::encode(&g, &[matrix_root], &input_lits, &mut alloc, &mut cnf)[0];
+    cnf.add_unit(root);
+    cnf.ensure_vars(alloc.num_vars());
+
+    let mut formula = QbfFormula::new(cnf);
+    formula.push_block(
+        Quantifier::Exists,
+        (0..uv_first).map(|i| Var::new(i as u32)),
+    );
+    formula.push_block(
+        Quantifier::ForAll,
+        (uv_first..uv_last).map(|i| Var::new(i as u32)),
+    );
+    formula.push_block(
+        Quantifier::Exists,
+        (uv_last..alloc.num_vars()).map(|i| Var::new(i as u32)),
+    );
+    debug_assert!(formula.validate().is_ok());
+
+    QbfEncoding { formula, z_lits }
+}
+
+/// Runs a QBF backend with the engine limits; returns the verdict, the
+/// solver effort and its peak formula size.
+pub(crate) fn solve_qbf(
+    backend: QbfBackend,
+    formula: &QbfFormula,
+    limits: &EngineLimits,
+    start: Instant,
+) -> (QbfResult, u64, usize) {
+    match backend {
+        QbfBackend::Qdpll => {
+            let mut solver = QdpllSolver::with_limits(QbfLimits {
+                deadline: limits.deadline_from(start),
+                max_decisions: None,
+            });
+            let r = solver.solve(formula);
+            let effort = solver.stats().decisions;
+            (r, effort, formula.matrix().num_literals())
+        }
+        QbfBackend::Expansion => {
+            let mut solver = ExpansionSolver::with_limits(ExpansionLimits {
+                max_matrix_literals: limits.max_formula_lits.unwrap_or(10_000_000),
+                base: QbfLimits {
+                    deadline: limits.deadline_from(start),
+                    max_decisions: None,
+                },
+            });
+            let r = solver.solve(formula);
+            let effort = solver.stats().expanded_universals;
+            let peak = solver.stats().peak_matrix_literals;
+            (r, effort, peak.max(formula.matrix().num_literals()))
+        }
+    }
+}
+
+/// Formulation (2) engine: single-`TR` QBF solved by a general-purpose
+/// QBF solver.
+///
+/// Under [`Semantics::Within`] the model is first given self-loops
+/// (paper §2), preserving the single-`TR` property.
+///
+/// ```
+/// use sebmc::{BoundedChecker, QbfBackend, QbfLinear, Semantics};
+/// use sebmc_model::builders::token_ring;
+///
+/// let model = token_ring(3);
+/// let mut engine = QbfLinear::new(QbfBackend::Qdpll);
+/// let out = engine.check(&model, 2, Semantics::Exactly);
+/// assert!(out.result.is_reachable());
+/// ```
+#[derive(Debug)]
+pub struct QbfLinear {
+    /// Which QBF solver to run.
+    pub backend: QbfBackend,
+    /// Resource budgets applied per check.
+    pub limits: EngineLimits,
+}
+
+impl QbfLinear {
+    /// Creates the engine with unlimited budgets.
+    pub fn new(backend: QbfBackend) -> Self {
+        QbfLinear {
+            backend,
+            limits: EngineLimits::none(),
+        }
+    }
+
+    /// Creates the engine with the given budgets.
+    pub fn with_limits(backend: QbfBackend, limits: EngineLimits) -> Self {
+        QbfLinear { backend, limits }
+    }
+}
+
+impl BoundedChecker for QbfLinear {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            QbfBackend::Qdpll => "qbf-linear-qdpll",
+            QbfBackend::Expansion => "qbf-linear-expansion",
+        }
+    }
+
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+        let start = Instant::now();
+        let work;
+        let model = match semantics {
+            Semantics::Exactly => model,
+            Semantics::Within => {
+                work = model.with_self_loops();
+                &work
+            }
+        };
+        let enc = encode_qbf_linear(model, k);
+        let mut stats = RunStats {
+            encode_vars: enc.formula.matrix().num_vars(),
+            encode_clauses: enc.formula.matrix().num_clauses(),
+            encode_lits: enc.formula.matrix().num_literals(),
+            ..RunStats::default()
+        };
+        let (r, effort, peak) = solve_qbf(self.backend, &enc.formula, &self.limits, start);
+        stats.duration = start.elapsed();
+        stats.solver_effort = effort;
+        stats.peak_formula_lits = peak;
+        let result = match r {
+            QbfResult::True => BmcResult::Reachable(None),
+            QbfResult::False => BmcResult::Unreachable,
+            QbfResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+        };
+        BmcOutcome { result, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_model::builders::{johnson_counter, lfsr, token_ring, traffic_light};
+    use sebmc_model::explicit;
+
+    #[test]
+    fn constant_universal_count_and_linear_growth() {
+        let m = johnson_counter(5);
+        let e4 = encode_qbf_linear(&m, 4);
+        let e5 = encode_qbf_linear(&m, 5);
+        let e6 = encode_qbf_linear(&m, 6);
+        assert_eq!(
+            e4.formula.num_universals(),
+            e5.formula.num_universals(),
+            "number of universals does not change from iteration to iteration"
+        );
+        assert_eq!(e4.formula.num_universals(), 2 * m.num_state_vars());
+        let d1 = e5.formula.matrix().num_literals() - e4.formula.matrix().num_literals();
+        let d2 = e6.formula.matrix().num_literals() - e5.formula.matrix().num_literals();
+        assert_eq!(d1, d2, "per-iteration growth is constant");
+        // The per-iteration growth must not contain another TR copy:
+        // it is O(n), far smaller than the base formula with its TR.
+        assert!(d1 < e4.formula.matrix().num_literals());
+    }
+
+    #[test]
+    fn prefix_shape_is_exists_forall_exists() {
+        let m = token_ring(3);
+        let e = encode_qbf_linear(&m, 3);
+        let prefix = e.formula.prefix();
+        assert_eq!(prefix.len(), 3);
+        assert_eq!(prefix[0].quantifier, Quantifier::Exists);
+        assert_eq!(prefix[1].quantifier, Quantifier::ForAll);
+        assert_eq!(prefix[2].quantifier, Quantifier::Exists);
+        assert_eq!(e.z_lits.len(), 4);
+    }
+
+    #[test]
+    fn qdpll_backend_matches_oracle_on_tiny_models() {
+        let m = token_ring(3);
+        let mut e = QbfLinear::new(QbfBackend::Qdpll);
+        for k in 0..4 {
+            let got = e.check(&m, k, Semantics::Exactly).result;
+            let expect = explicit::reachable_in_exactly(&m, k);
+            assert_eq!(got.is_reachable(), expect, "bound {k}");
+            assert!(!got.is_unknown());
+        }
+    }
+
+    #[test]
+    fn expansion_backend_matches_oracle_on_tiny_models() {
+        let m = token_ring(3);
+        let mut e = QbfLinear::new(QbfBackend::Expansion);
+        for k in 0..4 {
+            let got = e.check(&m, k, Semantics::Exactly).result;
+            let expect = explicit::reachable_in_exactly(&m, k);
+            assert_eq!(got.is_reachable(), expect, "bound {k}");
+        }
+    }
+
+    #[test]
+    fn within_semantics_via_self_loops() {
+        let m = lfsr(3, 4);
+        let mut e = QbfLinear::new(QbfBackend::Expansion);
+        // Needle at exactly 4: within-5 must still be reachable.
+        assert!(e.check(&m, 5, Semantics::Within).result.is_reachable());
+        assert!(e.check(&m, 3, Semantics::Within).result.is_unreachable());
+    }
+
+    #[test]
+    fn unsat_family_unreachable() {
+        let m = traffic_light();
+        let mut e = QbfLinear::new(QbfBackend::Qdpll);
+        for k in 0..3 {
+            assert!(
+                e.check(&m, k, Semantics::Exactly).result.is_unreachable(),
+                "bound {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_timeout_gives_unknown() {
+        let m = sebmc_model::builders::random_fsm(10, 2, 3);
+        let mut e = QbfLinear::with_limits(
+            QbfBackend::Qdpll,
+            EngineLimits::with_timeout(std::time::Duration::from_nanos(1)),
+        );
+        assert!(e.check(&m, 8, Semantics::Exactly).result.is_unknown());
+    }
+}

@@ -1,0 +1,53 @@
+//! Boolean-logic foundation for the `sebmc` workspace.
+//!
+//! This crate provides the shared representations used by every other
+//! subsystem of the reproduction of *"Space-Efficient Bounded Model
+//! Checking"* (DATE 2005):
+//!
+//! * [`Var`] / [`Lit`] — solver variables and literals (MiniSat-style
+//!   packed encoding).
+//! * [`Clause`] / [`Cnf`] — clause containers with size accounting, used
+//!   by the SAT and QBF solvers and by the BMC encoders.
+//! * [`Aig`] / [`AigRef`] — And-Inverter Graphs with structural hashing
+//!   and constant folding; the circuit representation of transition
+//!   systems.
+//! * [`tseitin`] — a full (biconditional) Tseitin transformation from
+//!   AIG cones to CNF. The *full* encoding is deliberate: the
+//!   polarity-optimised Plaisted–Greenbaum variant only preserves
+//!   equisatisfiability, which is unsound underneath the universal
+//!   quantifiers of the paper's QBF encodings.
+//! * [`dimacs`] — DIMACS CNF reading and writing.
+//!
+//! # Example
+//!
+//! Build a tiny circuit, encode it to CNF and inspect the result:
+//!
+//! ```
+//! use sebmc_logic::{Aig, Cnf, VarAlloc, tseitin};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let f = aig.xor(a, b);
+//!
+//! let mut alloc = VarAlloc::new();
+//! let in_lits = [alloc.fresh_lit(), alloc.fresh_lit()];
+//! let mut cnf = Cnf::new();
+//! let roots = tseitin::encode(&aig, &[f], &in_lits, &mut alloc, &mut cnf);
+//! cnf.add_unit(roots[0]); // assert the xor output
+//! assert!(cnf.num_clauses() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig;
+pub mod cnf;
+pub mod dimacs;
+pub mod lit;
+pub mod tseitin;
+
+pub use aig::{Aig, AigRef};
+pub use cnf::{Clause, Cnf};
+pub use dimacs::ParseDimacsError;
+pub use lit::{Lit, Var, VarAlloc};

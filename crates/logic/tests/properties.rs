@@ -1,0 +1,192 @@
+//! Property-based tests for the logic foundation: DIMACS round-trips,
+//! Tseitin semantics, and AIG import equivalence on random circuits.
+
+use proptest::prelude::*;
+use sebmc_logic::{dimacs, tseitin, Aig, AigRef, Clause, Cnf, Lit, Var, VarAlloc};
+
+/// Strategy: a random CNF over up to `max_vars` variables.
+fn cnf_strategy(max_vars: u32) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..5),
+        0..12,
+    )
+    .prop_map(move |clauses| {
+        let mut cnf = Cnf::with_vars(max_vars as usize);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, pos)| Var::new(v).lit(pos)));
+        }
+        cnf
+    })
+}
+
+/// Strategy: a recipe for a random AIG over `n` inputs.
+#[derive(Debug, Clone)]
+struct CircuitRecipe {
+    inputs: usize,
+    gates: Vec<(u8, u16, u16, bool, bool)>,
+    root_neg: bool,
+}
+
+fn circuit_strategy() -> impl Strategy<Value = CircuitRecipe> {
+    (2usize..=5)
+        .prop_flat_map(|inputs| {
+            (
+                prop::collection::vec(
+                    (any::<u8>(), any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()),
+                    1..20,
+                ),
+                any::<bool>(),
+            )
+                .prop_map(move |(gates, root_neg)| CircuitRecipe {
+                    inputs,
+                    gates,
+                    root_neg,
+                })
+        })
+}
+
+fn build_circuit(recipe: &CircuitRecipe) -> (Aig, AigRef) {
+    let mut aig = Aig::new();
+    let mut pool: Vec<AigRef> = (0..recipe.inputs).map(|_| aig.input()).collect();
+    for &(op, a, b, na, nb) in &recipe.gates {
+        let x = pool[a as usize % pool.len()];
+        let y = pool[b as usize % pool.len()];
+        let x = if na { !x } else { x };
+        let y = if nb { !y } else { y };
+        let g = match op % 4 {
+            0 => aig.and(x, y),
+            1 => aig.or(x, y),
+            2 => aig.xor(x, y),
+            _ => aig.ite(x, y, !y),
+        };
+        pool.push(g);
+    }
+    let root = *pool.last().expect("non-empty pool");
+    (aig, if recipe.root_neg { !root } else { root })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dimacs_round_trip(cnf in cnf_strategy(8)) {
+        let text = dimacs::to_string(&cnf);
+        let parsed = dimacs::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed.num_vars(), cnf.num_vars());
+        prop_assert_eq!(parsed.num_clauses(), cnf.num_clauses());
+        prop_assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_satisfiability(cnf in cnf_strategy(6)) {
+        let parsed = dimacs::parse(&dimacs::to_string(&cnf)).expect("parses");
+        prop_assert_eq!(
+            parsed.brute_force_satisfiable(),
+            cnf.brute_force_satisfiable()
+        );
+    }
+
+    /// Full Tseitin is *equivalence*-preserving per input assignment:
+    /// for any input assignment there is exactly one consistent aux
+    /// extension, and the root literal equals the circuit value.
+    #[test]
+    fn tseitin_preserves_semantics(recipe in circuit_strategy()) {
+        let (aig, root) = build_circuit(&recipe);
+        let n = recipe.inputs;
+        let mut alloc = VarAlloc::new();
+        let in_lits: Vec<Lit> = alloc.fresh_lits(n);
+        let mut cnf = Cnf::new();
+        let root_lit = tseitin::encode(&aig, &[root], &in_lits, &mut alloc, &mut cnf)[0];
+        let total = alloc.num_vars();
+        prop_assume!(total <= 18); // keep the enumeration cheap
+        for bits in 0..1u32 << n {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expect = aig.eval(&inputs, &[root])[0];
+            let mut found = false;
+            for aux in 0..1u32 << (total - n) {
+                let mut assignment = inputs.clone();
+                for i in 0..total - n {
+                    assignment.push(aux >> i & 1 == 1);
+                }
+                if cnf.eval(&assignment) {
+                    prop_assert!(!found, "aux extension must be unique");
+                    found = true;
+                    let got = root_lit.apply(assignment[root_lit.var().index()]);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert!(found, "some aux extension must satisfy the definitions");
+        }
+    }
+
+    /// Importing a cone into another graph preserves its function under
+    /// the input substitution.
+    #[test]
+    fn import_preserves_function(recipe in circuit_strategy(), perm_seed in any::<u64>()) {
+        let (src, root) = build_circuit(&recipe);
+        let n = recipe.inputs;
+        let mut dst = Aig::new();
+        let fresh: Vec<AigRef> = (0..n).map(|_| dst.input()).collect();
+        // A possibly-negating substitution.
+        let map: Vec<AigRef> = fresh
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| if perm_seed >> i & 1 == 1 { !r } else { r })
+            .collect();
+        let imported = dst.import(&src, &[root], &map)[0];
+        for bits in 0..1u32 << n {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let substituted: Vec<bool> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b ^ (perm_seed >> i & 1 == 1))
+                .collect();
+            let expect = src.eval(&substituted, &[root])[0];
+            let got = dst.eval(&inputs, &[imported])[0];
+            prop_assert_eq!(got, expect, "assignment {:b}", bits);
+        }
+    }
+
+    /// `eval_u64` agrees with scalar `eval` on every circuit.
+    #[test]
+    fn bitparallel_eval_agrees(recipe in circuit_strategy()) {
+        let (aig, root) = build_circuit(&recipe);
+        let n = recipe.inputs;
+        prop_assume!(n <= 6);
+        let mut words = vec![0u64; n];
+        for bits in 0..1u64 << n {
+            for (i, w) in words.iter_mut().enumerate() {
+                *w |= (bits >> i & 1) << bits;
+            }
+        }
+        let packed = aig.eval_u64(&words, &[root])[0];
+        for bits in 0..1u64 << n {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(
+                packed >> bits & 1 == 1,
+                aig.eval(&inputs, &[root])[0]
+            );
+        }
+    }
+
+    /// Clause normalization never changes clause semantics.
+    #[test]
+    fn normalize_preserves_clause_semantics(
+        lits in prop::collection::vec((0u32..5, any::<bool>()), 1..8)
+    ) {
+        let mut clause = Clause::from_lits(
+            lits.iter().map(|&(v, p)| Var::new(v).lit(p))
+        );
+        let original = clause.clone();
+        let tautology = clause.normalize();
+        for bits in 0..1u32 << 5 {
+            let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let expect = original.eval(&assignment);
+            if tautology {
+                prop_assert!(expect, "tautologies are true everywhere");
+            } else {
+                prop_assert_eq!(clause.eval(&assignment), expect);
+            }
+        }
+    }
+}

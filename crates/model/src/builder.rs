@@ -1,0 +1,297 @@
+//! Construction of [`Model`]s.
+
+use std::error::Error;
+use std::fmt;
+
+use sebmc_logic::{Aig, AigRef};
+
+use crate::model::Model;
+
+/// Error produced by [`ModelBuilder::build`] when the model is
+/// malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildModelError {
+    /// Description of the first violation found.
+    pub message: String,
+}
+
+impl fmt::Display for BuildModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model: {}", self.message)
+    }
+}
+
+impl Error for BuildModelError {}
+
+/// Incremental builder for [`Model`]s.
+///
+/// State variables and inputs are AIG primary inputs under the hood;
+/// the builder records which is which. Every state variable must
+/// receive a next-state function before [`ModelBuilder::build`].
+///
+/// ```
+/// use sebmc_model::ModelBuilder;
+///
+/// let mut b = ModelBuilder::new("toggler");
+/// let bit = b.state_var("t");
+/// b.set_next(0, !bit); // t' = ¬t
+/// let target = bit;
+/// b.set_target(target); // reach t = 1
+/// let model = b.build()?;
+/// assert_eq!(model.num_state_vars(), 1);
+/// # Ok::<(), sebmc_model::BuildModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    aig: Aig,
+    state_inputs: Vec<usize>,
+    free_inputs: Vec<usize>,
+    state_names: Vec<String>,
+    input_names: Vec<String>,
+    init: Option<AigRef>,
+    next: Vec<Option<AigRef>>,
+    constraints: Vec<AigRef>,
+    target: Option<AigRef>,
+}
+
+impl ModelBuilder {
+    /// Creates a builder for a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            aig: Aig::new(),
+            state_inputs: Vec::new(),
+            free_inputs: Vec::new(),
+            state_names: Vec::new(),
+            input_names: Vec::new(),
+            init: None,
+            next: Vec::new(),
+            constraints: Vec::new(),
+            target: None,
+        }
+    }
+
+    /// Adds a state variable; returns its AIG reference (current-state
+    /// value).
+    pub fn state_var(&mut self, name: impl Into<String>) -> AigRef {
+        let r = self.aig.input();
+        self.state_inputs.push(self.aig.num_inputs() - 1);
+        self.state_names.push(name.into());
+        self.next.push(None);
+        r
+    }
+
+    /// Adds `n` state variables named `prefix0..prefix{n-1}`; returns
+    /// their references (a little-endian word).
+    pub fn state_vars(&mut self, n: usize, prefix: &str) -> Vec<AigRef> {
+        (0..n).map(|i| self.state_var(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a free (primary) input; returns its AIG reference.
+    pub fn input(&mut self, name: impl Into<String>) -> AigRef {
+        let r = self.aig.input();
+        self.free_inputs.push(self.aig.num_inputs() - 1);
+        self.input_names.push(name.into());
+        r
+    }
+
+    /// Adds `n` inputs named `prefix0..prefix{n-1}`.
+    pub fn inputs(&mut self, n: usize, prefix: &str) -> Vec<AigRef> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Mutable access to the circuit for building logic.
+    pub fn aig_mut(&mut self) -> &mut Aig {
+        &mut self.aig
+    }
+
+    /// Sets the next-state function of state variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_next(&mut self, index: usize, f: AigRef) {
+        self.next[index] = Some(f);
+    }
+
+    /// Sets all next-state functions at once (in state-variable order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` has the wrong length.
+    pub fn set_next_all(&mut self, fs: &[AigRef]) {
+        assert_eq!(fs.len(), self.next.len(), "one next function per state var");
+        for (slot, &f) in self.next.iter_mut().zip(fs) {
+            *slot = Some(f);
+        }
+    }
+
+    /// Sets the initial-state predicate. Defaults to "all state
+    /// variables false" (the AIGER reset convention) if never called.
+    pub fn set_init(&mut self, f: AigRef) {
+        self.init = Some(f);
+    }
+
+    /// Sets the target (final-state) predicate `F`.
+    pub fn set_target(&mut self, f: AigRef) {
+        self.target = Some(f);
+    }
+
+    /// Adds an invariant constraint every transition must satisfy.
+    pub fn add_constraint(&mut self, f: AigRef) {
+        self.constraints.push(f);
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildModelError`] if a state variable lacks a next
+    /// function, no target was set, or the init/target predicates
+    /// depend on free inputs.
+    pub fn build(self) -> Result<Model, BuildModelError> {
+        let mut next = Vec::with_capacity(self.next.len());
+        for (i, f) in self.next.iter().enumerate() {
+            match f {
+                Some(r) => next.push(*r),
+                None => {
+                    return Err(BuildModelError {
+                        message: format!(
+                            "state variable '{}' has no next-state function",
+                            self.state_names[i]
+                        ),
+                    })
+                }
+            }
+        }
+        let target = self.target.ok_or_else(|| BuildModelError {
+            message: "no target predicate set".to_string(),
+        })?;
+        let init = match self.init {
+            Some(r) => r,
+            None => {
+                // Default: all state variables are zero.
+                let mut aig = self.aig.clone();
+                let word: Vec<AigRef> = self
+                    .state_inputs
+                    .iter()
+                    .map(|&i| aig.input_ref(i))
+                    .collect();
+                let zero = aig.eq_const(&word, 0);
+                return ModelBuilder {
+                    aig,
+                    init: Some(zero),
+                    next: next.into_iter().map(Some).collect(),
+                    target: Some(target),
+                    ..self
+                }
+                .build();
+            }
+        };
+        let model = Model {
+            name: self.name,
+            aig: self.aig,
+            state_inputs: self.state_inputs,
+            free_inputs: self.free_inputs,
+            state_names: self.state_names,
+            input_names: self.input_names,
+            init,
+            next,
+            constraints: self.constraints,
+            target,
+        };
+        // Init and target must be predicates over state variables only.
+        for (what, root) in [("init", model.init), ("target", model.target)] {
+            for node in model.aig.cone_topo(&[root]) {
+                if let Some(i) = model.aig.input_index(node) {
+                    if model.free_inputs.contains(&i) {
+                        return Err(BuildModelError {
+                            message: format!(
+                                "{what} predicate depends on free input '{}'",
+                                model.input_names
+                                    [model.free_inputs.iter().position(|&x| x == i).unwrap()]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_toggler() {
+        let mut b = ModelBuilder::new("t");
+        let bit = b.state_var("x");
+        b.set_next(0, !bit);
+        b.set_target(bit);
+        let m = b.build().unwrap();
+        assert_eq!(m.num_state_vars(), 1);
+        assert!(m.eval_init(&[false]), "default init is all-zero");
+        assert_eq!(m.step(&[false], &[]), vec![true]);
+    }
+
+    #[test]
+    fn missing_next_is_an_error() {
+        let mut b = ModelBuilder::new("bad");
+        let bit = b.state_var("x");
+        b.set_target(bit);
+        let err = b.build().unwrap_err();
+        assert!(err.message.contains("no next-state function"), "{err}");
+    }
+
+    #[test]
+    fn missing_target_is_an_error() {
+        let mut b = ModelBuilder::new("bad");
+        let bit = b.state_var("x");
+        b.set_next(0, bit);
+        let err = b.build().unwrap_err();
+        assert!(err.message.contains("no target"), "{err}");
+    }
+
+    #[test]
+    fn input_dependent_target_is_an_error() {
+        let mut b = ModelBuilder::new("bad");
+        let bit = b.state_var("x");
+        let inp = b.input("i");
+        b.set_next(0, bit);
+        let t = b.aig_mut().and(bit, inp);
+        b.set_target(t);
+        let err = b.build().unwrap_err();
+        assert!(err.message.contains("depends on free input"), "{err}");
+        assert!(err.to_string().contains("invalid model"));
+    }
+
+    #[test]
+    fn explicit_init_is_used() {
+        let mut b = ModelBuilder::new("m");
+        let bits = b.state_vars(2, "s");
+        b.set_next(0, bits[0]);
+        b.set_next(1, bits[1]);
+        let init = b.aig_mut().eq_const(&bits, 2);
+        b.set_init(init);
+        b.set_target(bits[0]);
+        let m = b.build().unwrap();
+        assert!(m.eval_init(&[false, true]));
+        assert!(!m.eval_init(&[false, false]));
+    }
+
+    #[test]
+    fn constraints_are_recorded() {
+        let mut b = ModelBuilder::new("m");
+        let bit = b.state_var("x");
+        let inp = b.input("i");
+        b.set_next(0, inp);
+        b.set_target(bit);
+        b.add_constraint(inp); // inputs must always be high
+        let m = b.build().unwrap();
+        assert!(m.eval_constraints(&[false], &[true]));
+        assert!(!m.eval_constraints(&[false], &[false]));
+    }
+}

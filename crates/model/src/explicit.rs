@@ -1,0 +1,237 @@
+//! Explicit-state reachability — the ground-truth oracle.
+//!
+//! For models small enough to enumerate (≲ 22 state+input bits), these
+//! functions compute *exact* bounded reachability by breadth-first
+//! exploration of the concrete state graph. Every symbolic engine in
+//! the reproduction is validated against this oracle in the test
+//! suites.
+
+use std::collections::HashSet;
+
+use crate::model::{pack_state, unpack_state, Model};
+use crate::trace::Trace;
+
+/// Maximum state+input bits for explicit exploration.
+const MAX_EXPLICIT_BITS: usize = 22;
+
+fn assert_small(model: &Model) {
+    let bits = model.num_state_vars() + model.num_inputs();
+    assert!(
+        bits <= MAX_EXPLICIT_BITS,
+        "explicit-state engine limited to {MAX_EXPLICIT_BITS} state+input bits, model '{}' has {bits}",
+        model.name()
+    );
+}
+
+/// The set of states reachable in *exactly* `i` steps from the initial
+/// states, for every `i ≤ bound`, honouring invariant constraints.
+pub fn reachable_sets(model: &Model, bound: usize) -> Vec<HashSet<u64>> {
+    assert_small(model);
+    let n = model.num_state_vars();
+    let m = model.num_inputs();
+    let mut layers: Vec<HashSet<u64>> = Vec::with_capacity(bound + 1);
+    let mut frontier: HashSet<u64> = model
+        .enumerate_initial_states()
+        .iter()
+        .map(|s| pack_state(s))
+        .collect();
+    layers.push(frontier.clone());
+    for _ in 0..bound {
+        let mut next: HashSet<u64> = HashSet::new();
+        for &packed in &frontier {
+            let state = unpack_state(packed, n);
+            for input_bits in 0u64..(1u64 << m) {
+                let inputs = unpack_state(input_bits, m);
+                if !model.eval_constraints(&state, &inputs) {
+                    continue;
+                }
+                next.insert(pack_state(&model.step(&state, &inputs)));
+            }
+        }
+        layers.push(next.clone());
+        frontier = next;
+    }
+    layers
+}
+
+/// Whether some target state is reachable in *exactly* `k` steps.
+pub fn reachable_in_exactly(model: &Model, k: usize) -> bool {
+    let layers = reachable_sets(model, k);
+    layers[k]
+        .iter()
+        .any(|&packed| model.eval_target(&unpack_state(packed, model.num_state_vars())))
+}
+
+/// Whether some target state is reachable in *at most* `k` steps.
+pub fn reachable_within(model: &Model, k: usize) -> bool {
+    let layers = reachable_sets(model, k);
+    layers.iter().any(|layer| {
+        layer
+            .iter()
+            .any(|&p| model.eval_target(&unpack_state(p, model.num_state_vars())))
+    })
+}
+
+/// Length of the shortest path from an initial state to a target state,
+/// if one exists within `max_bound` steps.
+pub fn min_steps_to_target(model: &Model, max_bound: usize) -> Option<usize> {
+    let n = model.num_state_vars();
+    let layers = reachable_sets(model, max_bound);
+    layers.iter().position(|layer| {
+        layer
+            .iter()
+            .any(|&p| model.eval_target(&unpack_state(p, n)))
+    })
+}
+
+/// Reconstructs a shortest witness trace by explicit search, if the
+/// target is reachable within `max_bound` steps. Used to sanity-check
+/// the symbolic engines' witnesses against a known-good one.
+pub fn find_witness(model: &Model, max_bound: usize) -> Option<Trace> {
+    assert_small(model);
+    let n = model.num_state_vars();
+    let m = model.num_inputs();
+    // BFS storing predecessor (state, input) per (depth, state).
+    let mut layers: Vec<std::collections::HashMap<u64, Option<(u64, u64)>>> = Vec::new();
+    let mut frontier: std::collections::HashMap<u64, Option<(u64, u64)>> = model
+        .enumerate_initial_states()
+        .iter()
+        .map(|s| (pack_state(s), None))
+        .collect();
+    layers.push(frontier.clone());
+    for depth in 0..=max_bound {
+        // Check the current layer for a target state.
+        if let Some((&hit, _)) = layers[depth]
+            .iter()
+            .find(|(&p, _)| model.eval_target(&unpack_state(p, n)))
+        {
+            // Walk predecessors back to depth 0.
+            let mut states = vec![hit];
+            let mut inputs_rev: Vec<u64> = Vec::new();
+            let mut cur = hit;
+            for d in (1..=depth).rev() {
+                let (prev, inp) = layers[d][&cur].expect("non-initial layer has predecessors");
+                states.push(prev);
+                inputs_rev.push(inp);
+                cur = prev;
+            }
+            states.reverse();
+            inputs_rev.reverse();
+            return Some(Trace {
+                states: states.iter().map(|&p| unpack_state(p, n)).collect(),
+                inputs: inputs_rev.iter().map(|&i| unpack_state(i, m)).collect(),
+            });
+        }
+        if depth == max_bound {
+            break;
+        }
+        let mut next: std::collections::HashMap<u64, Option<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for &packed in frontier.keys() {
+            let state = unpack_state(packed, n);
+            for input_bits in 0u64..(1u64 << m) {
+                let inputs = unpack_state(input_bits, m);
+                if !model.eval_constraints(&state, &inputs) {
+                    continue;
+                }
+                let succ = pack_state(&model.step(&state, &inputs));
+                next.entry(succ).or_insert(Some((packed, input_bits)));
+            }
+        }
+        layers.push(next.clone());
+        frontier = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use sebmc_logic::AigRef;
+
+    /// 3-bit counter with reset input; target = 7.
+    fn counter3() -> Model {
+        let mut b = ModelBuilder::new("c3");
+        let bits = b.state_vars(3, "c");
+        let reset = b.input("r");
+        let inc = b.aig_mut().increment(&bits);
+        let nexts: Vec<AigRef> = inc
+            .iter()
+            .map(|&f| b.aig_mut().ite(reset, AigRef::FALSE, f))
+            .collect();
+        b.set_next_all(&nexts);
+        let t = b.aig_mut().eq_const(&bits, 7);
+        b.set_target(t);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_layers_of_counter() {
+        let m = counter3();
+        let layers = reachable_sets(&m, 3);
+        // From 0: step i reaches {i, and 0 via reset}.
+        assert_eq!(layers[0], [0].into_iter().collect());
+        assert_eq!(layers[1], [1, 0].into_iter().collect());
+        assert_eq!(layers[2], [2, 1, 0].into_iter().collect());
+        assert_eq!(layers[3], [3, 2, 1, 0].into_iter().collect());
+    }
+
+    #[test]
+    fn exactly_vs_within() {
+        let m = counter3();
+        assert!(!reachable_in_exactly(&m, 6));
+        assert!(reachable_in_exactly(&m, 7));
+        // With the reset input, longer exact paths exist too.
+        assert!(reachable_in_exactly(&m, 8));
+        assert!(!reachable_within(&m, 6));
+        assert!(reachable_within(&m, 7));
+        assert!(reachable_within(&m, 12));
+    }
+
+    #[test]
+    fn min_steps() {
+        let m = counter3();
+        assert_eq!(min_steps_to_target(&m, 10), Some(7));
+        assert_eq!(min_steps_to_target(&m, 5), None);
+    }
+
+    #[test]
+    fn witness_is_valid_and_shortest() {
+        let m = counter3();
+        let t = find_witness(&m, 10).expect("reachable");
+        assert_eq!(t.len(), 7);
+        assert_eq!(m.check_trace(&t), Ok(()));
+        assert!(find_witness(&m, 6).is_none());
+    }
+
+    #[test]
+    fn unreachable_target_has_no_witness() {
+        // Toggler with target never reachable: target = x ∧ ¬x.
+        let mut b = ModelBuilder::new("t");
+        let bit = b.state_var("x");
+        b.set_next(0, !bit);
+        b.set_target(AigRef::FALSE);
+        let m = b.build().unwrap();
+        assert!(find_witness(&m, 8).is_none());
+        assert!(!reachable_within(&m, 8));
+    }
+
+    #[test]
+    fn constraints_prune_transitions() {
+        // 1-bit state follows input, but constraint forbids input=1,
+        // so target x=1 is unreachable.
+        let mut b = ModelBuilder::new("c");
+        let bit = b.state_var("x");
+        let i = b.input("i");
+        b.set_next(0, i);
+        b.set_target(bit);
+        b.add_constraint(!i);
+        let m = b.build().unwrap();
+        assert!(!reachable_within(&m, 4));
+        assert_eq!(
+            reachable_sets(&m, 2)[1],
+            [0u64].into_iter().collect::<std::collections::HashSet<_>>()
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Symbolic transition systems.
+//!
+//! A [`Model`] is the system `M = (S, I, TR)` of the paper plus a target
+//! predicate `F`: a set of Boolean state variables with *functional*
+//! next-state definitions over an [`Aig`] (the AIGER latch view),
+//! primary inputs, an initial-state predicate, optional invariant
+//! constraints, and the final-state predicate whose reachability the
+//! bounded checks decide.
+//!
+//! The relational transition relation used by the encodings,
+//! `TR(U, V) = ∃W. constraint(U, W) ∧ ⋀ᵢ vᵢ ↔ nextᵢ(U, W)`,
+//! is derived from this functional form by the encoder crate.
+
+use std::fmt;
+
+use sebmc_logic::{Aig, AigRef};
+
+/// A symbolic transition system over an And-Inverter Graph.
+///
+/// Constructed via [`ModelBuilder`](crate::ModelBuilder); immutable
+/// afterwards.
+#[derive(Clone)]
+pub struct Model {
+    pub(crate) name: String,
+    pub(crate) aig: Aig,
+    /// AIG input index backing each state variable.
+    pub(crate) state_inputs: Vec<usize>,
+    /// AIG input index backing each free (primary) input.
+    pub(crate) free_inputs: Vec<usize>,
+    pub(crate) state_names: Vec<String>,
+    pub(crate) input_names: Vec<String>,
+    pub(crate) init: AigRef,
+    pub(crate) next: Vec<AigRef>,
+    pub(crate) constraints: Vec<AigRef>,
+    pub(crate) target: AigRef,
+}
+
+impl Model {
+    /// The model's name (used in benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of state variables (`n` in the paper's analysis).
+    pub fn num_state_vars(&self) -> usize {
+        self.state_inputs.len()
+    }
+
+    /// Number of free (primary) inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.free_inputs.len()
+    }
+
+    /// The underlying circuit.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Initial-state predicate (over state variables).
+    pub fn init_ref(&self) -> AigRef {
+        self.init
+    }
+
+    /// Target (final-state) predicate `F` (over state variables).
+    pub fn target_ref(&self) -> AigRef {
+        self.target
+    }
+
+    /// Next-state function per state variable (over state variables and
+    /// inputs).
+    pub fn next_refs(&self) -> &[AigRef] {
+        &self.next
+    }
+
+    /// Invariant constraints that every transition must satisfy.
+    pub fn constraint_refs(&self) -> &[AigRef] {
+        &self.constraints
+    }
+
+    /// AIG input index backing state variable `i`.
+    pub fn state_input_indices(&self) -> &[usize] {
+        &self.state_inputs
+    }
+
+    /// AIG input index backing free input `i`.
+    pub fn free_input_indices(&self) -> &[usize] {
+        &self.free_inputs
+    }
+
+    /// Name of state variable `i`.
+    pub fn state_name(&self, i: usize) -> &str {
+        &self.state_names[i]
+    }
+
+    /// Name of free input `i`.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Size of the transition-relation cone (AND gates feeding the next
+    /// functions and constraints) — the `|TR|` of the paper's growth
+    /// analysis.
+    pub fn tr_cone_size(&self) -> usize {
+        let mut roots = self.next.clone();
+        roots.extend_from_slice(&self.constraints);
+        self.aig.cone_size(&roots)
+    }
+
+    /// Assembles a full AIG input vector from state and input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `inputs` have the wrong length.
+    fn aig_inputs(&self, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(state.len(), self.state_inputs.len(), "state width");
+        assert_eq!(inputs.len(), self.free_inputs.len(), "input width");
+        let mut vals = vec![false; self.aig.num_inputs()];
+        for (i, &idx) in self.state_inputs.iter().enumerate() {
+            vals[idx] = state[i];
+        }
+        for (i, &idx) in self.free_inputs.iter().enumerate() {
+            vals[idx] = inputs[i];
+        }
+        vals
+    }
+
+    /// Evaluates the initial-state predicate on a concrete state.
+    pub fn eval_init(&self, state: &[bool]) -> bool {
+        let vals = self.aig_inputs(state, &vec![false; self.num_inputs()]);
+        self.aig.eval(&vals, &[self.init])[0]
+    }
+
+    /// Evaluates the target predicate on a concrete state.
+    pub fn eval_target(&self, state: &[bool]) -> bool {
+        let vals = self.aig_inputs(state, &vec![false; self.num_inputs()]);
+        self.aig.eval(&vals, &[self.target])[0]
+    }
+
+    /// Evaluates the invariant constraints for a step from `state`
+    /// under `inputs`.
+    pub fn eval_constraints(&self, state: &[bool], inputs: &[bool]) -> bool {
+        if self.constraints.is_empty() {
+            return true;
+        }
+        let vals = self.aig_inputs(state, inputs);
+        self.aig
+            .eval(&vals, &self.constraints)
+            .into_iter()
+            .all(|b| b)
+    }
+
+    /// Computes the successor state of `state` under `inputs`.
+    pub fn step(&self, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        let vals = self.aig_inputs(state, inputs);
+        self.aig.eval(&vals, &self.next)
+    }
+
+    /// Returns a copy of the model with a *stutter* input added: when
+    /// the new input is high the state is held and constraints are
+    /// waived. This is the paper's self-loop trick turning "reachable in
+    /// exactly k steps" into "reachable in at most k steps" (needed to
+    /// use iterative squaring at non-power-of-two bounds).
+    pub fn with_self_loops(&self) -> Model {
+        let mut m = self.clone();
+        let stutter = m.aig.input();
+        let stutter_idx = m.aig.num_inputs() - 1;
+        m.free_inputs.push(stutter_idx);
+        m.input_names.push("__stutter".to_string());
+        for (i, f) in m.next.iter_mut().enumerate() {
+            let hold = m.aig.input_ref(m.state_inputs[i]);
+            *f = m.aig.ite(stutter, hold, *f);
+        }
+        for c in m.constraints.iter_mut() {
+            *c = m.aig.or(stutter, *c);
+        }
+        m.name = format!("{}+loop", m.name);
+        m
+    }
+
+    /// Enumerates all states satisfying the initial predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has more than 24 state bits (exhaustive
+    /// enumeration is meant for ground-truth checking of small models).
+    pub fn enumerate_initial_states(&self) -> Vec<Vec<bool>> {
+        let n = self.num_state_vars();
+        assert!(n <= 24, "initial-state enumeration limited to 24 state bits");
+        let mut out = Vec::new();
+        for bits in 0u64..(1u64 << n) {
+            let state: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval_init(&state) {
+                out.push(state);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Model {{ name: {:?}, state: {}, inputs: {}, |TR| cone: {} }}",
+            self.name,
+            self.num_state_vars(),
+            self.num_inputs(),
+            self.tr_cone_size()
+        )
+    }
+}
+
+/// Packs a state (little-endian bit 0 first) into a `u64` for the
+/// explicit-state engines.
+///
+/// # Panics
+///
+/// Panics if the state has more than 63 bits.
+pub fn pack_state(state: &[bool]) -> u64 {
+    assert!(state.len() <= 63, "packed states limited to 63 bits");
+    state
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Inverse of [`pack_state`].
+pub fn unpack_state(bits: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| bits >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    /// A 2-bit counter with reset input, for the tests below.
+    fn counter2() -> Model {
+        let mut b = ModelBuilder::new("counter2");
+        let bits = b.state_vars(2, "c");
+        let reset = b.input("reset");
+        let inc = b.aig_mut().increment(&bits);
+        let mut nexts = Vec::new();
+        for (i, &bit) in inc.clone().iter().enumerate() {
+            let _ = bit;
+            let next = b.aig_mut().ite(reset, AigRef::FALSE, inc[i]);
+            nexts.push(next);
+        }
+        b.set_next_all(&nexts);
+        let init = b.aig_mut().eq_const(&bits, 0);
+        b.set_init(init);
+        let target = b.aig_mut().eq_const(&bits, 3);
+        b.set_target(target);
+        b.build().expect("valid model")
+    }
+
+    #[test]
+    fn step_semantics() {
+        let m = counter2();
+        assert_eq!(m.num_state_vars(), 2);
+        assert_eq!(m.num_inputs(), 1);
+        let s0 = vec![false, false];
+        let s1 = m.step(&s0, &[false]);
+        assert_eq!(pack_state(&s1), 1);
+        let s2 = m.step(&s1, &[false]);
+        assert_eq!(pack_state(&s2), 2);
+        let reset = m.step(&s2, &[true]);
+        assert_eq!(pack_state(&reset), 0);
+    }
+
+    #[test]
+    fn init_and_target_predicates() {
+        let m = counter2();
+        assert!(m.eval_init(&[false, false]));
+        assert!(!m.eval_init(&[true, false]));
+        assert!(m.eval_target(&[true, true]));
+        assert!(!m.eval_target(&[true, false]));
+    }
+
+    #[test]
+    fn enumerate_initial_states_single() {
+        let m = counter2();
+        let inits = m.enumerate_initial_states();
+        assert_eq!(inits.len(), 1);
+        assert_eq!(pack_state(&inits[0]), 0);
+    }
+
+    #[test]
+    fn constraints_default_true() {
+        let m = counter2();
+        assert!(m.eval_constraints(&[false, true], &[true]));
+    }
+
+    #[test]
+    fn self_loops_allow_stutter() {
+        let m = counter2().with_self_loops();
+        assert_eq!(m.num_inputs(), 2);
+        let s = vec![true, false];
+        // stutter=1 holds the state regardless of reset.
+        let held = m.step(&s, &[false, true]);
+        assert_eq!(held, s);
+        let held2 = m.step(&s, &[true, true]);
+        assert_eq!(held2, s);
+        // stutter=0 behaves like the original.
+        let normal = m.step(&s, &[false, false]);
+        assert_eq!(pack_state(&normal), 2);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for bits in 0u64..16 {
+            let s = unpack_state(bits, 4);
+            assert_eq!(pack_state(&s), bits);
+        }
+    }
+
+    #[test]
+    fn tr_cone_size_positive() {
+        let m = counter2();
+        assert!(m.tr_cone_size() > 0);
+        assert!(m.tr_cone_size() <= m.aig().num_ands());
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn wrong_state_width_panics() {
+        let m = counter2();
+        m.step(&[false], &[false]);
+    }
+}

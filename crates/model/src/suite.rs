@@ -1,0 +1,117 @@
+//! The benchmark suites.
+//!
+//! [`suite13`] mirrors the paper's "thirteen test cases of different
+//! sizes": a size-diverse mix whose 13 × 18 = 234 instances (bounds
+//! 1..=18) reproduce the shape of the paper's solved-counts experiment.
+//! [`suite13_small`] provides small versions of the same thirteen
+//! families for exhaustive ground-truth validation in tests.
+
+use crate::builders;
+use crate::model::Model;
+
+/// Number of bounds per model in the paper's experiment: 13 models ×
+/// 18 bounds = 234 instances.
+pub const BOUNDS_PER_MODEL: usize = 18;
+
+/// The paper-scale benchmark suite: thirteen models of different sizes.
+///
+/// The mix is tuned so that, under per-instance resource limits,
+/// classical SAT-based BMC solves the most instances, jSAT somewhat
+/// fewer, and general-purpose QBF solvers almost none — the shape of
+/// the paper's §3 result.
+pub fn suite13() -> Vec<Model> {
+    vec![
+        builders::counter_with_reset(4),
+        builders::counter_with_enable(10),
+        builders::shift_register(16),
+        builders::lfsr(12, 14),
+        builders::gray_counter(5),
+        builders::johnson_counter(9),
+        builders::round_robin_arbiter(8),
+        builders::traffic_light(),
+        builders::elevator(4),
+        builders::fifo(3),
+        builders::token_ring(12),
+        builders::peterson(),
+        builders::random_fsm(28, 3, 2005),
+    ]
+}
+
+/// Small versions of the thirteen families (≤ ~12 state+input bits), so
+/// the explicit-state oracle can validate every engine on every family.
+pub fn suite13_small() -> Vec<Model> {
+    vec![
+        builders::counter_with_reset(3),
+        builders::counter_with_enable(3),
+        builders::shift_register(4),
+        builders::lfsr(4, 6),
+        builders::gray_counter(3),
+        builders::johnson_counter(4),
+        builders::round_robin_arbiter(3),
+        builders::traffic_light(),
+        builders::elevator(2),
+        builders::fifo(1),
+        builders::token_ring(4),
+        builders::peterson(),
+        builders::random_fsm(5, 1, 2005),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_suites_have_thirteen_models() {
+        assert_eq!(suite13().len(), 13);
+        assert_eq!(suite13_small().len(), 13);
+        assert_eq!(suite13().len() * BOUNDS_PER_MODEL, 234);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for suite in [suite13(), suite13_small()] {
+            let mut names: Vec<&str> = suite.iter().map(|m| m.name()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate model names");
+        }
+    }
+
+    #[test]
+    fn small_suite_is_explicitly_checkable() {
+        for m in suite13_small() {
+            assert!(
+                m.num_state_vars() + m.num_inputs() <= 22,
+                "model '{}' too large for the explicit oracle",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_suite_has_diverse_sizes() {
+        let suite = suite13();
+        let min = suite.iter().map(|m| m.num_state_vars()).min().unwrap();
+        let max = suite.iter().map(|m| m.num_state_vars()).max().unwrap();
+        assert!(min <= 4, "suite should contain small models");
+        assert!(max >= 20, "suite should contain large models");
+    }
+
+    #[test]
+    fn all_models_simulate_one_step() {
+        for m in suite13().iter().chain(suite13_small().iter()) {
+            let inits = if m.num_state_vars() <= 22 {
+                m.enumerate_initial_states()
+            } else {
+                vec![vec![false; m.num_state_vars()]]
+            };
+            assert!(!inits.is_empty(), "model '{}' has no initial state", m.name());
+            let s0 = &inits[0];
+            let inputs = vec![false; m.num_inputs()];
+            let s1 = m.step(s0, &inputs);
+            assert_eq!(s1.len(), m.num_state_vars());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Witness traces and their validation.
+//!
+//! Every engine in the reproduction must produce a checkable witness
+//! when it claims reachability; [`Model::check_trace`] replays the
+//! trace through the concrete simulator. This is the cross-engine
+//! soundness oracle used throughout the test suite.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::model::{pack_state, Model};
+
+/// A concrete execution: `states.len() == inputs.len() + 1`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Visited states, from the initial state to the final state.
+    pub states: Vec<Vec<bool>>,
+    /// Input vector applied at each step.
+    pub inputs: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of steps (transitions) in the trace.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Renders states as packed integers, for debugging.
+    pub fn packed_states(&self) -> Vec<u64> {
+        self.states.iter().map(|s| pack_state(s)).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace[{} steps]:", self.len())?;
+        for s in &self.states {
+            write!(f, " {}", pack_state(s))?;
+        }
+        Ok(())
+    }
+}
+
+/// Reason a trace fails validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// `states`/`inputs` lengths are inconsistent.
+    MalformedShape {
+        /// Number of states in the trace.
+        states: usize,
+        /// Number of input vectors in the trace.
+        inputs: usize,
+    },
+    /// The first state does not satisfy the initial predicate.
+    NotInitial,
+    /// The invariant constraints fail at the given step.
+    ConstraintViolated {
+        /// Step index at which the constraint fails.
+        step: usize,
+    },
+    /// `states[step+1]` is not the successor of `states[step]`.
+    NotASuccessor {
+        /// Step index of the bad transition.
+        step: usize,
+    },
+    /// The last state does not satisfy the target predicate.
+    TargetMissed,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MalformedShape { states, inputs } => write!(
+                f,
+                "malformed trace: {states} states with {inputs} input vectors"
+            ),
+            TraceError::NotInitial => write!(f, "first state violates the initial predicate"),
+            TraceError::ConstraintViolated { step } => {
+                write!(f, "invariant constraint violated at step {step}")
+            }
+            TraceError::NotASuccessor { step } => {
+                write!(f, "state at step {} is not a valid successor", step + 1)
+            }
+            TraceError::TargetMissed => write!(f, "final state violates the target predicate"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+impl Model {
+    /// Validates that `trace` is a real execution of this model from an
+    /// initial state to a target state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered.
+    pub fn check_trace(&self, trace: &Trace) -> Result<(), TraceError> {
+        if trace.states.len() != trace.inputs.len() + 1 {
+            return Err(TraceError::MalformedShape {
+                states: trace.states.len(),
+                inputs: trace.inputs.len(),
+            });
+        }
+        if !self.eval_init(&trace.states[0]) {
+            return Err(TraceError::NotInitial);
+        }
+        for (i, ins) in trace.inputs.iter().enumerate() {
+            if !self.eval_constraints(&trace.states[i], ins) {
+                return Err(TraceError::ConstraintViolated { step: i });
+            }
+            let next = self.step(&trace.states[i], ins);
+            if next != trace.states[i + 1] {
+                return Err(TraceError::NotASuccessor { step: i });
+            }
+        }
+        let last = trace.states.last().expect("at least one state");
+        if !self.eval_target(last) {
+            return Err(TraceError::TargetMissed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    /// 2-bit counter without inputs; target = 3.
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("c");
+        let bits = b.state_vars(2, "c");
+        let inc = b.aig_mut().increment(&bits);
+        b.set_next_all(&inc);
+        let t = b.aig_mut().eq_const(&bits, 3);
+        b.set_target(t);
+        b.build().unwrap()
+    }
+
+    fn good_trace() -> Trace {
+        Trace {
+            states: vec![
+                vec![false, false],
+                vec![true, false],
+                vec![false, true],
+                vec![true, true],
+            ],
+            inputs: vec![vec![], vec![], vec![]],
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let m = counter();
+        let t = good_trace();
+        assert_eq!(m.check_trace(&t), Ok(()));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.packed_states(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_shape_detected() {
+        let m = counter();
+        let mut t = good_trace();
+        t.inputs.pop();
+        assert!(matches!(
+            m.check_trace(&t),
+            Err(TraceError::MalformedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_initial_state_detected() {
+        let m = counter();
+        let mut t = good_trace();
+        t.states[0] = vec![true, false];
+        // 1 -> 2 -> 3 is a fine path but 1 is not initial.
+        t.states.remove(1);
+        t.inputs.pop();
+        assert_eq!(m.check_trace(&t), Err(TraceError::NotInitial));
+    }
+
+    #[test]
+    fn non_successor_detected() {
+        let m = counter();
+        let mut t = good_trace();
+        t.states[2] = vec![true, true]; // 0 -> 1 -> 3?! no
+        assert_eq!(m.check_trace(&t), Err(TraceError::NotASuccessor { step: 1 }));
+    }
+
+    #[test]
+    fn target_miss_detected() {
+        let m = counter();
+        let mut t = good_trace();
+        t.states.pop();
+        t.inputs.pop();
+        assert_eq!(m.check_trace(&t), Err(TraceError::TargetMissed));
+    }
+
+    #[test]
+    fn constraint_violation_detected() {
+        let mut b = ModelBuilder::new("c");
+        let bit = b.state_var("x");
+        let i = b.input("go");
+        b.set_next(0, i);
+        b.set_target(bit);
+        b.add_constraint(i); // go must always be high
+        let m = b.build().unwrap();
+        let bad = Trace {
+            states: vec![vec![false], vec![false], vec![true]],
+            inputs: vec![vec![false], vec![true]],
+        };
+        assert_eq!(
+            m.check_trace(&bad),
+            Err(TraceError::ConstraintViolated { step: 0 })
+        );
+        let good = Trace {
+            states: vec![vec![false], vec![true]],
+            inputs: vec![vec![true]],
+        };
+        assert_eq!(m.check_trace(&good), Ok(()));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(TraceError::NotInitial.to_string().contains("initial"));
+        assert!(TraceError::TargetMissed.to_string().contains("target"));
+        assert!(TraceError::NotASuccessor { step: 2 }
+            .to_string()
+            .contains("step 3"));
+    }
+}

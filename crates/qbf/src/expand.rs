@@ -1,0 +1,371 @@
+//! Expansion-based QBF solving (Quantor-style universal expansion).
+//!
+//! The second family of general-purpose QBF solvers available around
+//! 2005 eliminated universal quantifiers by *expansion*:
+//!
+//! `Q… ∀u ∃E. M  ≡  Q… ∃E ∃E'. M[u:=0] ∧ M[u:=1, E:=E']`
+//!
+//! where `E` are the existential variables inner to `u`, which must be
+//! duplicated in one copy. Every expanded universal doubles the inner
+//! matrix, so the method is exponential in the number of universals —
+//! on the paper's encodings (2) and (3) with `2n` universal state
+//! variables this blows up immediately, which is exactly the observed
+//! 2005 behaviour. A growth budget turns the blow-up into a clean
+//! [`QbfResult::Unknown`].
+
+use std::time::Instant;
+
+use sebmc_logic::{Clause, Cnf, Var};
+use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+
+use crate::formula::{QbfFormula, QuantBlock, Quantifier};
+use crate::qdpll::{QbfLimits, QbfResult};
+
+/// Budgets for the expansion solver.
+#[derive(Clone, Debug)]
+pub struct ExpansionLimits {
+    /// Maximum number of matrix literals the expansion may reach before
+    /// giving up (the memory-explosion guard).
+    pub max_matrix_literals: usize,
+    /// Budgets passed to the final SAT call (and used for the deadline
+    /// during expansion).
+    pub base: QbfLimits,
+}
+
+impl Default for ExpansionLimits {
+    fn default() -> Self {
+        ExpansionLimits {
+            max_matrix_literals: 10_000_000,
+            base: QbfLimits::none(),
+        }
+    }
+}
+
+/// Statistics of an expansion run.
+#[derive(Clone, Debug, Default)]
+pub struct ExpansionStats {
+    /// Universal variables expanded.
+    pub expanded_universals: u64,
+    /// Peak matrix literal count reached during expansion.
+    pub peak_matrix_literals: usize,
+    /// Fresh variables introduced by duplication.
+    pub duplicated_vars: u64,
+}
+
+/// Expansion-based QBF solver: eliminates universals innermost-first,
+/// then hands the purely existential matrix to the CDCL SAT solver.
+///
+/// ```
+/// use sebmc_logic::{Cnf, Var};
+/// use sebmc_qbf::{ExpansionSolver, QbfFormula, QbfResult, Quantifier};
+///
+/// // ∀x ∃y. (x ↔ y)
+/// let (x, y) = (Var::new(0), Var::new(1));
+/// let mut m = Cnf::new();
+/// m.add_equiv(x.positive(), y.positive());
+/// let mut qbf = QbfFormula::new(m);
+/// qbf.push_block(Quantifier::ForAll, [x]);
+/// qbf.push_block(Quantifier::Exists, [y]);
+/// assert_eq!(ExpansionSolver::new().solve(&qbf), QbfResult::True);
+/// ```
+#[derive(Debug, Default)]
+pub struct ExpansionSolver {
+    limits: ExpansionLimits,
+    stats: ExpansionStats,
+}
+
+impl ExpansionSolver {
+    /// Creates a solver with default (large) growth budgets.
+    pub fn new() -> Self {
+        ExpansionSolver::default()
+    }
+
+    /// Creates a solver with the given budgets.
+    pub fn with_limits(limits: ExpansionLimits) -> Self {
+        ExpansionSolver {
+            limits,
+            stats: ExpansionStats::default(),
+        }
+    }
+
+    /// Sets the budgets for subsequent solves.
+    pub fn set_limits(&mut self, limits: ExpansionLimits) {
+        self.limits = limits;
+    }
+
+    /// Statistics of the most recent solve.
+    pub fn stats(&self) -> &ExpansionStats {
+        &self.stats
+    }
+
+    /// Decides the truth of `qbf`.
+    pub fn solve(&mut self, qbf: &QbfFormula) -> QbfResult {
+        self.stats = ExpansionStats::default();
+        let mut work = qbf.clone();
+        work.close();
+        debug_assert!(work.validate().is_ok());
+        let (mut prefix, mut matrix) = work.into_parts();
+
+        // Expand universals from the innermost universal block outward.
+        while let Some(ub) = prefix
+            .iter()
+            .rposition(|b| b.quantifier == Quantifier::ForAll)
+        {
+            if self.deadline_passed() {
+                return QbfResult::Unknown;
+            }
+            // All blocks after `ub` are existential: collect their vars.
+            let inner_exists: Vec<Var> = prefix[ub + 1..]
+                .iter()
+                .flat_map(|b| b.vars.iter().copied())
+                .collect();
+            let u = prefix[ub]
+                .vars
+                .pop()
+                .expect("universal blocks are non-empty");
+            if prefix[ub].vars.is_empty() {
+                prefix.remove(ub);
+            }
+            match self.expand_one(u, &inner_exists, &matrix) {
+                Some((new_matrix, renamed)) => {
+                    matrix = new_matrix;
+                    self.stats.expanded_universals += 1;
+                    self.stats.peak_matrix_literals = self
+                        .stats
+                        .peak_matrix_literals
+                        .max(matrix.num_literals());
+                    // The duplicated variables join (or form) the
+                    // innermost existential block.
+                    if !renamed.is_empty() {
+                        self.stats.duplicated_vars += renamed.len() as u64;
+                        if let Some(last) = prefix.last_mut() {
+                            if last.quantifier == Quantifier::Exists {
+                                last.vars.extend(renamed);
+                            } else {
+                                prefix.push(QuantBlock {
+                                    quantifier: Quantifier::Exists,
+                                    vars: renamed,
+                                });
+                            }
+                        } else {
+                            prefix.push(QuantBlock {
+                                quantifier: Quantifier::Exists,
+                                vars: renamed,
+                            });
+                        }
+                    }
+                }
+                None => return QbfResult::Unknown,
+            }
+        }
+
+        // Purely existential: SAT.
+        let mut sat = Solver::new();
+        sat.set_limits(SatLimits {
+            deadline: self.limits.base.deadline,
+            ..SatLimits::none()
+        });
+        if !sat.add_cnf(&matrix) {
+            return QbfResult::False;
+        }
+        match sat.solve() {
+            SolveResult::Sat => QbfResult::True,
+            SolveResult::Unsat => QbfResult::False,
+            SolveResult::Unknown => QbfResult::Unknown,
+        }
+    }
+
+    /// Expands a single universal variable; returns the new matrix and
+    /// the fresh names introduced for `inner_exists`, or `None` if the
+    /// growth budget is hit.
+    fn expand_one(
+        &self,
+        u: Var,
+        inner_exists: &[Var],
+        matrix: &Cnf,
+    ) -> Option<(Cnf, Vec<Var>)> {
+        // Upper bound on result size: 2× current.
+        if matrix.num_literals() * 2 > self.limits.max_matrix_literals {
+            return None;
+        }
+        let mut next_var = matrix.num_vars() as u32;
+        let mut rename: Vec<Option<Var>> = vec![None; matrix.num_vars()];
+        let mut renamed = Vec::with_capacity(inner_exists.len());
+        for &e in inner_exists {
+            let fresh = Var::new(next_var);
+            next_var += 1;
+            rename[e.index()] = Some(fresh);
+            renamed.push(fresh);
+        }
+        let mut out = Cnf::with_vars(matrix.num_vars());
+        // Copy 1: u := false (drop ¬u-satisfied clauses, strip u lits).
+        // Copy 2: u := true, inner existentials renamed.
+        for clause in matrix.iter() {
+            if let Some(c) = substitute(clause, u, false, None) {
+                out.push(c);
+            }
+            if let Some(c) = substitute(clause, u, true, Some(&rename)) {
+                out.push(c);
+            }
+        }
+        out.ensure_vars(next_var as usize);
+        Some((out, renamed))
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.limits
+            .base
+            .deadline
+            .is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Applies `u := value` to a clause; returns `None` if the clause is
+/// satisfied. If `rename` is given, maps variables through it.
+fn substitute(
+    clause: &Clause,
+    u: Var,
+    value: bool,
+    rename: Option<&[Option<Var>]>,
+) -> Option<Clause> {
+    let mut out = Clause::new();
+    for &l in clause.iter() {
+        if l.var() == u {
+            if l.apply(value) {
+                return None; // clause satisfied
+            }
+            continue; // literal falsified: drop
+        }
+        let mapped = match rename.and_then(|r| r[l.var().index()]) {
+            Some(fresh) => fresh.lit(l.is_positive()),
+            None => l,
+        };
+        out.push(mapped);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    fn check(qbf: &QbfFormula) {
+        let expect = qbf.eval_semantic();
+        let got = ExpansionSolver::new().solve(qbf);
+        assert_eq!(
+            got,
+            if expect { QbfResult::True } else { QbfResult::False },
+            "expansion disagrees with semantics on {qbf}"
+        );
+    }
+
+    #[test]
+    fn forall_exists_copy() {
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        q.push_block(Quantifier::Exists, [v(1)]);
+        check(&q);
+    }
+
+    #[test]
+    fn exists_forall_copy() {
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::Exists, [v(1)]);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        check(&q);
+    }
+
+    #[test]
+    fn multiple_universals_expand() {
+        // ∀a,b ∃c. (c ↔ a∧b) is true (c := a∧b) — expressed in CNF via
+        // the three Tseitin clauses of c = a∧b.
+        let (a, b, c) = (v(0), v(1), v(2));
+        let mut m = Cnf::new();
+        m.add_binary(c.negative(), a.positive());
+        m.add_binary(c.negative(), b.positive());
+        m.add_ternary(a.negative(), b.negative(), c.positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, [a, b]);
+        q.push_block(Quantifier::Exists, [c]);
+        check(&q);
+        let mut s = ExpansionSolver::new();
+        s.solve(&q);
+        assert_eq!(s.stats().expanded_universals, 2);
+        assert!(s.stats().duplicated_vars > 0);
+    }
+
+    #[test]
+    fn growth_budget_gives_unknown() {
+        // Many universals over a chain: cap the matrix tightly.
+        let n = 10;
+        let mut m = Cnf::new();
+        for i in 0..n {
+            m.add_binary(v(i).positive(), v(i + 1).negative());
+        }
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, (0..=n).map(v));
+        let mut s = ExpansionSolver::with_limits(ExpansionLimits {
+            max_matrix_literals: 8,
+            base: QbfLimits::none(),
+        });
+        assert_eq!(s.solve(&q), QbfResult::Unknown);
+    }
+
+    #[test]
+    fn propositional_falls_through_to_sat() {
+        let mut m = Cnf::new();
+        m.add_unit(v(0).positive());
+        m.add_unit(v(0).negative());
+        let q = QbfFormula::new(m);
+        assert_eq!(ExpansionSolver::new().solve(&q), QbfResult::False);
+    }
+
+    #[test]
+    fn random_small_qbf_agrees_with_semantics() {
+        let mut state = 0x00c0_ffeeu64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..150 {
+            let n = 3 + (rnd() % 4) as usize;
+            let mut m = Cnf::new();
+            let n_clauses = 2 + (rnd() % (2 * n as u64)) as usize;
+            for _ in 0..n_clauses {
+                let len = 1 + (rnd() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Var::new((rnd() % n as u64) as u32).lit(rnd() % 2 == 0));
+                }
+                m.add_clause(c);
+            }
+            m.ensure_vars(n);
+            let mut q = QbfFormula::new(m);
+            let mut quant = if rnd() % 2 == 0 {
+                Quantifier::Exists
+            } else {
+                Quantifier::ForAll
+            };
+            let mut block = Vec::new();
+            for i in 0..n {
+                block.push(Var::new(i as u32));
+                if rnd() % 3 == 0 {
+                    q.push_block(quant, std::mem::take(&mut block));
+                    quant = quant.dual();
+                }
+            }
+            q.push_block(quant, block);
+            check(&q);
+        }
+    }
+}

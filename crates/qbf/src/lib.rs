@@ -1,0 +1,49 @@
+//! Quantified Boolean formulae for the *"Space-Efficient Bounded Model
+//! Checking"* (DATE 2005) reproduction.
+//!
+//! The paper's formulations (2) and (3) express bounded reachability as
+//! prenex-CNF QBF with a single copy of the transition relation. This
+//! crate provides:
+//!
+//! * [`QbfFormula`] — prenex-CNF QBF with quantifier-prefix statistics
+//!   (number of universals, alternation depth) used by experiments
+//!   E2/E3;
+//! * [`QdpllSolver`] — a search-based QDPLL solver in the style of the
+//!   general-purpose QBF solvers the paper evaluated (and found
+//!   wanting);
+//! * [`ExpansionSolver`] — a Quantor-style universal-expansion solver,
+//!   the other 2005-era general-purpose approach;
+//! * [`qdimacs`] — QDIMACS reading/writing for interoperability.
+//!
+//! Both solvers take explicit resource budgets and return
+//! [`QbfResult::Unknown`] when exhausted, so the paper's per-instance
+//! limits can be applied deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use sebmc_logic::{Cnf, Var};
+//! use sebmc_qbf::{QbfFormula, QbfResult, QdpllSolver, Quantifier};
+//!
+//! // ∀x ∃y. (x xor y)  — true: choose y = ¬x.
+//! let (x, y) = (Var::new(0), Var::new(1));
+//! let mut m = Cnf::new();
+//! m.add_binary(x.positive(), y.positive());
+//! m.add_binary(x.negative(), y.negative());
+//! let mut qbf = QbfFormula::new(m);
+//! qbf.push_block(Quantifier::ForAll, [x]);
+//! qbf.push_block(Quantifier::Exists, [y]);
+//! assert_eq!(QdpllSolver::new().solve(&qbf), QbfResult::True);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expand;
+pub mod formula;
+pub mod qdimacs;
+pub mod qdpll;
+
+pub use expand::{ExpansionLimits, ExpansionSolver, ExpansionStats};
+pub use formula::{QbfFormula, QuantBlock, Quantifier};
+pub use qdpll::{QbfLimits, QbfResult, QdpllSolver, QdpllStats};

@@ -1,0 +1,546 @@
+//! A search-based QDPLL solver for prenex-CNF QBF.
+//!
+//! This deliberately models the *general-purpose* QBF solvers the paper
+//! evaluated in 2005 (QuBE/semprop/Quaffle class): DPLL search that
+//! respects the quantifier prefix, with
+//!
+//! * unit propagation under universal reduction,
+//! * pure-literal elimination (existential: satisfy; universal:
+//!   falsify),
+//! * chronological backtracking (existential decisions retried on
+//!   conflict, universal decisions retried on satisfaction),
+//! * decision/wall-clock budgets returning [`QbfResult::Unknown`].
+//!
+//! The paper's finding — that such solvers collapse on the BMC
+//! formulations (2) and (3) — reproduces with this solver; see
+//! experiment E1.
+
+use std::time::Instant;
+
+use sebmc_logic::{Lit, Var};
+
+use crate::formula::{QbfFormula, Quantifier};
+
+/// Verdict of a QBF solver.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QbfResult {
+    /// The formula is true (valid).
+    True,
+    /// The formula is false.
+    False,
+    /// A resource budget was exhausted.
+    Unknown,
+}
+
+impl QbfResult {
+    /// `true` when a definite verdict was reached.
+    pub fn is_decided(self) -> bool {
+        self != QbfResult::Unknown
+    }
+}
+
+/// Resource budgets for a QBF solve call.
+#[derive(Clone, Debug, Default)]
+pub struct QbfLimits {
+    /// Maximum number of decisions.
+    pub max_decisions: Option<u64>,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl QbfLimits {
+    /// No limits.
+    pub fn none() -> Self {
+        QbfLimits::default()
+    }
+}
+
+/// Search statistics of a QDPLL run.
+#[derive(Clone, Debug, Default)]
+pub struct QdpllStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Unit/pure propagations applied.
+    pub propagations: u64,
+    /// Conflicts (matrix falsified) encountered.
+    pub conflicts: u64,
+    /// Subtree satisfactions (matrix satisfied) encountered.
+    pub satisfactions: u64,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Prop {
+    Conflict,
+    AllSat,
+    Open,
+}
+
+#[derive(Debug)]
+struct Frame {
+    var: Var,
+    quantifier: Quantifier,
+    phase: bool,
+    flipped: bool,
+    trail_mark: usize,
+}
+
+/// The QDPLL solver. Create one, optionally set limits, then call
+/// [`QdpllSolver::solve`].
+///
+/// ```
+/// use sebmc_logic::{Cnf, Var};
+/// use sebmc_qbf::{QbfFormula, QbfResult, QdpllSolver, Quantifier};
+///
+/// // ∀x ∃y. (x ↔ y)
+/// let (x, y) = (Var::new(0), Var::new(1));
+/// let mut m = Cnf::new();
+/// m.add_equiv(x.positive(), y.positive());
+/// let mut qbf = QbfFormula::new(m);
+/// qbf.push_block(Quantifier::ForAll, [x]);
+/// qbf.push_block(Quantifier::Exists, [y]);
+/// assert_eq!(QdpllSolver::new().solve(&qbf), QbfResult::True);
+/// ```
+#[derive(Debug, Default)]
+pub struct QdpllSolver {
+    limits: QbfLimits,
+    stats: QdpllStats,
+    // Per-solve state.
+    clauses: Vec<Vec<Lit>>,
+    level: Vec<usize>,
+    quant: Vec<Quantifier>,
+    assign: Vec<Option<bool>>,
+    trail: Vec<Var>,
+    frames: Vec<Frame>,
+    order: Vec<Var>,
+}
+
+impl QdpllSolver {
+    /// Creates a solver with no limits.
+    pub fn new() -> Self {
+        QdpllSolver::default()
+    }
+
+    /// Creates a solver with the given budgets.
+    pub fn with_limits(limits: QbfLimits) -> Self {
+        QdpllSolver {
+            limits,
+            ..QdpllSolver::default()
+        }
+    }
+
+    /// Sets the budgets for subsequent solves.
+    pub fn set_limits(&mut self, limits: QbfLimits) {
+        self.limits = limits;
+    }
+
+    /// Statistics of the most recent solve.
+    pub fn stats(&self) -> &QdpllStats {
+        &self.stats
+    }
+
+    /// Decides the truth of `qbf` (free variables are treated as
+    /// outermost existentials).
+    pub fn solve(&mut self, qbf: &QbfFormula) -> QbfResult {
+        let mut closed = qbf.clone();
+        closed.close();
+        debug_assert!(closed.validate().is_ok());
+        self.stats = QdpllStats::default();
+        let n = closed.matrix().num_vars();
+        // Drop tautologies (a tautological clause must never reach the
+        // universal-reduction conflict rule) and merge duplicates.
+        self.clauses = closed
+            .matrix()
+            .iter()
+            .filter_map(|c| {
+                let mut c = c.clone();
+                let tautology = c.normalize();
+                (!tautology).then(|| c.lits().to_vec())
+            })
+            .collect();
+        self.level = vec![0; n];
+        self.quant = vec![Quantifier::Exists; n];
+        for (i, block) in closed.prefix().iter().enumerate() {
+            for v in &block.vars {
+                self.level[v.index()] = i;
+                self.quant[v.index()] = block.quantifier;
+            }
+        }
+        self.assign = vec![None; n];
+        self.trail.clear();
+        self.frames.clear();
+        // Decision order: outermost block first; stable within a block.
+        self.order = closed
+            .prefix()
+            .iter()
+            .flat_map(|b| b.vars.iter().copied())
+            .collect();
+
+        self.run()
+    }
+
+    fn run(&mut self) -> QbfResult {
+        loop {
+            if self.budget_exhausted() {
+                return QbfResult::Unknown;
+            }
+            match self.propagate() {
+                Prop::Conflict => {
+                    self.stats.conflicts += 1;
+                    if !self.backtrack(Quantifier::Exists) {
+                        return QbfResult::False;
+                    }
+                }
+                Prop::AllSat => {
+                    self.stats.satisfactions += 1;
+                    if !self.backtrack(Quantifier::ForAll) {
+                        return QbfResult::True;
+                    }
+                }
+                Prop::Open => {
+                    let v = self
+                        .order
+                        .iter()
+                        .copied()
+                        .find(|v| self.assign[v.index()].is_none())
+                        .expect("open state must have an unassigned variable");
+                    self.stats.decisions += 1;
+                    self.frames.push(Frame {
+                        var: v,
+                        quantifier: self.quant[v.index()],
+                        phase: false,
+                        flipped: false,
+                        trail_mark: self.trail.len(),
+                    });
+                    self.assign_var(v, false);
+                }
+            }
+        }
+    }
+
+    /// Pops frames until a decision of quantifier `kind` can be flipped;
+    /// returns `false` when the search space is exhausted.
+    fn backtrack(&mut self, kind: Quantifier) -> bool {
+        while let Some(mut frame) = self.frames.pop() {
+            // Undo everything from this frame on (including its var).
+            while self.trail.len() > frame.trail_mark {
+                let v = self.trail.pop().expect("trail non-empty");
+                self.assign[v.index()] = None;
+            }
+            if frame.quantifier == kind && !frame.flipped {
+                frame.phase = !frame.phase;
+                frame.flipped = true;
+                let (v, phase) = (frame.var, frame.phase);
+                self.frames.push(frame);
+                self.assign_var(v, phase);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn assign_var(&mut self, v: Var, value: bool) {
+        debug_assert!(self.assign[v.index()].is_none());
+        self.assign[v.index()] = Some(value);
+        self.trail.push(v);
+    }
+
+    fn lit_val(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|b| l.apply(b))
+    }
+
+    /// Unit/pure propagation to fixpoint under universal reduction.
+    fn propagate(&mut self) -> Prop {
+        loop {
+            let mut changed = false;
+            let mut all_sat = true;
+            for ci in 0..self.clauses.len() {
+                let mut satisfied = false;
+                let mut unassigned_exists: Option<Lit> = None;
+                let mut n_exists = 0usize;
+                let mut min_univ_level = usize::MAX;
+                for i in 0..self.clauses[ci].len() {
+                    let l = self.clauses[ci][i];
+                    match self.lit_val(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            let v = l.var();
+                            match self.quant[v.index()] {
+                                Quantifier::Exists => {
+                                    n_exists += 1;
+                                    unassigned_exists = Some(l);
+                                }
+                                Quantifier::ForAll => {
+                                    min_univ_level =
+                                        min_univ_level.min(self.level[v.index()]);
+                                }
+                            }
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                all_sat = false;
+                if n_exists == 0 {
+                    // Every unassigned literal is universal, hence
+                    // reducible: the clause is falsified.
+                    return Prop::Conflict;
+                }
+                if n_exists == 1 {
+                    let e = unassigned_exists.expect("one existential literal");
+                    // Unit under universal reduction: all unassigned
+                    // universals are inner to the existential literal.
+                    if min_univ_level == usize::MAX
+                        || min_univ_level > self.level[e.var().index()]
+                    {
+                        self.stats.propagations += 1;
+                        self.assign_var(e.var(), e.is_positive());
+                        changed = true;
+                    }
+                }
+            }
+            if all_sat {
+                return Prop::AllSat;
+            }
+            if changed {
+                continue;
+            }
+            if self.apply_pure_literals() {
+                continue;
+            }
+            return Prop::Open;
+        }
+    }
+
+    /// Pure-literal rule; returns `true` if any assignment was made.
+    fn apply_pure_literals(&mut self) -> bool {
+        let n = self.assign.len();
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in &self.clauses {
+            if clause.iter().any(|&l| self.lit_val(l) == Some(true)) {
+                continue;
+            }
+            for &l in clause {
+                if self.lit_val(l).is_none() {
+                    if l.is_positive() {
+                        pos[l.var().index()] = true;
+                    } else {
+                        neg[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for i in 0..n {
+            if self.assign[i].is_some() || (pos[i] && neg[i]) || (!pos[i] && !neg[i]) {
+                continue;
+            }
+            let v = Var::new(i as u32);
+            let appears_positive = pos[i];
+            let value = match self.quant[i] {
+                // Existential: satisfy the occurrences.
+                Quantifier::Exists => appears_positive,
+                // Universal: falsify them (hardest case).
+                Quantifier::ForAll => !appears_positive,
+            };
+            self.stats.propagations += 1;
+            self.assign_var(v, value);
+            changed = true;
+        }
+        changed
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        if let Some(md) = self.limits.max_decisions {
+            if self.stats.decisions >= md {
+                return true;
+            }
+        }
+        if let Some(d) = self.limits.deadline {
+            if self.stats.decisions.is_multiple_of(32) && Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_logic::Cnf;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    fn check_against_semantics(qbf: &QbfFormula) {
+        let expect = qbf.eval_semantic();
+        let got = QdpllSolver::new().solve(qbf);
+        assert_eq!(
+            got,
+            if expect { QbfResult::True } else { QbfResult::False },
+            "QDPLL disagrees with semantics on {qbf}\nmatrix: {:?}",
+            qbf.matrix()
+        );
+    }
+
+    #[test]
+    fn forall_exists_copy_true() {
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        q.push_block(Quantifier::Exists, [v(1)]);
+        check_against_semantics(&q);
+    }
+
+    #[test]
+    fn exists_forall_copy_false() {
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::Exists, [v(1)]);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        check_against_semantics(&q);
+    }
+
+    #[test]
+    fn propositional_formulas_reduce_to_sat() {
+        let mut m = Cnf::new();
+        m.add_binary(v(0).positive(), v(1).positive());
+        m.add_unit(v(0).negative());
+        let q = QbfFormula::new(m);
+        assert_eq!(QdpllSolver::new().solve(&q), QbfResult::True);
+
+        let mut m2 = Cnf::new();
+        m2.add_unit(v(0).positive());
+        m2.add_unit(v(0).negative());
+        let q2 = QbfFormula::new(m2);
+        assert_eq!(QdpllSolver::new().solve(&q2), QbfResult::False);
+    }
+
+    #[test]
+    fn universal_unit_clause_false() {
+        let mut m = Cnf::new();
+        m.add_unit(v(0).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        check_against_semantics(&q);
+    }
+
+    #[test]
+    fn universal_reduction_makes_unit() {
+        // ∃e ∀u. (e ∨ u): reduction strips u ⇒ e must be true; formula true.
+        let mut m = Cnf::new();
+        m.add_binary(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::Exists, [v(0)]);
+        q.push_block(Quantifier::ForAll, [v(1)]);
+        check_against_semantics(&q);
+        // And the occurrence is propagated, not decided.
+        let mut s = QdpllSolver::new();
+        s.solve(&q);
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn two_alternation_formula() {
+        // ∀a ∃b ∀c ∃d. (a↔b) ∧ (c↔d): true.
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        m.add_equiv(v(2).positive(), v(3).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::ForAll, [v(0)]);
+        q.push_block(Quantifier::Exists, [v(1)]);
+        q.push_block(Quantifier::ForAll, [v(2)]);
+        q.push_block(Quantifier::Exists, [v(3)]);
+        check_against_semantics(&q);
+    }
+
+    #[test]
+    fn prefix_order_matters() {
+        // ∃b ∀c. (b↔c) is false even though ∀c ∃b would be true.
+        let mut m = Cnf::new();
+        m.add_equiv(v(0).positive(), v(1).positive());
+        let mut q = QbfFormula::new(m);
+        q.push_block(Quantifier::Exists, [v(0)]);
+        q.push_block(Quantifier::ForAll, [v(1)]);
+        check_against_semantics(&q);
+    }
+
+    #[test]
+    fn decision_budget_yields_unknown() {
+        // A formula needing search, with a zero-decision budget.
+        let mut m = Cnf::new();
+        // (a∨b)(¬a∨b)(a∨¬b): satisfiable (a=b=1) but needs a decision.
+        m.add_binary(v(0).positive(), v(1).positive());
+        m.add_binary(v(0).negative(), v(1).positive());
+        m.add_binary(v(0).positive(), v(1).negative());
+        let q = QbfFormula::new(m);
+        let mut s = QdpllSolver::with_limits(QbfLimits {
+            max_decisions: Some(0),
+            ..QbfLimits::none()
+        });
+        assert_eq!(s.solve(&q), QbfResult::Unknown);
+    }
+
+    #[test]
+    fn deadline_in_past_yields_unknown() {
+        let mut m = Cnf::new();
+        m.add_binary(v(0).positive(), v(1).positive());
+        let q = QbfFormula::new(m);
+        let mut s = QdpllSolver::with_limits(QbfLimits {
+            deadline: Some(Instant::now()),
+            ..QbfLimits::none()
+        });
+        assert_eq!(s.solve(&q), QbfResult::Unknown);
+    }
+
+    #[test]
+    fn random_small_qbf_agrees_with_semantics() {
+        let mut state = 0x51ed_2705u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..200 {
+            let n = 3 + (rnd() % 5) as usize; // 3..=7 vars
+            let mut m = Cnf::new();
+            let n_clauses = 2 + (rnd() % (2 * n as u64 + 1)) as usize;
+            for _ in 0..n_clauses {
+                let len = 1 + (rnd() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Var::new((rnd() % n as u64) as u32).lit(rnd() % 2 == 0));
+                }
+                m.add_clause(c);
+            }
+            m.ensure_vars(n);
+            let mut q = QbfFormula::new(m);
+            // Random prefix over all vars with random block boundaries.
+            let mut quant = if rnd() % 2 == 0 {
+                Quantifier::Exists
+            } else {
+                Quantifier::ForAll
+            };
+            let mut block = Vec::new();
+            for i in 0..n {
+                block.push(Var::new(i as u32));
+                if rnd() % 3 == 0 {
+                    q.push_block(quant, std::mem::take(&mut block));
+                    quant = quant.dual();
+                }
+            }
+            q.push_block(quant, block);
+            check_against_semantics(&q);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the QBF subsystem: both solvers against
+//! brute-force semantics, solver-vs-solver agreement, and QDIMACS
+//! round-trips — all on proptest-generated formulae.
+
+use proptest::prelude::*;
+use sebmc_logic::{Cnf, Var};
+use sebmc_qbf::{
+    qdimacs, ExpansionSolver, QbfFormula, QbfResult, QdpllSolver, Quantifier,
+};
+
+#[derive(Debug, Clone)]
+struct QbfRecipe {
+    vars: usize,
+    clauses: Vec<Vec<(u8, bool)>>,
+    /// Per variable: whether a block boundary follows it, and the
+    /// quantifier of the first block.
+    boundaries: Vec<bool>,
+    first_forall: bool,
+}
+
+fn qbf_strategy() -> impl Strategy<Value = QbfRecipe> {
+    (2usize..=6)
+        .prop_flat_map(|vars| {
+            (
+                prop::collection::vec(
+                    prop::collection::vec((any::<u8>(), any::<bool>()), 1..4),
+                    1..10,
+                ),
+                prop::collection::vec(any::<bool>(), vars),
+                any::<bool>(),
+            )
+                .prop_map(move |(clauses, boundaries, first_forall)| QbfRecipe {
+                    vars,
+                    clauses,
+                    boundaries,
+                    first_forall,
+                })
+        })
+}
+
+fn build(recipe: &QbfRecipe) -> QbfFormula {
+    let mut m = Cnf::with_vars(recipe.vars);
+    for c in &recipe.clauses {
+        m.add_clause(
+            c.iter()
+                .map(|&(v, p)| Var::new(v as u32 % recipe.vars as u32).lit(p)),
+        );
+    }
+    let mut qbf = QbfFormula::new(m);
+    let mut quant = if recipe.first_forall {
+        Quantifier::ForAll
+    } else {
+        Quantifier::Exists
+    };
+    let mut block = Vec::new();
+    for v in 0..recipe.vars {
+        block.push(Var::new(v as u32));
+        if recipe.boundaries[v] {
+            qbf.push_block(quant, block.drain(..).collect::<Vec<_>>());
+            quant = quant.dual();
+        }
+    }
+    qbf.push_block(quant, block);
+    qbf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn qdpll_matches_semantics(recipe in qbf_strategy()) {
+        let qbf = build(&recipe);
+        let expect = qbf.eval_semantic();
+        let got = QdpllSolver::new().solve(&qbf);
+        prop_assert_eq!(
+            got,
+            if expect { QbfResult::True } else { QbfResult::False }
+        );
+    }
+
+    #[test]
+    fn expansion_matches_semantics(recipe in qbf_strategy()) {
+        let qbf = build(&recipe);
+        let expect = qbf.eval_semantic();
+        let got = ExpansionSolver::new().solve(&qbf);
+        prop_assert_eq!(
+            got,
+            if expect { QbfResult::True } else { QbfResult::False }
+        );
+    }
+
+    #[test]
+    fn solvers_agree_with_each_other(recipe in qbf_strategy()) {
+        let qbf = build(&recipe);
+        let a = QdpllSolver::new().solve(&qbf);
+        let b = ExpansionSolver::new().solve(&qbf);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qdimacs_round_trip(recipe in qbf_strategy()) {
+        let mut qbf = build(&recipe);
+        qbf.close();
+        let text = qdimacs::to_string(&qbf);
+        let parsed = qdimacs::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed.matrix().clauses(), qbf.matrix().clauses());
+        prop_assert_eq!(parsed.prefix(), qbf.prefix());
+    }
+
+    #[test]
+    fn qdimacs_round_trip_preserves_truth(recipe in qbf_strategy()) {
+        let mut qbf = build(&recipe);
+        qbf.close();
+        let parsed = qdimacs::parse(&qdimacs::to_string(&qbf)).expect("parses");
+        prop_assert_eq!(parsed.eval_semantic(), qbf.eval_semantic());
+    }
+
+    /// Duality: prefixing a fresh universal variable that appears
+    /// nowhere never changes the truth value.
+    #[test]
+    fn vacuous_universal_is_neutral(recipe in qbf_strategy()) {
+        let qbf = build(&recipe);
+        let expect = qbf.eval_semantic();
+        let mut extended = qbf.clone();
+        let fresh = Var::new(recipe.vars as u32);
+        extended.matrix_mut().ensure_vars(recipe.vars + 1);
+        extended.push_block(Quantifier::ForAll, [fresh]);
+        prop_assert_eq!(
+            QdpllSolver::new().solve(&extended),
+            if expect { QbfResult::True } else { QbfResult::False }
+        );
+    }
+}

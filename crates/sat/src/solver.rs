@@ -1,0 +1,1372 @@
+//! The CDCL SAT solver.
+//!
+//! A from-scratch conflict-driven clause-learning solver in the
+//! MiniSat/zChaff tradition — the same algorithm family as the
+//! "state-of-the-art DPLL-based SAT solvers" the paper evaluated in
+//! 2005, and the substrate its jSAT procedure was built on:
+//!
+//! * two-watched-literal propagation with blocker literals,
+//! * first-UIP conflict analysis with basic clause minimization,
+//! * VSIDS variable activities with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learnt-clause database reduction,
+//! * MiniSat-style assumptions with failed-assumption cores,
+//! * conflict/propagation/wall-clock budgets (the paper's 300 s limit),
+//! * `simplify()` — level-0 garbage collection that physically removes
+//!   satisfied clauses, which is what lets jSAT retract blocking
+//!   clauses and keep its memory proportional to the path length.
+
+use std::time::Instant;
+
+use sebmc_logic::{Cnf, Lit, Var};
+
+use crate::heap::ActivityHeap;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// A resource budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` for [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// `true` for [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Resource budgets for a single `solve` call.
+///
+/// All fields default to "unlimited". The deadline is a wall-clock
+/// instant, checked periodically during search.
+#[derive(Clone, Debug, Default)]
+pub struct Limits {
+    /// Maximum number of conflicts before giving up.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of propagations before giving up.
+    pub max_propagations: Option<u64>,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Maximum live literals in the clause database (memory proxy);
+    /// exceeding it aborts the solve with `Unknown`, reproducing the
+    /// paper's 1 GB memory limit.
+    pub max_live_lits: Option<usize>,
+}
+
+impl Limits {
+    /// No limits at all.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+}
+
+/// Search and memory statistics, exposed for the paper's experiments.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnts: u64,
+    /// Clauses removed by reduction or simplification.
+    pub removed_clauses: u64,
+    /// Current live literal count across all clauses (memory proxy).
+    pub live_lits: usize,
+    /// Peak live literal count ever observed (memory proxy; E4).
+    pub peak_live_lits: usize,
+}
+
+impl Stats {
+    /// Approximate peak clause-database size in bytes (4 bytes per
+    /// literal).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_live_lits * std::mem::size_of::<Lit>()
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+#[derive(Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct VarData {
+    reason: Option<u32>,
+    level: u32,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_FIRST: u64 = 100;
+const RESCALE_LIMIT: f64 = 1e100;
+
+/// An incremental CDCL SAT solver.
+///
+/// ```
+/// use sebmc_sat::{SolveResult, Solver};
+/// use sebmc_logic::Lit;
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b.var()), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Value>,
+    vardata: Vec<VarData>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: ActivityHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<Option<bool>>,
+    conflict_core: Vec<Lit>,
+    limits: Limits,
+    stats: Stats,
+    max_learnts: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: ActivityHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            conflict_core: Vec::new(),
+            limits: Limits::none(),
+            stats: Stats::default(),
+            max_learnts: 4000.0,
+        }
+    }
+
+    /// Creates a fresh solver variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(Value::Unassigned);
+        self.vardata.push(VarData {
+            reason: None,
+            level: 0,
+        });
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live (non-deleted) problem clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count()
+    }
+
+    /// Whether the solver is still consistent (no top-level conflict).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Sets the resource budgets for subsequent `solve` calls.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Adds a clause; returns `false` if the solver became inconsistent
+    /// (the empty clause was derived).
+    ///
+    /// Tautologies are silently dropped and duplicate literals merged.
+    /// May be called between `solve` calls for incremental use.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        for l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l:?} references an unallocated variable"
+            );
+        }
+        ls.sort_unstable();
+        ls.dedup();
+        // Tautology?
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Remove literals already false at level 0; drop satisfied clauses.
+        let mut filtered = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            match lit_value(&self.assigns, l) {
+                Value::True => return true,
+                Value::False => {}
+                Value::Unassigned => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.alloc_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    /// Adds every clause of a [`Cnf`], creating variables as needed.
+    ///
+    /// Returns `false` if the solver became inconsistent.
+    pub fn add_cnf(&mut self, cnf: &Cnf) -> bool {
+        self.ensure_vars(cnf.num_vars());
+        for clause in cnf.iter() {
+            if !self.add_clause(clause.iter().copied()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves the current formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] holds a
+    /// subset of the assumptions sufficient for the conflict.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.model.clear();
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption {a:?} references an unallocated variable"
+            );
+        }
+        self.cancel_until(0);
+        let mut curr_restarts = 0u64;
+        let result = loop {
+            let budget = luby(2.0, curr_restarts) * RESTART_FIRST as f64;
+            match self.search(budget as u64, assumptions) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Unknown => break SolveResult::Unknown,
+                SearchOutcome::Restart => {
+                    curr_restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// Model value of a variable after [`SolveResult::Sat`].
+    ///
+    /// Returns `None` if no model is available or the variable was
+    /// created after the last solve.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied().flatten()
+    }
+
+    /// Model value of a literal after [`SolveResult::Sat`].
+    pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| l.apply(b))
+    }
+
+    /// After an `Unsat` result of [`Solver::solve_with`], the subset of
+    /// assumptions involved in the conflict.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Level-0 simplification: removes clauses satisfied at the top
+    /// level and strips falsified literals, physically reclaiming
+    /// memory. Returns `false` if the formula became inconsistent.
+    ///
+    /// This is the operation jSAT uses to retract deactivated blocking
+    /// clauses (see crate `sebmc`, module `jsat`).
+    pub fn simplify(&mut self) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        // Top-level assignments never need reasons again.
+        for &l in &self.trail {
+            self.vardata[l.var().index()].reason = None;
+        }
+        // Rebuild every watch list from scratch after filtering.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let mut enqueue: Vec<Lit> = Vec::new();
+        for cref in 0..self.clauses.len() as u32 {
+            let (remove, strip) = {
+                let c = &self.clauses[cref as usize];
+                if c.deleted {
+                    continue;
+                }
+                let satisfied = c
+                    .lits
+                    .iter()
+                    .any(|&l| lit_value(&self.assigns, l) == Value::True);
+                if satisfied {
+                    (true, false)
+                } else {
+                    let has_false = c
+                        .lits
+                        .iter()
+                        .any(|&l| lit_value(&self.assigns, l) == Value::False);
+                    (false, has_false)
+                }
+            };
+            if remove {
+                self.delete_clause(cref);
+                continue;
+            }
+            if strip {
+                let c = &mut self.clauses[cref as usize];
+                let before = c.lits.len();
+                let assigns = &self.assigns;
+                c.lits.retain(|&l| lit_value(assigns, l) != Value::False);
+                self.stats.live_lits -= before - c.lits.len();
+            }
+            let c = &self.clauses[cref as usize];
+            match c.lits.len() {
+                0 => {
+                    self.ok = false;
+                    return false;
+                }
+                1 => {
+                    enqueue.push(c.lits[0]);
+                    self.delete_clause(cref);
+                }
+                _ => {
+                    self.attach_clause(cref);
+                }
+            }
+        }
+        for l in enqueue {
+            match lit_value(&self.assigns, l) {
+                Value::True => {}
+                Value::False => {
+                    self.ok = false;
+                    return false;
+                }
+                Value::Unassigned => self.unchecked_enqueue(l, None),
+            }
+        }
+        self.qhead = 0;
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        self.ok
+    }
+
+    // ----- internal machinery -------------------------------------------------
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.stats.live_lits += lits.len();
+        self.stats.peak_live_lits = self.stats.peak_live_lits.max(self.stats.live_lits);
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnts += 1;
+        }
+        self.attach_clause(cref);
+        cref
+    }
+
+    fn attach_clause(&mut self, cref: u32) {
+        let (w0, w1, b0, b1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0], c.lits[1], c.lits[1], c.lits[0])
+        };
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: b0 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: b1 });
+    }
+
+    fn detach_clause(&mut self, cref: u32) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0], c.lits[1])
+        };
+        for w in [w0, w1] {
+            let list = &mut self.watches[(!w).code()];
+            if let Some(pos) = list.iter().position(|x| x.cref == cref) {
+                list.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Marks a clause deleted and frees its literal storage. The caller
+    /// is responsible for watches (either `detach_clause` first, or a
+    /// wholesale watch rebuild as in `simplify`).
+    fn delete_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        self.stats.live_lits -= c.lits.len();
+        self.stats.removed_clauses += 1;
+        if c.learnt {
+            self.stats.learnts -= 1;
+        }
+        c.lits = Vec::new();
+    }
+
+    fn unchecked_enqueue(&mut self, p: Lit, reason: Option<u32>) {
+        debug_assert_eq!(lit_value(&self.assigns, p), Value::Unassigned);
+        self.assigns[p.var().index()] = if p.is_positive() {
+            Value::True
+        } else {
+            Value::False
+        };
+        self.vardata[p.var().index()] = VarData {
+            reason,
+            level: self.decision_level() as u32,
+        };
+        self.trail.push(p);
+    }
+
+    /// Unit propagation; returns the conflicting clause reference, if
+    /// any.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut keep = 0;
+            'watchers: while i < ws.len() {
+                let Watcher { cref, blocker } = ws[i];
+                i += 1;
+                if lit_value(&self.assigns, blocker) == Value::True {
+                    ws[keep] = Watcher { cref, blocker };
+                    keep += 1;
+                    continue;
+                }
+                enum Action {
+                    Keep(Lit),
+                    Moved,
+                    Unit(Lit),
+                    Conflict,
+                }
+                let action = {
+                    let not_p = !p;
+                    let c = &mut self.clauses[cref as usize];
+                    debug_assert!(!c.deleted);
+                    if c.lits[0] == not_p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], not_p);
+                    let first = c.lits[0];
+                    if first != blocker && lit_value(&self.assigns, first) == Value::True {
+                        Action::Keep(first)
+                    } else {
+                        let mut moved = false;
+                        for k in 2..c.lits.len() {
+                            if lit_value(&self.assigns, c.lits[k]) != Value::False {
+                                c.lits.swap(1, k);
+                                moved = true;
+                                break;
+                            }
+                        }
+                        if moved {
+                            let new_watch = !c.lits[1];
+                            self.watches[new_watch.code()].push(Watcher {
+                                cref,
+                                blocker: first,
+                            });
+                            Action::Moved
+                        } else if lit_value(&self.assigns, first) == Value::False {
+                            Action::Conflict
+                        } else {
+                            Action::Unit(first)
+                        }
+                    }
+                };
+                match action {
+                    Action::Keep(first) => {
+                        ws[keep] = Watcher {
+                            cref,
+                            blocker: first,
+                        };
+                        keep += 1;
+                    }
+                    Action::Moved => {}
+                    Action::Unit(first) => {
+                        ws[keep] = Watcher {
+                            cref,
+                            blocker: first,
+                        };
+                        keep += 1;
+                        self.unchecked_enqueue(first, Some(cref));
+                    }
+                    Action::Conflict => {
+                        ws[keep] = Watcher {
+                            cref,
+                            blocker: self.clauses[cref as usize].lits[0],
+                        };
+                        keep += 1;
+                        // Keep the remaining watchers and stop.
+                        while i < ws.len() {
+                            ws[keep] = ws[i];
+                            keep += 1;
+                            i += 1;
+                        }
+                        conflict = Some(cref);
+                        self.qhead = self.trail.len();
+                        break 'watchers;
+                    }
+                }
+            }
+            ws.truncate(keep);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0 = UIP
+        let mut path_c = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            {
+                let bump = {
+                    let c = &self.clauses[confl as usize];
+                    c.learnt
+                };
+                if bump {
+                    self.bump_clause(confl);
+                }
+            }
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.vardata[v.index()].level > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.vardata[v.index()].level as usize >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_c -= 1;
+            p = Some(pl);
+            if path_c == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.vardata[pl.var().index()]
+                .reason
+                .expect("non-decision literal on conflict path has a reason");
+        }
+
+        // Basic (non-recursive) clause minimization.
+        let to_clear: Vec<Var> = learnt.iter().map(|l| l.var()).collect();
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let x = learnt[i].var();
+            let redundant = match self.vardata[x.index()].reason {
+                None => false,
+                Some(r) => self.clauses[r as usize].lits[1..].iter().all(|&q| {
+                    self.seen[q.var().index()] || self.vardata[q.var().index()].level == 0
+                }),
+            };
+            if !redundant {
+                learnt[j] = learnt[i];
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Find the backjump level and move its literal to slot 1 so the
+        // clause watches stay correct after the backjump.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.vardata[learnt[i].var().index()].level
+                    > self.vardata[learnt[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.vardata[learnt[1].var().index()].level as usize
+        };
+        (learnt, bt_level)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+            self.heap.rescaled();
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            for cl in &mut self.clauses {
+                cl.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level];
+        for i in (target..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.index()] = Value::Unassigned;
+            self.phase[v.index()] = l.is_positive();
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()] == Value::Unassigned {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn extract_model(&mut self) {
+        self.model = self
+            .assigns
+            .iter()
+            .map(|&a| match a {
+                Value::True => Some(true),
+                Value::False => Some(false),
+                Value::Unassigned => None,
+            })
+            .collect();
+    }
+
+    fn analyze_final(&mut self, failing: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(failing);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[failing.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.vardata[x.index()].reason {
+                None => {
+                    debug_assert!(self.vardata[x.index()].level > 0);
+                    self.conflict_core.push(self.trail[i]);
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.clauses[r as usize].lits[1..].to_vec();
+                    for q in lits {
+                        if self.vardata[q.var().index()].level > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[failing.var().index()] = false;
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses by activity, ascending; drop the weaker
+        // half, sparing binary and locked clauses.
+        let mut refs = std::mem::take(&mut self.learnt_refs);
+        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        refs.sort_by(|&a, &b| {
+            let ca = self.clauses[a as usize].activity;
+            let cb = self.clauses[b as usize].activity;
+            ca.partial_cmp(&cb).expect("activities are finite")
+        });
+        let half = refs.len() / 2;
+        let mut kept = Vec::with_capacity(refs.len());
+        for (i, &r) in refs.iter().enumerate() {
+            let removable = {
+                let c = &self.clauses[r as usize];
+                c.lits.len() > 2 && !self.is_locked(r)
+            };
+            if i < half && removable {
+                self.detach_clause(r);
+                self.delete_clause(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.learnt_refs = kept;
+        self.max_learnts *= 1.15;
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let c = &self.clauses[cref as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let v = c.lits[0].var();
+        self.vardata[v.index()].reason == Some(cref)
+            && lit_value(&self.assigns, c.lits[0]) == Value::True
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        if let Some(mc) = self.limits.max_conflicts {
+            if self.stats.conflicts >= mc {
+                return true;
+            }
+        }
+        if let Some(mp) = self.limits.max_propagations {
+            if self.stats.propagations >= mp {
+                return true;
+            }
+        }
+        if let Some(ml) = self.limits.max_live_lits {
+            if self.stats.live_lits >= ml {
+                return true;
+            }
+        }
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn search(&mut self, restart_budget: u64, assumptions: &[Lit]) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.alloc_clause(learnt, true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if self.stats.conflicts.is_multiple_of(64) && self.budget_exhausted() {
+                    self.cancel_until(0);
+                    return SearchOutcome::Unknown;
+                }
+            } else {
+                if conflicts_here >= restart_budget {
+                    self.cancel_until(0);
+                    return SearchOutcome::Restart;
+                }
+                if self.budget_exhausted() {
+                    self.cancel_until(0);
+                    return SearchOutcome::Unknown;
+                }
+                if self.learnt_refs.len() as f64
+                    >= self.max_learnts + (self.trail.len() as f64)
+                {
+                    self.reduce_db();
+                }
+                let dl = self.decision_level();
+                if dl < assumptions.len() {
+                    let p = assumptions[dl];
+                    match lit_value(&self.assigns, p) {
+                        Value::True => {
+                            self.new_decision_level();
+                        }
+                        Value::False => {
+                            self.analyze_final(p);
+                            return SearchOutcome::Unsat;
+                        }
+                        Value::Unassigned => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                self.stats.decisions += 1;
+                match self.pick_branch_var() {
+                    None => {
+                        self.extract_model();
+                        return SearchOutcome::Sat;
+                    }
+                    Some(v) => {
+                        let phase = self.phase[v.index()];
+                        self.new_decision_level();
+                        self.unchecked_enqueue(v.lit(phase), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Unknown,
+    Restart,
+}
+
+#[inline]
+fn lit_value(assigns: &[Value], l: Lit) -> Value {
+    match assigns[l.var().index()] {
+        Value::Unassigned => Value::Unassigned,
+        Value::True => {
+            if l.is_positive() {
+                Value::True
+            } else {
+                Value::False
+            }
+        }
+        Value::False => {
+            if l.is_positive() {
+                Value::False
+            } else {
+                Value::True
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: `luby(y, i)` is `y^k` where `k` follows
+/// the classic 1,1,2,1,1,2,4,… pattern.
+fn luby(y: f64, mut x: u64) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_logic::dimacs;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<f64> = (0..15).map(|i| luby(2.0, i)).collect();
+        let expect = [
+            1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0,
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0].var()), Some(false));
+        assert_eq!(s.value(v[1].var()), Some(true));
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause([v[0]]));
+        assert!(!s.add_clause([!v[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_harmless() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause([v[0], !v[0]]));
+        assert!(s.add_clause([v[1], v[1], v[1]]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1].var()), Some(true));
+    }
+
+    /// All binary clauses of an XOR chain: forces real search.
+    #[test]
+    fn xor_chain_sat() {
+        let mut s = Solver::new();
+        let n = 20;
+        let v = vars(&mut s, n);
+        // v[i] xor v[i+1] = true  ⇔  (v[i] ∨ v[i+1]) ∧ (¬v[i] ∨ ¬v[i+1])
+        for i in 0..n - 1 {
+            s.add_clause([v[i], v[i + 1]]);
+            s.add_clause([!v[i], !v[i + 1]]);
+        }
+        s.add_clause([v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for i in 0..n {
+            assert_eq!(s.value(v[i].var()), Some(i % 2 == 0), "position {i}");
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes is
+    /// UNSAT and requires clause learning to finish quickly.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Lit>>) {
+        let mut s = Solver::new();
+        let mut p = Vec::new();
+        for _ in 0..pigeons {
+            p.push(vars(&mut s, holes));
+        }
+        // Every pigeon in some hole.
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in i + 1..pigeons {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        (s, p)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        let (mut s, _) = pigeonhole(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let (mut s, p) = pigeonhole(4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify the model is a valid assignment of pigeons to holes.
+        for (i, row) in p.iter().enumerate() {
+            let hole = row
+                .iter()
+                .position(|&l| s.lit_value_model(l) == Some(true));
+            assert!(hole.is_some(), "pigeon {i} unplaced");
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_results() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        assert_eq!(s.solve_with(&[v[0], !v[2]]), SolveResult::Unsat);
+        // Without the contradictory assumption pair it is satisfiable.
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Sat);
+        assert_eq!(s.value(v[2].var()), Some(true));
+        // The solver remains reusable after an assumption failure.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_form_a_core() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([!v[0], !v[1]]);
+        // v[2], v[3] are irrelevant.
+        let r = s.solve_with(&[v[2], v[0], v[3], v[1]]);
+        assert_eq!(r, SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&v[0]) || core.contains(&v[1]));
+        assert!(!core.contains(&v[2]));
+        assert!(!core.contains(&v[3]));
+        // The core itself must be sufficient for UNSAT.
+        assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumption_false_at_level_zero() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([!v[0]]);
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[v[0]]);
+        assert_eq!(s.solve_with(&[v[1]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard pigeonhole instance with a 1-conflict budget.
+        let (mut s, _) = pigeonhole(8, 7);
+        s.set_limits(Limits {
+            max_conflicts: Some(1),
+            ..Limits::none()
+        });
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Removing the budget lets it finish.
+        s.set_limits(Limits::none());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_in_past_yields_unknown() {
+        let (mut s, _) = pigeonhole(9, 8);
+        s.set_limits(Limits {
+            deadline: Some(Instant::now()),
+            ..Limits::none()
+        });
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn simplify_removes_satisfied_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[2]]);
+        s.add_clause([v[1], v[2]]);
+        let before = s.stats().live_lits;
+        s.add_clause([v[0]]); // unit: satisfies two clauses
+        assert!(s.simplify());
+        assert!(s.stats().live_lits < before, "memory must shrink");
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn activation_literal_group_retraction() {
+        // The jSAT blocking-clause pattern: clauses guarded by an
+        // activation literal, retracted by asserting its negation.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let act = s.new_var().positive();
+        // Guarded constraint: act → (v0 ∧ v1 ∧ v2 each false)
+        s.add_clause([!act, !v[0]]);
+        s.add_clause([!act, !v[1]]);
+        s.add_clause([!act, !v[2]]);
+        s.add_clause([v[0], v[1], v[2]]);
+        // Active: the guarded units contradict the ternary clause.
+        assert_eq!(s.solve_with(&[act]), SolveResult::Unsat);
+        // Inactive: satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Retract permanently and reclaim memory.
+        let lits_before = s.stats().live_lits;
+        s.add_clause([!act]);
+        assert!(s.simplify());
+        assert!(s.stats().live_lits < lits_before);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // Deterministic random 3-SAT at ratio ~4, checked against the
+        // model evaluator.
+        let mut state = 0xdead_beefu64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..30 {
+            let n = 12 + (round % 5);
+            let m = n * 4;
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            let mut cnf = Cnf::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let var = (rnd() % n as u64) as usize;
+                    let pos = rnd() % 2 == 0;
+                    c.push(if pos { v[var] } else { !v[var] });
+                }
+                cnf.add_clause(c.iter().copied());
+                s.add_clause(c);
+            }
+            if s.solve() == SolveResult::Sat {
+                let assignment: Vec<bool> = (0..n)
+                    .map(|i| s.value(Var::new(i as u32)).unwrap_or(false))
+                    .collect();
+                assert!(cnf.eval(&assignment), "model must satisfy the formula");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_random_instances() {
+        let mut state = 0x0bad_cafeu64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..120 {
+            let n = 4 + (rnd() % 5) as usize; // 4..8 vars
+            let m = (rnd() % (3 * n as u64 + 1)) as usize + 1;
+            let mut cnf = Cnf::new();
+            for _ in 0..m {
+                let len = 1 + (rnd() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let var = Var::new((rnd() % n as u64) as u32);
+                    c.push(var.lit(rnd() % 2 == 0));
+                }
+                cnf.add_clause(c);
+            }
+            cnf.ensure_vars(n);
+            let mut s = Solver::new();
+            assert!(s.num_vars() == 0);
+            let consistent = s.add_cnf(&cnf);
+            let got = if consistent { s.solve() } else { SolveResult::Unsat };
+            let expect = cnf.brute_force_satisfiable();
+            assert_eq!(
+                got.is_sat(),
+                expect,
+                "disagreement on {}",
+                dimacs::to_string(&cnf)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_solve() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0], v[1], v[2], v[3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Progressive strengthening eventually makes it UNSAT.
+        s.add_clause([!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([!v[1]]);
+        s.add_clause([!v[2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[3].var()), Some(true));
+        s.add_clause([!v[3]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once UNSAT without assumptions, always UNSAT.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn learnt_db_reduction_keeps_soundness() {
+        // A formula large enough to trigger reductions with a small cap.
+        let (mut s, _) = pigeonhole(7, 6);
+        s.max_learnts = 10.0;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().removed_clauses > 0, "reduction should trigger");
+    }
+
+    #[test]
+    fn peak_memory_is_tracked() {
+        let (mut s, _) = pigeonhole(6, 5);
+        let initial = s.stats().live_lits;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().peak_live_lits >= initial);
+        assert!(s.stats().peak_bytes() >= s.stats().peak_live_lits);
+    }
+
+    #[test]
+    fn memory_limit_yields_unknown() {
+        let (mut s, _) = pigeonhole(8, 7);
+        let base = s.stats().live_lits;
+        s.set_limits(Limits {
+            max_live_lits: Some(base + 8),
+            ..Limits::none()
+        });
+        // Learning quickly exceeds the cap.
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn ensure_vars_and_add_cnf() {
+        let mut s = Solver::new();
+        let cnf = dimacs::parse("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert!(s.add_cnf(&cnf));
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, _) = pigeonhole(5, 4);
+        s.solve();
+        let st = s.stats().clone();
+        assert!(st.decisions > 0);
+        assert!(st.conflicts > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the CDCL solver: agreement with brute
+//! force, model validity, incremental-interface laws, and core
+//! minimality properties on proptest-generated formulae.
+
+use proptest::prelude::*;
+use sebmc_logic::{Cnf, Var};
+use sebmc_sat::{SolveResult, Solver};
+
+fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..4),
+        0..max_clauses,
+    )
+    .prop_map(move |clauses| {
+        let mut cnf = Cnf::with_vars(max_vars as usize);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, p)| Var::new(v).lit(p)));
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn agrees_with_brute_force(cnf in cnf_strategy(8, 24)) {
+        let mut s = Solver::new();
+        let consistent = s.add_cnf(&cnf);
+        let got = if consistent { s.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(got.is_sat(), cnf.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn models_satisfy_the_formula(cnf in cnf_strategy(10, 30)) {
+        let mut s = Solver::new();
+        if s.add_cnf(&cnf) && s.solve() == SolveResult::Sat {
+            let assignment: Vec<bool> = (0..cnf.num_vars())
+                .map(|i| s.value(Var::new(i as u32)).unwrap_or(false))
+                .collect();
+            prop_assert!(cnf.eval(&assignment));
+        }
+    }
+
+    /// Assumptions behave like temporary unit clauses.
+    #[test]
+    fn assumptions_equal_units(cnf in cnf_strategy(7, 18), assum_bits in any::<u8>()) {
+        let assumptions: Vec<_> = (0..cnf.num_vars().min(3))
+            .map(|i| Var::new(i as u32).lit(assum_bits >> i & 1 == 1))
+            .collect();
+        // Via assumptions:
+        let mut s1 = Solver::new();
+        prop_assume!(s1.add_cnf(&cnf));
+        let r1 = s1.solve_with(&assumptions);
+        // Via added units:
+        let mut s2 = Solver::new();
+        s2.add_cnf(&cnf);
+        let mut ok = true;
+        for &a in &assumptions {
+            ok &= s2.add_clause([a]);
+        }
+        let r2 = if ok { s2.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(r1.is_sat(), r2.is_sat());
+    }
+
+    /// The failed-assumption set must itself be unsatisfiable with the
+    /// formula (it is a real core).
+    #[test]
+    fn failed_assumptions_are_a_core(cnf in cnf_strategy(7, 18), assum_bits in any::<u8>()) {
+        let assumptions: Vec<_> = (0..cnf.num_vars().min(4))
+            .map(|i| Var::new(i as u32).lit(assum_bits >> i & 1 == 1))
+            .collect();
+        let mut s = Solver::new();
+        prop_assume!(s.add_cnf(&cnf));
+        if s.solve_with(&assumptions) == SolveResult::Unsat {
+            let core = s.failed_assumptions().to_vec();
+            for c in &core {
+                prop_assert!(assumptions.contains(c), "core must be a subset");
+            }
+            prop_assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+        }
+    }
+
+    /// Solving twice gives the same verdict (the solver is stateless
+    /// modulo learnt clauses, which must not change satisfiability).
+    #[test]
+    fn resolving_is_stable(cnf in cnf_strategy(8, 20)) {
+        let mut s = Solver::new();
+        prop_assume!(s.add_cnf(&cnf));
+        let first = s.solve();
+        let second = s.solve();
+        prop_assert_eq!(first, second);
+    }
+
+    /// simplify() never changes satisfiability.
+    #[test]
+    fn simplify_preserves_satisfiability(cnf in cnf_strategy(8, 20)) {
+        let mut s1 = Solver::new();
+        let c1 = s1.add_cnf(&cnf);
+        let mut s2 = Solver::new();
+        let c2 = s2.add_cnf(&cnf);
+        let r1 = if c1 { s1.solve() } else { SolveResult::Unsat };
+        let r2 = if c2 && s2.simplify() {
+            s2.solve()
+        } else {
+            SolveResult::Unsat
+        };
+        prop_assert_eq!(r1.is_sat(), r2.is_sat());
+    }
+
+    /// Adding a satisfied model as a blocking clause makes the old
+    /// model infeasible (the enumeration pattern jSAT relies on).
+    #[test]
+    fn blocking_clauses_exclude_models(cnf in cnf_strategy(6, 14)) {
+        let mut s = Solver::new();
+        prop_assume!(s.add_cnf(&cnf));
+        let mut models_seen = 0;
+        while s.solve() == SolveResult::Sat && models_seen < 70 {
+            models_seen += 1;
+            let block: Vec<_> = (0..cnf.num_vars())
+                .map(|i| {
+                    let v = Var::new(i as u32);
+                    v.lit(!s.value(v).unwrap_or(false))
+                })
+                .collect();
+            if !s.add_clause(block) {
+                break;
+            }
+        }
+        // Full enumeration must terminate within 2^vars models.
+        prop_assert!(models_seen <= 1 << cnf.num_vars());
+    }
+}

@@ -1,0 +1,224 @@
+//! `sebmc` — command-line bounded model checker over AIGER circuits.
+//!
+//! The adoption path for a downstream user with real hardware designs:
+//! point the tool at an `.aag`/`.aig` file, pick an engine and a bound,
+//! get an HWMCC-style verdict and stimulus witness.
+//!
+//! ```text
+//! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
+//!       [--bound K] [--within] [--timeout-ms N] [--mem-mb N] [--quiet]
+//! ```
+//!
+//! Output follows the HWMCC witness convention:
+//! * `1` — the bad state is reachable, followed by `b0`, the initial
+//!   latch values, one input-vector line per step, and `.`;
+//! * `0` — not reachable up to the bound (or proven safe for every
+//!   bound by k-induction);
+//! * `2` — unknown (budget exhausted / unsupported bound).
+//!
+//! Exit code: 10 for reachable, 20 for unreachable/safe, 0 for unknown
+//! (matching common model-checker conventions).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sebmc_repro::aiger;
+use sebmc_repro::bmc::{
+    k_induction, BmcResult, BoundedChecker, EngineLimits, InductionResult, JSat, QbfBackend,
+    QbfLinear, QbfSquaring, Semantics, UnrollSat,
+};
+use sebmc_repro::model::{Model, Trace};
+
+struct Options {
+    path: String,
+    engine: String,
+    bound: usize,
+    semantics: Semantics,
+    limits: EngineLimits,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sebmc <circuit.aag|circuit.aig> \
+         [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction] \
+         [--bound K] [--within] [--timeout-ms N] [--mem-mb N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut engine = "jsat".to_string();
+    let mut bound = 20usize;
+    let mut semantics = Semantics::Exactly;
+    let mut timeout_ms = None;
+    let mut mem_mb = None;
+    let mut quiet = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => engine = args.next().unwrap_or_else(|| usage()),
+            "--bound" => {
+                bound = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--within" => semantics = Semantics::Within,
+            "--timeout-ms" => timeout_ms = args.next().and_then(|v| v.parse().ok()),
+            "--mem-mb" => mem_mb = args.next().and_then(|v| v.parse().ok()),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    Options {
+        path: path.unwrap_or_else(|| usage()),
+        engine,
+        bound,
+        semantics,
+        limits: EngineLimits {
+            timeout: timeout_ms.map(Duration::from_millis),
+            max_formula_lits: mem_mb.map(|mb: usize| mb * 1024 * 1024 / 4),
+        },
+        quiet,
+    }
+}
+
+/// Prints an HWMCC-style stimulus witness.
+fn print_witness(model: &Model, trace: &Trace) {
+    println!("1");
+    println!("b0");
+    // Initial latch values.
+    let init: String = trace.states[0]
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    println!("{init}");
+    for step in &trace.inputs {
+        let line: String = step
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        println!("{line}");
+    }
+    println!(".");
+    debug_assert_eq!(model.check_trace(trace), Ok(()));
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let bytes = match std::fs::read(&opts.path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("sebmc: cannot read '{}': {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let file = match aiger::parse_auto(&bytes) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sebmc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match aiger::aiger_to_model(&file, &opts.path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("sebmc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.quiet {
+        eprintln!(
+            "sebmc: '{}' — {} latches, {} inputs, {} ANDs; engine {}, bound {} ({})",
+            opts.path,
+            model.num_state_vars(),
+            model.num_inputs(),
+            file.ands.len(),
+            opts.engine,
+            opts.bound,
+            opts.semantics
+        );
+    }
+
+    if opts.engine == "k-induction" {
+        return match k_induction(&model, opts.bound, &opts.limits) {
+            InductionResult::Falsified { cex } => {
+                print_witness(&model, &cex);
+                ExitCode::from(10)
+            }
+            InductionResult::Proved { k } => {
+                if !opts.quiet {
+                    eprintln!("sebmc: proved safe at induction depth {k}");
+                }
+                println!("0");
+                ExitCode::from(20)
+            }
+            InductionResult::Exhausted { max_depth } => {
+                if !opts.quiet {
+                    eprintln!("sebmc: inconclusive up to depth {max_depth}");
+                }
+                println!("2");
+                ExitCode::SUCCESS
+            }
+            InductionResult::Unknown { reason } => {
+                if !opts.quiet {
+                    eprintln!("sebmc: {reason}");
+                }
+                println!("2");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let mut engine: Box<dyn BoundedChecker> = match opts.engine.as_str() {
+        "jsat" => Box::new(JSat::with_limits(opts.limits.clone())),
+        "unroll" => Box::new(UnrollSat::with_limits(opts.limits.clone())),
+        "qbf-linear" => Box::new(QbfLinear::with_limits(
+            QbfBackend::Qdpll,
+            opts.limits.clone(),
+        )),
+        "qbf-squaring" => Box::new(QbfSquaring::with_limits(
+            QbfBackend::Expansion,
+            opts.limits.clone(),
+        )),
+        other => {
+            eprintln!("sebmc: unknown engine '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let out = engine.check(&model, opts.bound, opts.semantics);
+    if !opts.quiet {
+        eprintln!(
+            "sebmc: {} in {:?} (formula {} lits, peak {} lits, effort {})",
+            out.result,
+            out.stats.duration,
+            out.stats.encode_lits,
+            out.stats.peak_formula_lits,
+            out.stats.solver_effort
+        );
+    }
+    match out.result {
+        BmcResult::Reachable(Some(trace)) => {
+            print_witness(&model, &trace);
+            ExitCode::from(10)
+        }
+        BmcResult::Reachable(None) => {
+            println!("1");
+            ExitCode::from(10)
+        }
+        BmcResult::Unreachable => {
+            println!("0");
+            ExitCode::from(20)
+        }
+        BmcResult::Unknown(_) => {
+            println!("2");
+            ExitCode::SUCCESS
+        }
+    }
+}

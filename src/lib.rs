@@ -1,0 +1,34 @@
+//! Facade crate for the `sebmc` workspace — a from-scratch Rust
+//! reproduction of *"Space-Efficient Bounded Model Checking"* (Katz,
+//! Hanna, Dershowitz; DATE 2005).
+//!
+//! This crate simply re-exports the workspace members under stable
+//! names so that examples and integration tests can use a single
+//! dependency:
+//!
+//! * [`logic`] — literals, CNF, And-Inverter Graphs, Tseitin, DIMACS.
+//! * [`sat`] — an incremental CDCL SAT solver.
+//! * [`qbf`] — prenex-CNF QBF representation and two QBF solvers.
+//! * [`aiger`] — AIGER (`.aag`/`.aig`) reader and writer.
+//! * [`model`] — symbolic transition systems and the benchmark suite.
+//! * [`bmc`] — the paper's contribution: the three bounded-reachability
+//!   encodings and the special-purpose jSAT decision procedure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sebmc_repro::bmc::{BoundedChecker, JSat, Semantics};
+//! use sebmc_repro::model::builders::counter_with_reset;
+//!
+//! let model = counter_with_reset(4);
+//! let mut engine = JSat::default();
+//! let outcome = engine.check(&model, 15, Semantics::Exactly);
+//! assert!(outcome.result.is_reachable());
+//! ```
+
+pub use sebmc as bmc;
+pub use sebmc_aiger as aiger;
+pub use sebmc_logic as logic;
+pub use sebmc_model as model;
+pub use sebmc_qbf as qbf;
+pub use sebmc_sat as sat;

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `sebmc` CLI binary: AIGER in, HWMCC-style
+//! verdict and stimulus witness out.
+
+use std::io::Write;
+use std::process::Command;
+
+use sebmc_repro::aiger;
+use sebmc_repro::model::builders::{shift_register, traffic_light};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sebmc-cli"))
+}
+
+fn write_temp_aag(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sebmc-test-{name}-{}.aag", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(content.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn reachable_circuit_yields_witness() {
+    let model = shift_register(3);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("shift", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([path.to_str().unwrap(), "--engine", "jsat", "--bound", "3", "--quiet"])
+        .output()
+        .expect("run sebmc");
+    assert_eq!(out.status.code(), Some(10), "reachable exit code");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "1");
+    assert_eq!(lines[1], "b0");
+    assert_eq!(lines[2], "000", "initial latch values");
+    // Three input steps of one bit each, then the terminator.
+    assert_eq!(lines.len(), 3 + 3 + 1);
+    assert_eq!(*lines.last().unwrap(), ".");
+    for step in &lines[3..6] {
+        assert_eq!(*step, "1", "shifting in ones is the only witness");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unreachable_circuit_yields_zero() {
+    let model = traffic_light();
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("traffic", &aiger::to_ascii_string(&file));
+    for engine in ["jsat", "unroll"] {
+        let out = cli()
+            .args([path.to_str().unwrap(), "--engine", engine, "--bound", "6", "--quiet"])
+            .output()
+            .expect("run sebmc");
+        assert_eq!(out.status.code(), Some(20), "{engine} safe exit code");
+        assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "0");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn k_induction_proves_safety() {
+    let model = traffic_light();
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("traffic-kind", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "k-induction",
+            "--bound",
+            "8",
+        ])
+        .output()
+        .expect("run sebmc");
+    assert_eq!(out.status.code(), Some(20));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("proved safe"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn budgeted_qbf_reports_unknown() {
+    let model = shift_register(8);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("shift-qbf", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "qbf-linear",
+            "--bound",
+            "8",
+            "--timeout-ms",
+            "50",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "2");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn malformed_input_is_rejected_cleanly() {
+    let path = write_temp_aag("garbage", "not an aiger file\n");
+    let out = cli().arg(path.to_str().unwrap()).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("aiger"));
+    std::fs::remove_file(path).ok();
+
+    let out = cli().arg("/nonexistent/file.aag").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn within_semantics_flag() {
+    // lfsr needle at exactly 6: within-8 reachable, exactly-8 not.
+    let model = sebmc_repro::model::builders::lfsr(4, 6);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("lfsr", &aiger::to_ascii_string(&file));
+    let exact = cli()
+        .args([path.to_str().unwrap(), "--bound", "8", "--quiet"])
+        .output()
+        .expect("run");
+    assert_eq!(exact.status.code(), Some(20), "exactly-8 unreachable");
+    let within = cli()
+        .args([path.to_str().unwrap(), "--bound", "8", "--within", "--quiet"])
+        .output()
+        .expect("run");
+    assert_eq!(within.status.code(), Some(10), "within-8 reachable");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,157 @@
+//! Cross-engine agreement on the full small benchmark suite.
+//!
+//! Every engine must agree with the explicit-state ground truth (and
+//! hence with every other engine) on all thirteen benchmark families at
+//! small bounds, under both semantics. Engines with witness support
+//! must produce traces that replay through the concrete simulator.
+
+use sebmc_repro::bmc::{
+    BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
+};
+use sebmc_repro::model::{explicit, suite13_small, Model};
+use std::time::Duration;
+
+const MAX_BOUND: usize = 6;
+
+fn oracle(model: &Model, k: usize, semantics: Semantics) -> bool {
+    match semantics {
+        Semantics::Exactly => explicit::reachable_in_exactly(model, k),
+        Semantics::Within => explicit::reachable_within(model, k),
+    }
+}
+
+fn assert_engine_matches_oracle(
+    engine: &mut dyn BoundedChecker,
+    semantics: Semantics,
+    bounds: impl Iterator<Item = usize> + Clone,
+    skip_unknown: bool,
+) {
+    for model in suite13_small() {
+        for k in bounds.clone() {
+            let out = engine.check(&model, k, semantics);
+            if out.result.is_unknown() {
+                assert!(
+                    skip_unknown,
+                    "{} unexpectedly gave up on {} at bound {k}",
+                    engine.name(),
+                    model.name()
+                );
+                continue;
+            }
+            let expect = oracle(&model, k, semantics);
+            assert_eq!(
+                out.result.is_reachable(),
+                expect,
+                "{} disagrees with ground truth on {} at bound {k} ({semantics})",
+                engine.name(),
+                model.name()
+            );
+            if let Some(trace) = out.result.witness() {
+                assert_eq!(
+                    model.check_trace(trace),
+                    Ok(()),
+                    "{} produced an invalid witness on {} at bound {k}",
+                    engine.name(),
+                    model.name()
+                );
+                match semantics {
+                    Semantics::Exactly => assert_eq!(trace.len(), k),
+                    Semantics::Within => assert!(trace.len() <= k),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unroll_sat_matches_oracle_exactly() {
+    let mut e = UnrollSat::default();
+    assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=MAX_BOUND, false);
+}
+
+#[test]
+fn unroll_sat_matches_oracle_within() {
+    let mut e = UnrollSat::default();
+    assert_engine_matches_oracle(&mut e, Semantics::Within, 0..=MAX_BOUND, false);
+}
+
+#[test]
+fn jsat_matches_oracle_exactly() {
+    let mut e = JSat::default();
+    assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=MAX_BOUND, false);
+}
+
+#[test]
+fn jsat_matches_oracle_within() {
+    let mut e = JSat::default();
+    assert_engine_matches_oracle(&mut e, Semantics::Within, 0..=MAX_BOUND, false);
+}
+
+/// The general-purpose QBF engines are *sound but weak* (the paper's
+/// point): whenever they do answer within a small budget, the answer
+/// must match the oracle.
+#[test]
+fn qbf_linear_qdpll_sound_under_budget() {
+    let mut e = QbfLinear::with_limits(
+        QbfBackend::Qdpll,
+        EngineLimits::with_timeout(Duration::from_millis(300)),
+    );
+    assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=3, true);
+}
+
+#[test]
+fn qbf_linear_expansion_sound_under_budget() {
+    let mut e = QbfLinear::with_limits(
+        QbfBackend::Expansion,
+        EngineLimits {
+            timeout: Some(Duration::from_millis(300)),
+            max_formula_lits: Some(2_000_000),
+        },
+    );
+    assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=3, true);
+}
+
+#[test]
+fn qbf_squaring_sound_under_budget() {
+    let mut e = QbfSquaring::with_limits(
+        QbfBackend::Expansion,
+        EngineLimits {
+            timeout: Some(Duration::from_millis(300)),
+            max_formula_lits: Some(2_000_000),
+        },
+    );
+    for k in [1usize, 2, 4] {
+        for model in suite13_small() {
+            let out = e.check(&model, k, Semantics::Exactly);
+            if out.result.is_unknown() {
+                continue;
+            }
+            assert_eq!(
+                out.result.is_reachable(),
+                explicit::reachable_in_exactly(&model, k),
+                "squaring disagrees on {} at bound {k}",
+                model.name()
+            );
+        }
+    }
+}
+
+/// jSAT and unrolled SAT — the two complete engines — must agree with
+/// each other at larger bounds than the oracle can cover (cross-check
+/// without ground truth).
+#[test]
+fn jsat_and_unroll_agree_on_larger_bounds() {
+    let mut jsat = JSat::default();
+    let mut unroll = UnrollSat::default();
+    for model in suite13_small() {
+        for k in [8usize, 10] {
+            let a = jsat.check(&model, k, Semantics::Exactly).result;
+            let b = unroll.check(&model, k, Semantics::Exactly).result;
+            assert!(
+                a.agrees_with(&b),
+                "jsat={a} vs unroll={b} on {} at bound {k}",
+                model.name()
+            );
+        }
+    }
+}
