@@ -37,7 +37,10 @@ impl fmt::Display for ConvertError {
                 write!(f, "property depends on a primary input: {m}")
             }
             ConvertError::UnsupportedInit(m) => {
-                write!(f, "initial predicate is not expressible as latch resets: {m}")
+                write!(
+                    f,
+                    "initial predicate is not expressible as latch resets: {m}"
+                )
             }
         }
     }
@@ -306,7 +309,11 @@ mod tests {
         let mut state_b = state_a.clone();
         let mut seed = 0x5eedu64;
         for step in 0..steps {
-            assert_eq!(a.eval_target(&state_a), b.eval_target(&state_b), "step {step}");
+            assert_eq!(
+                a.eval_target(&state_a),
+                b.eval_target(&state_b),
+                "step {step}"
+            );
             let inputs: Vec<bool> = (0..a.num_inputs())
                 .map(|_| {
                     seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);

@@ -39,6 +39,4 @@ pub mod write;
 pub use convert::{aiger_to_model, model_to_aiger, model_to_aiger_with_resets, ConvertError};
 pub use format::{AigerAnd, AigerFile, AigerLatch, AigerReset, SymbolKind};
 pub use read::{parse_ascii, parse_auto, parse_binary, ParseAigerError};
-pub use write::{
-    reencode_binary_order, to_ascii_string, to_binary_vec, write_ascii, write_binary,
-};
+pub use write::{reencode_binary_order, to_ascii_string, to_binary_vec, write_ascii, write_binary};

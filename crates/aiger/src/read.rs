@@ -16,7 +16,11 @@ pub struct ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "aiger parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "aiger parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -43,13 +47,22 @@ fn parse_header(line: &str, expect_tag: &str) -> Result<Header, ParseAigerError>
     let mut parts = line.split_whitespace();
     let tag = parts.next().ok_or_else(|| err(1, "empty header"))?;
     if tag != expect_tag {
-        return Err(err(1, format!("expected '{expect_tag}' header, got '{tag}'")));
+        return Err(err(
+            1,
+            format!("expected '{expect_tag}' header, got '{tag}'"),
+        ));
     }
     let nums: Vec<usize> = parts
-        .map(|t| t.parse().map_err(|_| err(1, format!("bad header field '{t}'"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| err(1, format!("bad header field '{t}'")))
+        })
         .collect::<Result<_, _>>()?;
     if nums.len() < 5 || nums.len() > 7 {
-        return Err(err(1, format!("header needs 5-7 fields, got {}", nums.len())));
+        return Err(err(
+            1,
+            format!("header needs 5-7 fields, got {}", nums.len()),
+        ));
     }
     Ok(Header {
         max_var: nums[0] as u32,
@@ -318,8 +331,7 @@ pub fn parse_binary(input: &[u8]) -> Result<AigerFile, ParseAigerError> {
     }
     // Trailer (symbols/comments) is ASCII.
     if pos < input.len() {
-        let rest = std::str::from_utf8(&input[pos..])
-            .map_err(|_| err(pos, "non-UTF8 trailer"))?;
+        let rest = std::str::from_utf8(&input[pos..]).map_err(|_| err(pos, "non-UTF8 trailer"))?;
         let mut lines = rest.lines().enumerate();
         parse_trailer(&mut lines, &mut file)?;
     }
@@ -335,13 +347,15 @@ pub fn parse_binary(input: &[u8]) -> Result<AigerFile, ParseAigerError> {
 /// nor valid `aig`.
 pub fn parse_auto(input: &[u8]) -> Result<AigerFile, ParseAigerError> {
     if input.starts_with(b"aag ") {
-        let text =
-            std::str::from_utf8(input).map_err(|_| err(0, "non-UTF8 ascii aiger"))?;
+        let text = std::str::from_utf8(input).map_err(|_| err(0, "non-UTF8 ascii aiger"))?;
         parse_ascii(text)
     } else if input.starts_with(b"aig ") {
         parse_binary(input)
     } else {
-        Err(err(0, "unrecognized AIGER header (expected 'aag' or 'aig')"))
+        Err(err(
+            0,
+            "unrecognized AIGER header (expected 'aag' or 'aig')",
+        ))
     }
 }
 
@@ -365,7 +379,14 @@ mod tests {
     #[test]
     fn parses_and_gate() {
         let f = parse_ascii("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n").unwrap();
-        assert_eq!(f.ands[0], AigerAnd { lhs: 6, rhs0: 2, rhs1: 4 });
+        assert_eq!(
+            f.ands[0],
+            AigerAnd {
+                lhs: 6,
+                rhs0: 2,
+                rhs1: 4
+            }
+        );
     }
 
     #[test]
@@ -414,7 +435,14 @@ mod tests {
         assert_eq!(f.inputs, vec![2]);
         assert_eq!(f.latches[0].lit, 4);
         assert_eq!(f.latches[0].next, 6);
-        assert_eq!(f.ands[0], AigerAnd { lhs: 6, rhs0: 4, rhs1: 2 });
+        assert_eq!(
+            f.ands[0],
+            AigerAnd {
+                lhs: 6,
+                rhs0: 4,
+                rhs1: 2
+            }
+        );
     }
 
     #[test]

@@ -108,10 +108,16 @@ pub fn write_binary<W: Write>(file: &AigerFile, mut writer: W) -> io::Result<()>
         check(lit == 2 * (i as u32 + 1), "inputs must be 2,4,…")?;
     }
     for (i, l) in file.latches.iter().enumerate() {
-        check(l.lit == 2 * (ni + i as u32 + 1), "latches must follow inputs")?;
+        check(
+            l.lit == 2 * (ni + i as u32 + 1),
+            "latches must follow inputs",
+        )?;
     }
     for (i, a) in file.ands.iter().enumerate() {
-        check(a.lhs == 2 * (ni + nl + i as u32 + 1), "ands must follow latches")?;
+        check(
+            a.lhs == 2 * (ni + nl + i as u32 + 1),
+            "ands must follow latches",
+        )?;
         check(a.rhs0 >= a.rhs1, "rhs0 >= rhs1")?;
         check(a.lhs > a.rhs0, "lhs > rhs0")?;
     }

@@ -1,49 +1,39 @@
-//! Criterion benches for the three encodings (supports E2/E3): how
-//! long it takes to *build* each formulation, per bound.
+//! Benches for the three encodings (supports E2/E3): how long it takes
+//! to *build* each formulation, per bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sebmc::{encode_qbf_linear, encode_qbf_squaring, encode_unrolled, Semantics};
+use sebmc_bench::microbench::run;
 use sebmc_model::builders::{dense_fsm, round_robin_arbiter};
-use std::hint::black_box;
 
-fn bench_encoders(c: &mut Criterion) {
+fn main() {
     let model = round_robin_arbiter(6);
-    let mut group = c.benchmark_group("encode");
-    group.sample_size(20);
     for k in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("unroll", k), &k, |b, &k| {
-            b.iter(|| black_box(encode_unrolled(&model, k, Semantics::Exactly)))
+        run(&format!("encode/unroll/{k}"), 3, 20, || {
+            encode_unrolled(&model, k, Semantics::Exactly)
         });
-        group.bench_with_input(BenchmarkId::new("qbf_linear", k), &k, |b, &k| {
-            b.iter(|| black_box(encode_qbf_linear(&model, k)))
+        run(&format!("encode/qbf_linear/{k}"), 3, 20, || {
+            encode_qbf_linear(&model, k)
         });
         if k.is_power_of_two() {
-            group.bench_with_input(BenchmarkId::new("qbf_squaring", k), &k, |b, &k| {
-                b.iter(|| black_box(encode_qbf_squaring(&model, k)))
+            run(&format!("encode/qbf_squaring/{k}"), 3, 20, || {
+                encode_qbf_squaring(&model, k)
             });
         }
     }
-    group.finish();
-}
 
-fn bench_encoding_scales_with_tr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode_tr_scaling");
-    group.sample_size(20);
     for gates in [200usize, 800] {
         let model = dense_fsm(8, 2, gates, 7);
-        group.bench_with_input(
-            BenchmarkId::new("unroll_k8", gates),
-            &model,
-            |b, model| b.iter(|| black_box(encode_unrolled(model, 8, Semantics::Exactly))),
+        run(
+            &format!("encode_tr_scaling/unroll_k8/{gates}"),
+            3,
+            20,
+            || encode_unrolled(&model, 8, Semantics::Exactly),
         );
-        group.bench_with_input(
-            BenchmarkId::new("qbf_linear_k8", gates),
-            &model,
-            |b, model| b.iter(|| black_box(encode_qbf_linear(model, 8))),
+        run(
+            &format!("encode_tr_scaling/qbf_linear_k8/{gates}"),
+            3,
+            20,
+            || encode_qbf_linear(&model, 8),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_encoders, bench_encoding_scales_with_tr);
-criterion_main!(benches);

@@ -1,55 +1,35 @@
-//! Criterion benches for jSAT internals (supports E4/E5): cache
-//! ablation and memory-relevant workloads.
+//! Benches for jSAT internals (supports E4/E5): cache ablation and
+//! memory-relevant workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sebmc::{BoundedChecker, EngineLimits, JSat, JSatConfig, Semantics, UnrollSat};
+use sebmc_bench::microbench::run;
 use sebmc_model::builders::{counter_with_reset, shift_register};
-use std::hint::black_box;
 
-fn bench_cache_ablation(c: &mut Criterion) {
+fn main() {
     let model = counter_with_reset(3);
-    let mut group = c.benchmark_group("jsat_unsat_exhaustion_k6");
-    group.sample_size(10);
-    group.bench_function("with_cache", |b| {
-        b.iter(|| {
-            let mut e = JSat::default();
-            black_box(e.check(&model, 6, Semantics::Exactly))
-        })
+    run("jsat_unsat_exhaustion_k6/with_cache", 2, 10, || {
+        let mut e = JSat::default();
+        e.check(&model, 6, Semantics::Exactly)
     });
-    group.bench_function("without_cache", |b| {
-        b.iter(|| {
-            let mut e = JSat::with_config(
-                EngineLimits::none(),
-                JSatConfig {
-                    use_failed_cache: false,
-                    ..JSatConfig::default()
-                },
-            );
-            black_box(e.check(&model, 6, Semantics::Exactly))
-        })
+    run("jsat_unsat_exhaustion_k6/without_cache", 2, 10, || {
+        let mut e = JSat::with_config(
+            EngineLimits::none(),
+            JSatConfig {
+                use_failed_cache: false,
+                ..JSatConfig::default()
+            },
+        );
+        e.check(&model, 6, Semantics::Exactly)
     });
-    group.finish();
-}
 
-fn bench_deep_bounds(c: &mut Criterion) {
     // E4 companion: the same instance at a deep bound, jSAT vs unroll.
     let model = shift_register(12);
-    let mut group = c.benchmark_group("deep_bound_k32");
-    group.sample_size(10);
-    group.bench_function("jsat", |b| {
-        b.iter(|| {
-            let mut e = JSat::default();
-            black_box(e.check(&model, 32, Semantics::Exactly))
-        })
+    run("deep_bound_k32/jsat", 2, 10, || {
+        let mut e = JSat::default();
+        e.check(&model, 32, Semantics::Exactly)
     });
-    group.bench_function("sat_unroll", |b| {
-        b.iter(|| {
-            let mut e = UnrollSat::default();
-            black_box(e.check(&model, 32, Semantics::Exactly))
-        })
+    run("deep_bound_k32/sat_unroll", 2, 10, || {
+        let mut e = UnrollSat::default();
+        e.check(&model, 32, Semantics::Exactly)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_cache_ablation, bench_deep_bounds);
-criterion_main!(benches);

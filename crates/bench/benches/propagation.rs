@@ -1,0 +1,78 @@
+//! Propagation microbench — the solver's hottest loop in isolation.
+//!
+//! Builds a CNF whose full assignment is forced by unit propagation
+//! alone from a handful of assumptions: long binary implication chains
+//! (≥ 30% binary clauses, the workload the binary-clause fast path is
+//! for) interleaved with ternary clauses whose watchers must be
+//! visited and moved as the chains fire. Every `solve_with` call then
+//! re-runs the same deterministic BCP cascade from scratch, so the
+//! measured time is propagation, not search.
+//!
+//! Run with `cargo bench --bench propagation`; pass `--json` to print
+//! a machine-readable summary (used for `BENCH_pr1.json`).
+
+use sebmc_bench::microbench::{print_json, run};
+use sebmc_logic::Lit;
+use sebmc_sat::{SolveResult, Solver};
+
+/// Builds the chain instance: `chains` disjoint implication chains of
+/// `len` variables each, plus one ternary clause per chain link
+/// (¬xᵢ ∨ ¬xⱼ ∨ xₖ with k later in the chain, satisfied by the forced
+/// assignment but watched throughout the cascade).
+fn chain_instance(chains: usize, len: usize) -> (Solver, Vec<Lit>) {
+    assert!(len >= 6);
+    let mut s = Solver::new();
+    let mut heads = Vec::with_capacity(chains);
+    for _ in 0..chains {
+        let vars: Vec<Lit> = (0..len).map(|_| s.new_var().positive()).collect();
+        heads.push(vars[0]);
+        for w in vars.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        // Satisfied-by-the-cascade side clauses whose watchers must be
+        // visited (and moved) as the chain fires: two ternaries and one
+        // 5-ary per link, i.e. ~40% binary clauses overall.
+        for i in 0..len - 5 {
+            s.add_clause([!vars[i], !vars[i + 1], vars[i + 3]]);
+            s.add_clause([!vars[i + 1], !vars[i], vars[i + 4]]);
+            s.add_clause([
+                !vars[i],
+                !vars[i + 2],
+                !vars[i + 3],
+                !vars[i + 1],
+                vars[i + 5],
+            ]);
+        }
+    }
+    (s, heads)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let (mut s, heads) = chain_instance(300, 100);
+    // Warm the clause database once; subsequent calls redo only BCP.
+    assert_eq!(s.solve_with(&heads), SolveResult::Sat);
+    let props_before = s.stats().propagations;
+    assert_eq!(s.solve_with(&heads), SolveResult::Sat);
+    let props_per_iter = s.stats().propagations - props_before;
+
+    let sample = run("propagation/binary_chain_30k", 5, 30, || {
+        s.solve_with(&heads)
+    });
+    println!(
+        "  {} propagations/iter, {:.1} M props/s (median)",
+        props_per_iter,
+        props_per_iter as f64 * 1e3 / sample.median_ns as f64
+    );
+
+    // A denser variant: shorter chains, more ternary traffic per var.
+    let (mut s2, heads2) = chain_instance(1000, 20);
+    assert_eq!(s2.solve_with(&heads2), SolveResult::Sat);
+    let sample2 = run("propagation/binary_chain_dense_20k", 5, 30, || {
+        s2.solve_with(&heads2)
+    });
+
+    if json {
+        print_json(&[sample, sample2]);
+    }
+}

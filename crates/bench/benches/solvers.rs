@@ -1,86 +1,57 @@
-//! Criterion benches for the four engines on small instances
-//! (supports E1): end-to-end check time per engine, SAT and UNSAT.
+//! Benches for the four engines on small instances (supports E1):
+//! end-to-end check time per engine, SAT and UNSAT.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sebmc::{
     BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
 };
+use sebmc_bench::microbench::run;
 use sebmc_model::builders::{counter_with_reset, token_ring, traffic_light};
-use std::hint::black_box;
 use std::time::Duration;
 
-fn bench_engines_reachable(c: &mut Criterion) {
-    let model = token_ring(4); // reachable at exactly 3
-    let mut group = c.benchmark_group("solve_reachable_k3");
-    group.sample_size(20);
-    group.bench_function("sat_unroll", |b| {
-        b.iter(|| {
-            let mut e = UnrollSat::default();
-            black_box(e.check(&model, 3, Semantics::Exactly))
-        })
+fn main() {
+    // Reachable at exactly 3.
+    let model = token_ring(4);
+    run("solve_reachable_k3/sat_unroll", 3, 20, || {
+        let mut e = UnrollSat::default();
+        e.check(&model, 3, Semantics::Exactly)
     });
-    group.bench_function("jsat", |b| {
-        b.iter(|| {
-            let mut e = JSat::default();
-            black_box(e.check(&model, 3, Semantics::Exactly))
-        })
+    run("solve_reachable_k3/jsat", 3, 20, || {
+        let mut e = JSat::default();
+        e.check(&model, 3, Semantics::Exactly)
     });
-    group.bench_function("qbf_linear_qdpll", |b| {
-        b.iter(|| {
-            let mut e = QbfLinear::new(QbfBackend::Qdpll);
-            black_box(e.check(&model, 3, Semantics::Exactly))
-        })
+    run("solve_reachable_k3/qbf_linear_qdpll", 3, 20, || {
+        let mut e = QbfLinear::new(QbfBackend::Qdpll);
+        e.check(&model, 3, Semantics::Exactly)
     });
-    group.bench_function("qbf_squaring_expansion_k4", |b| {
-        b.iter(|| {
+    run(
+        "solve_reachable_k3/qbf_squaring_expansion_k4",
+        3,
+        20,
+        || {
             let mut e = QbfSquaring::new(QbfBackend::Expansion);
-            black_box(e.check(&model, 4, Semantics::Exactly))
-        })
-    });
-    group.finish();
-}
+            e.check(&model, 4, Semantics::Exactly)
+        },
+    );
 
-fn bench_engines_unsat(c: &mut Criterion) {
-    let model = traffic_light(); // unreachable at every bound
-    let mut group = c.benchmark_group("solve_unsat_k6");
-    group.sample_size(20);
-    group.bench_function("sat_unroll", |b| {
-        b.iter(|| {
-            let mut e = UnrollSat::default();
-            black_box(e.check(&model, 6, Semantics::Exactly))
-        })
+    // Unreachable at every bound.
+    let model = traffic_light();
+    run("solve_unsat_k6/sat_unroll", 3, 20, || {
+        let mut e = UnrollSat::default();
+        e.check(&model, 6, Semantics::Exactly)
     });
-    group.bench_function("jsat", |b| {
-        b.iter(|| {
-            let mut e = JSat::default();
-            black_box(e.check(&model, 6, Semantics::Exactly))
-        })
+    run("solve_unsat_k6/jsat", 3, 20, || {
+        let mut e = JSat::default();
+        e.check(&model, 6, Semantics::Exactly)
     });
-    group.finish();
-}
 
-fn bench_budgeted_qbf_gives_up_fast(c: &mut Criterion) {
     // The E1 harness spends most wall time on QBF timeouts; verify the
     // budget check itself is cheap.
     let model = counter_with_reset(4);
-    let mut group = c.benchmark_group("qbf_budget_overhead");
-    group.sample_size(10);
-    group.bench_function("qdpll_10ms_budget", |b| {
-        b.iter(|| {
-            let mut e = QbfLinear::with_limits(
-                QbfBackend::Qdpll,
-                EngineLimits::with_timeout(Duration::from_millis(10)),
-            );
-            black_box(e.check(&model, 15, Semantics::Exactly))
-        })
+    run("qbf_budget_overhead/qdpll_10ms_budget", 2, 10, || {
+        let mut e = QbfLinear::with_limits(
+            QbfBackend::Qdpll,
+            EngineLimits::with_timeout(Duration::from_millis(10)),
+        );
+        e.check(&model, 15, Semantics::Exactly)
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_engines_reachable,
-    bench_engines_unsat,
-    bench_budgeted_qbf_gives_up_fast
-);
-criterion_main!(benches);

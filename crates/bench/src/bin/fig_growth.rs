@@ -35,10 +35,7 @@ fn main() {
         let mut prev_u = 0usize;
         let mut prev_q = 0usize;
         let mut jsat = JSat::default();
-        let jsat_lits = jsat
-            .check(&model, 1, Semantics::Exactly)
-            .stats
-            .encode_lits;
+        let jsat_lits = jsat.check(&model, 1, Semantics::Exactly).stats.encode_lits;
         let mut deltas_u = Vec::new();
         let mut deltas_q = Vec::new();
         for k in 1..=max_bound {

@@ -1,10 +1,14 @@
 //! E4 — peak solver memory vs bound: unrolled SAT vs jSAT.
 //!
 //! The title claim. Both engines decide the same exactly-k instances;
-//! we record the peak number of live literals each solver held (the
-//! clause database is the dominant allocation in both). The unrolled
-//! formula grows linearly in k; jSAT holds formula (4) plus retired
-//! blocking clauses that `simplify()` reclaims.
+//! we record the peak *live* clause-database size each solver held —
+//! since the arena refactor this is an exact byte figure (clause
+//! headers included), not a literal-count approximation. Resident
+//! memory additionally carries up to 20% not-yet-compacted garbage
+//! between GC points (`Solver::clause_db_resident_bytes`). The
+//! unrolled formula grows linearly in k; jSAT holds formula (4) plus
+//! retired blocking clauses that `simplify()` physically reclaims via
+//! the compacting collector.
 //!
 //! ```text
 //! cargo run -p sebmc-bench --release --bin fig_memory -- \
@@ -23,14 +27,14 @@ fn main() {
 
     for model in [counter_with_reset(4), gray_counter(5)] {
         println!(
-            "\n# E4: peak live literals on '{}' (exactly-k)\n",
+            "\n# E4: peak live clause-database bytes on '{}' (exactly-k)\n",
             model.name()
         );
         let mut table = Table::new([
             "k",
             "verdict",
-            "unroll peak lits",
-            "jsat peak lits",
+            "unroll peak live B",
+            "jsat peak live B",
             "ratio",
             "unroll ms",
             "jsat ms",
@@ -51,10 +55,10 @@ fn main() {
             } else {
                 uo.result.to_string()
             };
-            let ratio = if jo.stats.peak_formula_lits > 0 {
+            let ratio = if jo.stats.peak_formula_bytes > 0 {
                 format!(
                     "{:.1}x",
-                    uo.stats.peak_formula_lits as f64 / jo.stats.peak_formula_lits as f64
+                    uo.stats.peak_formula_bytes as f64 / jo.stats.peak_formula_bytes as f64
                 )
             } else {
                 "-".into()
@@ -62,8 +66,8 @@ fn main() {
             table.row([
                 k.to_string(),
                 verdict,
-                uo.stats.peak_formula_lits.to_string(),
-                jo.stats.peak_formula_lits.to_string(),
+                uo.stats.peak_formula_bytes.to_string(),
+                jo.stats.peak_formula_bytes.to_string(),
                 ratio,
                 uo.stats.duration.as_millis().to_string(),
                 jo.stats.duration.as_millis().to_string(),

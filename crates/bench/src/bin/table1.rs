@@ -32,10 +32,10 @@ fn main() {
     );
 
     let suite = suite13();
-    let engine_names: Vec<&'static str> =
-        e1_engines(&limits).iter().map(|e| e.name()).collect();
+    let engine_names: Vec<&'static str> = e1_engines(&limits).iter().map(|e| e.name()).collect();
     let mut per_model: Vec<Vec<usize>> = vec![vec![0; engine_names.len()]; suite.len()];
     let mut totals = vec![0usize; engine_names.len()];
+    let mut peak_bytes = vec![0usize; engine_names.len()];
     let mut conflicts_detected = 0usize;
     let start = Instant::now();
 
@@ -46,6 +46,7 @@ fn main() {
         for k in 1..=max_bound {
             for (ei, engine) in engines.iter_mut().enumerate() {
                 let out = engine.check(model, k, Semantics::Exactly);
+                peak_bytes[ei] = peak_bytes[ei].max(out.stats.peak_formula_bytes);
                 if !out.result.is_unknown() {
                     per_model[mi][ei] += 1;
                     totals[ei] += 1;
@@ -88,6 +89,13 @@ fn main() {
         [format!("TOTAL (of {total_instances})")]
             .into_iter()
             .chain(totals.iter().map(|t| t.to_string())),
+    );
+    // Exact peak clause-database bytes (arena-reported, headers
+    // included, for the SAT-backed engines) — the paper's 1 GB axis.
+    table.row(
+        ["peak DB bytes".to_string()]
+            .into_iter()
+            .chain(peak_bytes.iter().map(|b| b.to_string())),
     );
     println!();
     table.print();

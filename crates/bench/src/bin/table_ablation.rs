@@ -75,8 +75,7 @@ fn main() {
             "ms",
         ]);
         for (name, config) in &variants {
-            let (verdict, calls, hits, peak, ms) =
-                run(&limits, config.clone(), &model, bound);
+            let (verdict, calls, hits, peak, ms) = run(&limits, config.clone(), &model, bound);
             table.row([
                 name.to_string(),
                 verdict,

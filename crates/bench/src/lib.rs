@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::time::Duration;
 
 use sebmc::{BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, UnrollSat};

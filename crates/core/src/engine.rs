@@ -134,6 +134,11 @@ pub struct RunStats {
     /// Peak live literals held by the engine's solver(s) — the memory
     /// proxy of experiment E4.
     pub peak_formula_lits: usize,
+    /// Peak clause-database size in bytes. For SAT-backed engines this
+    /// is the solver arena's exact figure (headers included); QBF
+    /// engines report `peak_formula_lits × 4` since their matrices are
+    /// plain literal arrays.
+    pub peak_formula_bytes: usize,
     /// Back-end solver conflicts (SAT) or decisions (QBF).
     pub solver_effort: u64,
 }

@@ -97,6 +97,12 @@ impl IncrementalUnroll {
         self.solver.stats().live_lits
     }
 
+    /// Exact live clause-database bytes of the underlying solver
+    /// (arena words × 4, headers included).
+    pub fn live_bytes(&self) -> usize {
+        self.solver.stats().live_bytes()
+    }
+
     fn frame_map(&self, t: usize, inputs: Option<usize>) -> Vec<Lit> {
         let dummy = self.state_lits[t][0];
         let mut map = vec![dummy; self.model.aig().num_inputs()];
@@ -189,11 +195,7 @@ impl IncrementalUnroll {
                         .collect(),
                 };
                 if self.semantics == Semantics::Within {
-                    if let Some(t) = trace
-                        .states
-                        .iter()
-                        .position(|s| self.model.eval_target(s))
-                    {
+                    if let Some(t) = trace.states.iter().position(|s| self.model.eval_target(s)) {
                         trace.states.truncate(t + 1);
                         trace.inputs.truncate(t);
                     }

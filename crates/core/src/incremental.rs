@@ -67,9 +67,7 @@ pub fn find_shortest_witness(
         }
         let outcome = engine.check(model, k, Semantics::Exactly);
         match outcome.result {
-            BmcResult::Reachable(_) => {
-                return DeepeningResult::FoundAt { bound: k, outcome }
-            }
+            BmcResult::Reachable(_) => return DeepeningResult::FoundAt { bound: k, outcome },
             BmcResult::Unreachable => {}
             BmcResult::Unknown(ref why) => {
                 return DeepeningResult::GaveUpAt {

@@ -116,9 +116,8 @@ fn step_case(model: &Model, k: usize, limits: &EngineLimits, start: Instant) -> 
     for i in 0..=k {
         for j in i + 1..=k {
             let mut clause: Vec<Lit> = Vec::with_capacity(n);
-            for b in 0..n {
+            for (&a, &c) in state_lits[i].iter().zip(&state_lits[j]) {
                 let t = alloc.fresh_lit();
-                let (a, c) = (state_lits[i][b], state_lits[j][b]);
                 // t → (a ≠ c)
                 cnf.add_ternary(!t, a, c);
                 cnf.add_ternary(!t, !a, !c);
@@ -147,11 +146,7 @@ fn step_case(model: &Model, k: usize, limits: &EngineLimits, start: Instant) -> 
 /// unsatisfiable, [`InductionResult::Falsified`] when the base case
 /// finds a counterexample, [`InductionResult::Exhausted`] after
 /// `max_depth` inconclusive rounds.
-pub fn k_induction(
-    model: &Model,
-    max_depth: usize,
-    limits: &EngineLimits,
-) -> InductionResult {
+pub fn k_induction(model: &Model, max_depth: usize, limits: &EngineLimits) -> InductionResult {
     let start = Instant::now();
     for k in 0..=max_depth {
         // Base: counterexample within k steps?
@@ -267,7 +262,10 @@ mod tests {
         // for this shallow horizon... all-ones IS reachable, so with
         // max_depth 3 the result must be Exhausted (cex needs k=4).
         let r = k_induction(&johnson_counter(4), 3, &EngineLimits::none());
-        assert!(matches!(r, InductionResult::Exhausted { max_depth: 3 }), "{r:?}");
+        assert!(
+            matches!(r, InductionResult::Exhausted { max_depth: 3 }),
+            "{r:?}"
+        );
     }
 
     #[test]

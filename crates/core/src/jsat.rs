@@ -75,6 +75,12 @@ pub struct JSatStats {
     pub cache_hits: u64,
     /// Maximum frontier depth reached.
     pub max_depth: usize,
+    /// `simplify()` garbage-collection rounds run.
+    pub simplify_runs: u64,
+    /// Resident clause-database bytes physically reclaimed by those
+    /// rounds (the arena compactor's doing — the seed solver tombstoned
+    /// retired blocking clauses and this figure was unmeasurable).
+    pub reclaimed_bytes: u64,
 }
 
 /// Packs a state into a hashable key.
@@ -330,6 +336,7 @@ impl BoundedChecker for JSat {
         let result = self.search(model, k, semantics, &mut f4);
         stats.duration = start.elapsed();
         stats.peak_formula_lits = f4.solver.stats().peak_live_lits;
+        stats.peak_formula_bytes = f4.solver.stats().peak_bytes();
         stats.solver_effort = f4.solver.stats().conflicts;
         if let BmcResult::Reachable(Some(ref t)) = result {
             debug_assert_eq!(model.check_trace(t), Ok(()));
@@ -387,9 +394,7 @@ impl JSat {
                                 inputs: vec![],
                             }));
                         }
-                        if self.config.use_failed_cache
-                            && cache.is_hopeless(semantics, &s0, k)
-                        {
+                        if self.config.use_failed_cache && cache.is_hopeless(semantics, &s0, k) {
                             self.stats.cache_hits += 1;
                             continue;
                         }
@@ -403,9 +408,7 @@ impl JSat {
                         self.stats.max_depth = self.stats.max_depth.max(frames.len());
                     }
                     SolveResult::Unsat => return BmcResult::Unreachable,
-                    SolveResult::Unknown => {
-                        return BmcResult::Unknown("budget exhausted".into())
-                    }
+                    SolveResult::Unknown => return BmcResult::Unknown("budget exhausted".into()),
                 }
                 continue;
             }
@@ -476,13 +479,15 @@ impl JSat {
                     f4.solver.add_clause([!popped.act]);
                     pops_since_simplify += 1;
                     if pops_since_simplify >= self.config.simplify_interval {
+                        let before = f4.solver.clause_db_resident_bytes();
                         f4.solver.simplify();
+                        let after = f4.solver.clause_db_resident_bytes();
+                        self.stats.simplify_runs += 1;
+                        self.stats.reclaimed_bytes += before.saturating_sub(after) as u64;
                         pops_since_simplify = 0;
                     }
                 }
-                SolveResult::Unknown => {
-                    return BmcResult::Unknown("budget exhausted".into())
-                }
+                SolveResult::Unknown => return BmcResult::Unknown("budget exhausted".into()),
             }
         }
     }
@@ -605,10 +610,44 @@ mod tests {
     #[test]
     fn timeout_gives_unknown() {
         let m = sebmc_model::builders::random_fsm(20, 2, 11);
-        let mut e = JSat::with_limits(EngineLimits::with_timeout(
-            std::time::Duration::from_nanos(1),
-        ));
+        let mut e = JSat::with_limits(EngineLimits::with_timeout(std::time::Duration::from_nanos(
+            1,
+        )));
         assert!(e.check(&m, 10, Semantics::Exactly).result.is_unknown());
+    }
+
+    /// The arena-refactor acceptance check at the jSAT level: an UNSAT
+    /// sweep with heavy backtracking retires blocking clauses behind
+    /// their activation literals, and the solver's compacting GC must
+    /// *physically* reclaim them — shrinking the resident clause
+    /// database, where the seed solver only tombstoned.
+    #[test]
+    fn retired_blocking_clauses_are_physically_reclaimed() {
+        let m = counter_with_reset(8);
+        let mut e = JSat::with_config(
+            EngineLimits::none(),
+            JSatConfig {
+                // No failed-state cache: maximal path enumeration and
+                // therefore maximal blocking-clause churn. Simplify
+                // eagerly so retirement is observable per backtrack.
+                use_failed_cache: false,
+                simplify_interval: 8,
+                ..JSatConfig::default()
+            },
+        );
+        let out = e.check(&m, 10, Semantics::Exactly);
+        assert!(out.result.is_unreachable(), "8-bit counter needs 255 steps");
+        let st = e.jsat_stats().clone();
+        assert!(st.backtracks > 0, "the sweep must backtrack");
+        assert!(st.simplify_runs > 0, "simplify must have run");
+        assert!(
+            st.reclaimed_bytes > 0,
+            "GC must shrink resident clause-database bytes \
+             ({} simplify runs, {} backtracks)",
+            st.simplify_runs,
+            st.backtracks
+        );
+        assert!(out.stats.peak_formula_bytes > 0, "exact bytes reported");
     }
 
     #[test]

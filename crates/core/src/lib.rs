@@ -49,9 +49,7 @@ pub mod qbf_enc;
 pub mod squaring;
 pub mod unroll;
 
-pub use engine::{
-    BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics,
-};
+pub use engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
 pub use inc_unroll::IncrementalUnroll;
 pub use incremental::{find_shortest_witness, DeepeningResult};
 pub use induction::{k_induction, InductionResult};
@@ -59,4 +57,4 @@ pub use jsat::{JSat, JSatConfig, JSatStats};
 pub use portfolio::{first_decided, run_portfolio, PortfolioEntry};
 pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear};
 pub use squaring::{encode_qbf_squaring, QbfSquaring};
-pub use unroll::{encode_unrolled, UnrolledCnf, UnrollSat};
+pub use unroll::{encode_unrolled, UnrollSat, UnrolledCnf};

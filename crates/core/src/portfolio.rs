@@ -5,7 +5,8 @@
 //! harness uses it to cross-check engines; callers wanting a single
 //! verdict take the first decided one.
 
-use crossbeam::thread;
+use std::thread;
+
 use sebmc_model::Model;
 
 use crate::engine::{BmcOutcome, BoundedChecker, Semantics};
@@ -35,7 +36,7 @@ pub fn run_portfolio(
         let handles: Vec<_> = engines
             .into_iter()
             .map(|mut engine| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let name = engine.name();
                     let outcome = engine.check(model, k, semantics);
                     PortfolioEntry {
@@ -50,7 +51,6 @@ pub fn run_portfolio(
             .map(|h| h.join().expect("portfolio engine panicked"))
             .collect()
     })
-    .expect("portfolio scope panicked")
 }
 
 /// Returns the first decided (non-Unknown) outcome of a portfolio run,

@@ -257,6 +257,7 @@ impl BoundedChecker for QbfLinear {
         stats.duration = start.elapsed();
         stats.solver_effort = effort;
         stats.peak_formula_lits = peak;
+        stats.peak_formula_bytes = peak * std::mem::size_of::<sebmc_logic::Lit>();
         let result = match r {
             QbfResult::True => BmcResult::Reachable(None),
             QbfResult::False => BmcResult::Unreachable,

@@ -213,6 +213,7 @@ impl QbfSquaring {
                 encode_clauses: formula.matrix().num_clauses(),
                 encode_lits: formula.matrix().num_literals(),
                 peak_formula_lits: peak,
+                peak_formula_bytes: peak * std::mem::size_of::<sebmc_logic::Lit>(),
                 solver_effort: effort,
             },
         }
@@ -272,6 +273,7 @@ impl BoundedChecker for QbfSquaring {
         stats.duration = start.elapsed();
         stats.solver_effort = effort;
         stats.peak_formula_lits = peak;
+        stats.peak_formula_bytes = peak * std::mem::size_of::<sebmc_logic::Lit>();
         let result = match r {
             QbfResult::True => BmcResult::Reachable(None),
             QbfResult::False => BmcResult::Unreachable,
@@ -319,10 +321,7 @@ mod tests {
         let m = token_ring(3);
         let mut e = QbfSquaring::new(QbfBackend::Expansion);
         let got = e.check(&m, 1, Semantics::Exactly).result;
-        assert_eq!(
-            got.is_reachable(),
-            explicit::reachable_in_exactly(&m, 1)
-        );
+        assert_eq!(got.is_reachable(), explicit::reachable_in_exactly(&m, 1));
     }
 
     #[test]

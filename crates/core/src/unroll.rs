@@ -56,11 +56,7 @@ impl UnrolledCnf {
             .collect();
         let mut trace = Trace { states, inputs };
         if semantics == Semantics::Within {
-            if let Some(t) = trace
-                .states
-                .iter()
-                .position(|s| model.eval_target(s))
-            {
+            if let Some(t) = trace.states.iter().position(|s| model.eval_target(s)) {
                 trace.states.truncate(t + 1);
                 trace.inputs.truncate(t);
             }
@@ -216,6 +212,7 @@ impl BoundedChecker for UnrollSat {
         };
         stats.duration = start.elapsed();
         stats.peak_formula_lits = solver.stats().peak_live_lits;
+        stats.peak_formula_bytes = solver.stats().peak_bytes();
         stats.solver_effort = solver.stats().conflicts;
         BmcOutcome { result, stats }
     }

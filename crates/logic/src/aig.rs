@@ -315,8 +315,7 @@ impl Aig {
                 Node::False => false,
                 Node::Input(i) => inputs[i as usize],
                 Node::And(a, b) => {
-                    (values[a.node()] ^ a.is_complement())
-                        && (values[b.node()] ^ b.is_complement())
+                    (values[a.node()] ^ a.is_complement()) && (values[b.node()] ^ b.is_complement())
                 }
             };
         }
@@ -439,12 +438,7 @@ impl Aig {
     ///
     /// Panics if `input_map` is shorter than an input index occurring
     /// in the imported cones.
-    pub fn import(
-        &mut self,
-        other: &Aig,
-        roots: &[AigRef],
-        input_map: &[AigRef],
-    ) -> Vec<AigRef> {
+    pub fn import(&mut self, other: &Aig, roots: &[AigRef], input_map: &[AigRef]) -> Vec<AigRef> {
         let mut translated: Vec<Option<AigRef>> = vec![None; other.num_nodes()];
         for idx in other.cone_topo(roots) {
             let new_ref = match other.nodes[idx] {
@@ -760,8 +754,7 @@ mod tests {
         let f = aig.and(a, b);
         let g = aig.and(f, a);
         let order = aig.cone_topo(&[g]);
-        let pos =
-            |n: usize| order.iter().position(|&x| x == n).expect("node in cone");
+        let pos = |n: usize| order.iter().position(|&x| x == n).expect("node in cone");
         assert!(pos(f.node()) < pos(g.node()));
         assert!(pos(a.node()) < pos(f.node()));
     }

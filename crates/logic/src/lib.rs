@@ -45,6 +45,7 @@ pub mod aig;
 pub mod cnf;
 pub mod dimacs;
 pub mod lit;
+pub mod rng;
 pub mod tseitin;
 
 pub use aig::{Aig, AigRef};

@@ -255,7 +255,13 @@ mod tests {
         let aig = Aig::new();
         let mut alloc = VarAlloc::new();
         let mut cnf = Cnf::new();
-        let lits = encode(&aig, &[AigRef::TRUE, AigRef::FALSE], &[], &mut alloc, &mut cnf);
+        let lits = encode(
+            &aig,
+            &[AigRef::TRUE, AigRef::FALSE],
+            &[],
+            &mut alloc,
+            &mut cnf,
+        );
         // Single aux var pinned false; TRUE is its negation.
         assert_eq!(lits[0], !lits[1]);
         assert!(cnf.eval(&[false]));

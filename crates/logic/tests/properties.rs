@@ -1,59 +1,34 @@
 //! Property-based tests for the logic foundation: DIMACS round-trips,
 //! Tseitin semantics, and AIG import equivalence on random circuits.
+//!
+//! Dependency-free property style: each test sweeps a seeded
+//! [`SplitMix64`] stream of random structures; failures print the case
+//! number so any run is reproducible.
 
-use proptest::prelude::*;
+use sebmc_logic::rng::SplitMix64;
 use sebmc_logic::{dimacs, tseitin, Aig, AigRef, Clause, Cnf, Lit, Var, VarAlloc};
 
-/// Strategy: a random CNF over up to `max_vars` variables.
-fn cnf_strategy(max_vars: u32) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec((0..max_vars, any::<bool>()), 1..5),
-        0..12,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::with_vars(max_vars as usize);
-        for c in clauses {
-            cnf.add_clause(c.into_iter().map(|(v, pos)| Var::new(v).lit(pos)));
-        }
-        cnf
-    })
+/// A random CNF over up to `max_vars` variables.
+fn random_cnf(rng: &mut SplitMix64, max_vars: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(max_vars);
+    for _ in 0..rng.below(12) {
+        let len = rng.range_inclusive(1, 4);
+        cnf.add_clause((0..len).map(|_| Var::new(rng.below(max_vars) as u32).lit(rng.coin())));
+    }
+    cnf
 }
 
-/// Strategy: a recipe for a random AIG over `n` inputs.
-#[derive(Debug, Clone)]
-struct CircuitRecipe {
-    inputs: usize,
-    gates: Vec<(u8, u16, u16, bool, bool)>,
-    root_neg: bool,
-}
-
-fn circuit_strategy() -> impl Strategy<Value = CircuitRecipe> {
-    (2usize..=5)
-        .prop_flat_map(|inputs| {
-            (
-                prop::collection::vec(
-                    (any::<u8>(), any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()),
-                    1..20,
-                ),
-                any::<bool>(),
-            )
-                .prop_map(move |(gates, root_neg)| CircuitRecipe {
-                    inputs,
-                    gates,
-                    root_neg,
-                })
-        })
-}
-
-fn build_circuit(recipe: &CircuitRecipe) -> (Aig, AigRef) {
+/// A random AIG over 2–5 inputs plus its root (possibly negated).
+fn random_circuit(rng: &mut SplitMix64) -> (Aig, AigRef, usize) {
+    let inputs = rng.range_inclusive(2, 5);
     let mut aig = Aig::new();
-    let mut pool: Vec<AigRef> = (0..recipe.inputs).map(|_| aig.input()).collect();
-    for &(op, a, b, na, nb) in &recipe.gates {
-        let x = pool[a as usize % pool.len()];
-        let y = pool[b as usize % pool.len()];
-        let x = if na { !x } else { x };
-        let y = if nb { !y } else { y };
-        let g = match op % 4 {
+    let mut pool: Vec<AigRef> = (0..inputs).map(|_| aig.input()).collect();
+    for _ in 0..rng.range_inclusive(1, 19) {
+        let x = pool[rng.below(pool.len())];
+        let y = pool[rng.below(pool.len())];
+        let x = if rng.coin() { !x } else { x };
+        let y = if rng.coin() { !y } else { y };
+        let g = match rng.below(4) {
             0 => aig.and(x, y),
             1 => aig.or(x, y),
             2 => aig.xor(x, y),
@@ -62,43 +37,60 @@ fn build_circuit(recipe: &CircuitRecipe) -> (Aig, AigRef) {
         pool.push(g);
     }
     let root = *pool.last().expect("non-empty pool");
-    (aig, if recipe.root_neg { !root } else { root })
+    let root = if rng.coin() { !root } else { root };
+    (aig, root, inputs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn sweep(seed: u64, cases: u64, check: impl Fn(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(seed ^ (case.wrapping_mul(0x9e37_79b9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed on case {case} (seed {seed})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
-    #[test]
-    fn dimacs_round_trip(cnf in cnf_strategy(8)) {
+#[test]
+fn dimacs_round_trip() {
+    sweep(0xD1AC, 128, |rng| {
+        let cnf = random_cnf(rng, 8);
         let text = dimacs::to_string(&cnf);
         let parsed = dimacs::parse(&text).expect("own output parses");
-        prop_assert_eq!(parsed.num_vars(), cnf.num_vars());
-        prop_assert_eq!(parsed.num_clauses(), cnf.num_clauses());
-        prop_assert_eq!(parsed.clauses(), cnf.clauses());
-    }
+        assert_eq!(parsed.num_vars(), cnf.num_vars());
+        assert_eq!(parsed.num_clauses(), cnf.num_clauses());
+        assert_eq!(parsed.clauses(), cnf.clauses());
+    });
+}
 
-    #[test]
-    fn dimacs_round_trip_preserves_satisfiability(cnf in cnf_strategy(6)) {
+#[test]
+fn dimacs_round_trip_preserves_satisfiability() {
+    sweep(0xD1AD, 128, |rng| {
+        let cnf = random_cnf(rng, 6);
         let parsed = dimacs::parse(&dimacs::to_string(&cnf)).expect("parses");
-        prop_assert_eq!(
+        assert_eq!(
             parsed.brute_force_satisfiable(),
             cnf.brute_force_satisfiable()
         );
-    }
+    });
+}
 
-    /// Full Tseitin is *equivalence*-preserving per input assignment:
-    /// for any input assignment there is exactly one consistent aux
-    /// extension, and the root literal equals the circuit value.
-    #[test]
-    fn tseitin_preserves_semantics(recipe in circuit_strategy()) {
-        let (aig, root) = build_circuit(&recipe);
-        let n = recipe.inputs;
+/// Full Tseitin is *equivalence*-preserving per input assignment:
+/// for any input assignment there is exactly one consistent aux
+/// extension, and the root literal equals the circuit value.
+#[test]
+fn tseitin_preserves_semantics() {
+    sweep(0x75E1, 96, |rng| {
+        let (aig, root, n) = random_circuit(rng);
         let mut alloc = VarAlloc::new();
         let in_lits: Vec<Lit> = alloc.fresh_lits(n);
         let mut cnf = Cnf::new();
         let root_lit = tseitin::encode(&aig, &[root], &in_lits, &mut alloc, &mut cnf)[0];
         let total = alloc.num_vars();
-        prop_assume!(total <= 18); // keep the enumeration cheap
+        if total > 18 {
+            return; // keep the enumeration cheap
+        }
         for bits in 0..1u32 << n {
             let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let expect = aig.eval(&inputs, &[root])[0];
@@ -109,22 +101,24 @@ proptest! {
                     assignment.push(aux >> i & 1 == 1);
                 }
                 if cnf.eval(&assignment) {
-                    prop_assert!(!found, "aux extension must be unique");
+                    assert!(!found, "aux extension must be unique");
                     found = true;
                     let got = root_lit.apply(assignment[root_lit.var().index()]);
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect);
                 }
             }
-            prop_assert!(found, "some aux extension must satisfy the definitions");
+            assert!(found, "some aux extension must satisfy the definitions");
         }
-    }
+    });
+}
 
-    /// Importing a cone into another graph preserves its function under
-    /// the input substitution.
-    #[test]
-    fn import_preserves_function(recipe in circuit_strategy(), perm_seed in any::<u64>()) {
-        let (src, root) = build_circuit(&recipe);
-        let n = recipe.inputs;
+/// Importing a cone into another graph preserves its function under
+/// the input substitution.
+#[test]
+fn import_preserves_function() {
+    sweep(0x14B0, 96, |rng| {
+        let (src, root, n) = random_circuit(rng);
+        let perm_seed = rng.next_u64();
         let mut dst = Aig::new();
         let fresh: Vec<AigRef> = (0..n).map(|_| dst.input()).collect();
         // A possibly-negating substitution.
@@ -143,16 +137,19 @@ proptest! {
                 .collect();
             let expect = src.eval(&substituted, &[root])[0];
             let got = dst.eval(&inputs, &[imported])[0];
-            prop_assert_eq!(got, expect, "assignment {:b}", bits);
+            assert_eq!(got, expect, "assignment {bits:b}");
         }
-    }
+    });
+}
 
-    /// `eval_u64` agrees with scalar `eval` on every circuit.
-    #[test]
-    fn bitparallel_eval_agrees(recipe in circuit_strategy()) {
-        let (aig, root) = build_circuit(&recipe);
-        let n = recipe.inputs;
-        prop_assume!(n <= 6);
+/// `eval_u64` agrees with scalar `eval` on every circuit.
+#[test]
+fn bitparallel_eval_agrees() {
+    sweep(0xB17E, 96, |rng| {
+        let (aig, root, n) = random_circuit(rng);
+        if n > 6 {
+            return;
+        }
         let mut words = vec![0u64; n];
         for bits in 0..1u64 << n {
             for (i, w) in words.iter_mut().enumerate() {
@@ -162,31 +159,28 @@ proptest! {
         let packed = aig.eval_u64(&words, &[root])[0];
         for bits in 0..1u64 << n {
             let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(
-                packed >> bits & 1 == 1,
-                aig.eval(&inputs, &[root])[0]
-            );
+            assert_eq!(packed >> bits & 1 == 1, aig.eval(&inputs, &[root])[0]);
         }
-    }
+    });
+}
 
-    /// Clause normalization never changes clause semantics.
-    #[test]
-    fn normalize_preserves_clause_semantics(
-        lits in prop::collection::vec((0u32..5, any::<bool>()), 1..8)
-    ) {
-        let mut clause = Clause::from_lits(
-            lits.iter().map(|&(v, p)| Var::new(v).lit(p))
-        );
+/// Clause normalization never changes clause semantics.
+#[test]
+fn normalize_preserves_clause_semantics() {
+    sweep(0x4084, 128, |rng| {
+        let len = rng.range_inclusive(1, 7);
+        let mut clause =
+            Clause::from_lits((0..len).map(|_| Var::new(rng.below(5) as u32).lit(rng.coin())));
         let original = clause.clone();
         let tautology = clause.normalize();
         for bits in 0..1u32 << 5 {
             let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
             let expect = original.eval(&assignment);
             if tautology {
-                prop_assert!(expect, "tautologies are true everywhere");
+                assert!(expect, "tautologies are true everywhere");
             } else {
-                prop_assert_eq!(clause.eval(&assignment), expect);
+                assert_eq!(clause.eval(&assignment), expect);
             }
         }
-    }
+    });
 }

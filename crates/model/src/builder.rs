@@ -85,7 +85,9 @@ impl ModelBuilder {
     /// Adds `n` state variables named `prefix0..prefix{n-1}`; returns
     /// their references (a little-endian word).
     pub fn state_vars(&mut self, n: usize, prefix: &str) -> Vec<AigRef> {
-        (0..n).map(|i| self.state_var(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.state_var(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a free (primary) input; returns its AIG reference.

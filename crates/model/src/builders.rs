@@ -12,8 +12,7 @@
 //! length (or a proof sketch of unreachability), so the explicit-state
 //! oracle can confirm each family's behaviour in tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sebmc_logic::rng::SplitMix64;
 use sebmc_logic::{Aig, AigRef};
 
 use crate::builder::ModelBuilder;
@@ -22,10 +21,7 @@ use crate::model::Model;
 /// Per-bit multiplexer over equal-width words: `sel ? a : b`.
 fn mux_words(aig: &mut Aig, sel: AigRef, a: &[AigRef], b: &[AigRef]) -> Vec<AigRef> {
     assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| aig.ite(sel, x, y))
-        .collect()
+    a.iter().zip(b).map(|(&x, &y)| aig.ite(sel, x, y)).collect()
 }
 
 /// 1. `w`-bit counter with synchronous reset.
@@ -401,18 +397,18 @@ pub fn peterson() -> Model {
 /// explicit-state oracle decides in tests; in the paper-scale suite the
 /// wide variants supply the *hard* instances.
 pub fn random_fsm(bits: usize, inputs: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = ModelBuilder::new(format!("random_{bits}_{inputs}_{seed}"));
     let state = b.state_vars(bits, "x");
     let ins = b.inputs(inputs, "i");
     let mut pool: Vec<AigRef> = state.iter().chain(ins.iter()).copied().collect();
     let gates = 3 * bits;
     for _ in 0..gates {
-        let a = pool[rng.gen_range(0..pool.len())];
-        let bb = pool[rng.gen_range(0..pool.len())];
-        let aa = if rng.gen_bool(0.5) { a } else { !a };
-        let bbb = if rng.gen_bool(0.5) { bb } else { !bb };
-        let g = match rng.gen_range(0..3) {
+        let a = pool[rng.below(pool.len())];
+        let bb = pool[rng.below(pool.len())];
+        let aa = if rng.coin() { a } else { !a };
+        let bbb = if rng.coin() { bb } else { !bb };
+        let g = match rng.below(3) {
             0 => b.aig_mut().and(aa, bbb),
             1 => b.aig_mut().or(aa, bbb),
             _ => b.aig_mut().xor(aa, bbb),
@@ -421,8 +417,8 @@ pub fn random_fsm(bits: usize, inputs: usize, seed: u64) -> Model {
     }
     let nexts: Vec<AigRef> = (0..bits)
         .map(|_| {
-            let g = pool[rng.gen_range(0..pool.len())];
-            if rng.gen_bool(0.5) {
+            let g = pool[rng.below(pool.len())];
+            if rng.coin() {
                 g
             } else {
                 !g
@@ -434,15 +430,11 @@ pub fn random_fsm(bits: usize, inputs: usize, seed: u64) -> Model {
     let cube_len = (bits / 2).clamp(2, 6);
     let mut idx: Vec<usize> = (0..bits).collect();
     for i in (1..idx.len()).rev() {
-        idx.swap(i, rng.gen_range(0..=i));
+        idx.swap(i, rng.below(i + 1));
     }
     let mut target = AigRef::TRUE;
     for &i in idx.iter().take(cube_len) {
-        let lit = if rng.gen_bool(0.5) {
-            state[i]
-        } else {
-            !state[i]
-        };
+        let lit = if rng.coin() { state[i] } else { !state[i] };
         target = b.aig_mut().and(target, lit);
     }
     b.set_target(target);
@@ -456,17 +448,17 @@ pub fn random_fsm(bits: usize, inputs: usize, seed: u64) -> Model {
 /// next function folds over a slice of the cloud). Used by experiment
 /// E2, which needs the paper's `|TR| ≫ n` regime.
 pub fn dense_fsm(bits: usize, inputs: usize, gates: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = ModelBuilder::new(format!("dense_{bits}_{gates}_{seed}"));
     let state = b.state_vars(bits, "x");
     let ins = b.inputs(inputs, "i");
     let mut pool: Vec<AigRef> = state.iter().chain(ins.iter()).copied().collect();
     for _ in 0..gates {
-        let a = pool[rng.gen_range(0..pool.len())];
-        let bb = pool[rng.gen_range(0..pool.len())];
-        let aa = if rng.gen_bool(0.5) { a } else { !a };
-        let bbb = if rng.gen_bool(0.5) { bb } else { !bb };
-        let g = match rng.gen_range(0..3) {
+        let a = pool[rng.below(pool.len())];
+        let bb = pool[rng.below(pool.len())];
+        let aa = if rng.coin() { a } else { !a };
+        let bbb = if rng.coin() { bb } else { !bb };
+        let g = match rng.below(3) {
             0 => b.aig_mut().and(aa, bbb),
             1 => b.aig_mut().or(aa, bbb),
             _ => b.aig_mut().xor(aa, bbb),
@@ -484,12 +476,8 @@ pub fn dense_fsm(bits: usize, inputs: usize, gates: usize, seed: u64) -> Model {
     let target = {
         let cube_len = (bits / 2).clamp(2, 6);
         let mut t = AigRef::TRUE;
-        for i in 0..cube_len {
-            let lit = if rng.gen_bool(0.5) {
-                state[i]
-            } else {
-                !state[i]
-            };
+        for &s in state.iter().take(cube_len) {
+            let lit = if rng.coin() { s } else { !s };
             t = b.aig_mut().and(t, lit);
         }
         t

@@ -185,7 +185,10 @@ impl Model {
     /// enumeration is meant for ground-truth checking of small models).
     pub fn enumerate_initial_states(&self) -> Vec<Vec<bool>> {
         let n = self.num_state_vars();
-        assert!(n <= 24, "initial-state enumeration limited to 24 state bits");
+        assert!(
+            n <= 24,
+            "initial-state enumeration limited to 24 state bits"
+        );
         let mut out = Vec::new();
         for bits in 0u64..(1u64 << n) {
             let state: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();

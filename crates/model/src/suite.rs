@@ -107,7 +107,11 @@ mod tests {
             } else {
                 vec![vec![false; m.num_state_vars()]]
             };
-            assert!(!inits.is_empty(), "model '{}' has no initial state", m.name());
+            assert!(
+                !inits.is_empty(),
+                "model '{}' has no initial state",
+                m.name()
+            );
             let s0 = &inits[0];
             let inputs = vec![false; m.num_inputs()];
             let s1 = m.step(s0, &inputs);

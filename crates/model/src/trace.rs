@@ -197,7 +197,10 @@ mod tests {
         let m = counter();
         let mut t = good_trace();
         t.states[2] = vec![true, true]; // 0 -> 1 -> 3?! no
-        assert_eq!(m.check_trace(&t), Err(TraceError::NotASuccessor { step: 1 }));
+        assert_eq!(
+            m.check_trace(&t),
+            Err(TraceError::NotASuccessor { step: 1 })
+        );
     }
 
     #[test]

@@ -130,10 +130,8 @@ impl ExpansionSolver {
                 Some((new_matrix, renamed)) => {
                     matrix = new_matrix;
                     self.stats.expanded_universals += 1;
-                    self.stats.peak_matrix_literals = self
-                        .stats
-                        .peak_matrix_literals
-                        .max(matrix.num_literals());
+                    self.stats.peak_matrix_literals =
+                        self.stats.peak_matrix_literals.max(matrix.num_literals());
                     // The duplicated variables join (or form) the
                     // innermost existential block.
                     if !renamed.is_empty() {
@@ -178,12 +176,7 @@ impl ExpansionSolver {
     /// Expands a single universal variable; returns the new matrix and
     /// the fresh names introduced for `inner_exists`, or `None` if the
     /// growth budget is hit.
-    fn expand_one(
-        &self,
-        u: Var,
-        inner_exists: &[Var],
-        matrix: &Cnf,
-    ) -> Option<(Cnf, Vec<Var>)> {
+    fn expand_one(&self, u: Var, inner_exists: &[Var], matrix: &Cnf) -> Option<(Cnf, Vec<Var>)> {
         // Upper bound on result size: 2× current.
         if matrix.num_literals() * 2 > self.limits.max_matrix_literals {
             return None;
@@ -258,7 +251,11 @@ mod tests {
         let got = ExpansionSolver::new().solve(qbf);
         assert_eq!(
             got,
-            if expect { QbfResult::True } else { QbfResult::False },
+            if expect {
+                QbfResult::True
+            } else {
+                QbfResult::False
+            },
             "expansion disagrees with semantics on {qbf}"
         );
     }

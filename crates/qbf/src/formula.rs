@@ -154,15 +154,12 @@ impl QbfFormula {
 
     /// Quantifier of `v`, or `None` if unbound.
     pub fn quantifier_of(&self, v: Var) -> Option<Quantifier> {
-        self.level_of(v)
-            .map(|l| self.prefix[l].quantifier)
+        self.level_of(v).map(|l| self.prefix[l].quantifier)
     }
 
     /// Index of the prefix block binding `v` (0 = outermost), or `None`.
     pub fn level_of(&self, v: Var) -> Option<usize> {
-        self.prefix
-            .iter()
-            .position(|b| b.vars.contains(&v))
+        self.prefix.iter().position(|b| b.vars.contains(&v))
     }
 
     /// A dense lookup table: `table[v] = Some((block_index, quantifier))`.
@@ -254,7 +251,12 @@ impl QbfFormula {
     }
 }
 
-fn eval_rec(matrix: &Cnf, order: &[(Var, Quantifier)], i: usize, assignment: &mut Vec<bool>) -> bool {
+fn eval_rec(
+    matrix: &Cnf,
+    order: &[(Var, Quantifier)],
+    i: usize,
+    assignment: &mut Vec<bool>,
+) -> bool {
     if i == order.len() {
         return matrix.eval(assignment);
     }

@@ -129,7 +129,10 @@ pub fn parse(input: &str) -> Result<QbfFormula, ParseQdimacsError> {
                 vars.push(Var::new((n - 1) as u32));
             }
             if !terminated {
-                return Err(ParseQdimacsError::new(lineno, "unterminated quantifier line"));
+                return Err(ParseQdimacsError::new(
+                    lineno,
+                    "unterminated quantifier line",
+                ));
             }
             blocks.push((q, vars));
             continue;

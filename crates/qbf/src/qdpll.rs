@@ -274,8 +274,7 @@ impl QdpllSolver {
                                     unassigned_exists = Some(l);
                                 }
                                 Quantifier::ForAll => {
-                                    min_univ_level =
-                                        min_univ_level.min(self.level[v.index()]);
+                                    min_univ_level = min_univ_level.min(self.level[v.index()]);
                                 }
                             }
                         }
@@ -294,8 +293,7 @@ impl QdpllSolver {
                     let e = unassigned_exists.expect("one existential literal");
                     // Unit under universal reduction: all unassigned
                     // universals are inner to the existential literal.
-                    if min_univ_level == usize::MAX
-                        || min_univ_level > self.level[e.var().index()]
+                    if min_univ_level == usize::MAX || min_univ_level > self.level[e.var().index()]
                     {
                         self.stats.propagations += 1;
                         self.assign_var(e.var(), e.is_positive());
@@ -384,7 +382,11 @@ mod tests {
         let got = QdpllSolver::new().solve(qbf);
         assert_eq!(
             got,
-            if expect { QbfResult::True } else { QbfResult::False },
+            if expect {
+                QbfResult::True
+            } else {
+                QbfResult::False
+            },
             "QDPLL disagrees with semantics on {qbf}\nmatrix: {:?}",
             qbf.matrix()
         );

@@ -1,62 +1,31 @@
 //! Property-based tests for the QBF subsystem: both solvers against
 //! brute-force semantics, solver-vs-solver agreement, and QDIMACS
-//! round-trips — all on proptest-generated formulae.
+//! round-trips — all on seeded random formulae (dependency-free
+//! property style; the case number on failure reproduces the input).
 
-use proptest::prelude::*;
+use sebmc_logic::rng::SplitMix64;
 use sebmc_logic::{Cnf, Var};
-use sebmc_qbf::{
-    qdimacs, ExpansionSolver, QbfFormula, QbfResult, QdpllSolver, Quantifier,
-};
+use sebmc_qbf::{qdimacs, ExpansionSolver, QbfFormula, QbfResult, QdpllSolver, Quantifier};
 
-#[derive(Debug, Clone)]
-struct QbfRecipe {
-    vars: usize,
-    clauses: Vec<Vec<(u8, bool)>>,
-    /// Per variable: whether a block boundary follows it, and the
-    /// quantifier of the first block.
-    boundaries: Vec<bool>,
-    first_forall: bool,
-}
-
-fn qbf_strategy() -> impl Strategy<Value = QbfRecipe> {
-    (2usize..=6)
-        .prop_flat_map(|vars| {
-            (
-                prop::collection::vec(
-                    prop::collection::vec((any::<u8>(), any::<bool>()), 1..4),
-                    1..10,
-                ),
-                prop::collection::vec(any::<bool>(), vars),
-                any::<bool>(),
-            )
-                .prop_map(move |(clauses, boundaries, first_forall)| QbfRecipe {
-                    vars,
-                    clauses,
-                    boundaries,
-                    first_forall,
-                })
-        })
-}
-
-fn build(recipe: &QbfRecipe) -> QbfFormula {
-    let mut m = Cnf::with_vars(recipe.vars);
-    for c in &recipe.clauses {
-        m.add_clause(
-            c.iter()
-                .map(|&(v, p)| Var::new(v as u32 % recipe.vars as u32).lit(p)),
-        );
+/// A random closed prenex-CNF formula over 2–6 variables.
+fn random_qbf(rng: &mut SplitMix64) -> QbfFormula {
+    let vars = rng.range_inclusive(2, 6);
+    let mut m = Cnf::with_vars(vars);
+    for _ in 0..rng.range_inclusive(1, 9) {
+        let len = rng.range_inclusive(1, 3);
+        m.add_clause((0..len).map(|_| Var::new(rng.below(vars) as u32).lit(rng.coin())));
     }
     let mut qbf = QbfFormula::new(m);
-    let mut quant = if recipe.first_forall {
+    let mut quant = if rng.coin() {
         Quantifier::ForAll
     } else {
         Quantifier::Exists
     };
     let mut block = Vec::new();
-    for v in 0..recipe.vars {
+    for v in 0..vars {
         block.push(Var::new(v as u32));
-        if recipe.boundaries[v] {
-            qbf.push_block(quant, block.drain(..).collect::<Vec<_>>());
+        if rng.coin() {
+            qbf.push_block(quant, std::mem::take(&mut block));
             quant = quant.dual();
         }
     }
@@ -64,70 +33,87 @@ fn build(recipe: &QbfRecipe) -> QbfFormula {
     qbf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn qdpll_matches_semantics(recipe in qbf_strategy()) {
-        let qbf = build(&recipe);
-        let expect = qbf.eval_semantic();
-        let got = QdpllSolver::new().solve(&qbf);
-        prop_assert_eq!(
-            got,
-            if expect { QbfResult::True } else { QbfResult::False }
-        );
+fn sweep(seed: u64, cases: u64, check: impl Fn(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(seed ^ (case.wrapping_mul(0x9e37_79b9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed on case {case} (seed {seed})");
+            std::panic::resume_unwind(e);
+        }
     }
+}
 
-    #[test]
-    fn expansion_matches_semantics(recipe in qbf_strategy()) {
-        let qbf = build(&recipe);
-        let expect = qbf.eval_semantic();
-        let got = ExpansionSolver::new().solve(&qbf);
-        prop_assert_eq!(
-            got,
-            if expect { QbfResult::True } else { QbfResult::False }
-        );
+fn bool_result(b: bool) -> QbfResult {
+    if b {
+        QbfResult::True
+    } else {
+        QbfResult::False
     }
+}
 
-    #[test]
-    fn solvers_agree_with_each_other(recipe in qbf_strategy()) {
-        let qbf = build(&recipe);
+#[test]
+fn qdpll_matches_semantics() {
+    sweep(0x0D11, 192, |rng| {
+        let qbf = random_qbf(rng);
+        let expect = qbf.eval_semantic();
+        assert_eq!(QdpllSolver::new().solve(&qbf), bool_result(expect));
+    });
+}
+
+#[test]
+fn expansion_matches_semantics() {
+    sweep(0xE4A5, 192, |rng| {
+        let qbf = random_qbf(rng);
+        let expect = qbf.eval_semantic();
+        assert_eq!(ExpansionSolver::new().solve(&qbf), bool_result(expect));
+    });
+}
+
+#[test]
+fn solvers_agree_with_each_other() {
+    sweep(0xA64E, 192, |rng| {
+        let qbf = random_qbf(rng);
         let a = QdpllSolver::new().solve(&qbf);
         let b = ExpansionSolver::new().solve(&qbf);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn qdimacs_round_trip(recipe in qbf_strategy()) {
-        let mut qbf = build(&recipe);
+#[test]
+fn qdimacs_round_trip() {
+    sweep(0x4D17, 128, |rng| {
+        let mut qbf = random_qbf(rng);
         qbf.close();
         let text = qdimacs::to_string(&qbf);
         let parsed = qdimacs::parse(&text).expect("own output parses");
-        prop_assert_eq!(parsed.matrix().clauses(), qbf.matrix().clauses());
-        prop_assert_eq!(parsed.prefix(), qbf.prefix());
-    }
+        assert_eq!(parsed.matrix().clauses(), qbf.matrix().clauses());
+        assert_eq!(parsed.prefix(), qbf.prefix());
+    });
+}
 
-    #[test]
-    fn qdimacs_round_trip_preserves_truth(recipe in qbf_strategy()) {
-        let mut qbf = build(&recipe);
+#[test]
+fn qdimacs_round_trip_preserves_truth() {
+    sweep(0x4D18, 96, |rng| {
+        let mut qbf = random_qbf(rng);
         qbf.close();
         let parsed = qdimacs::parse(&qdimacs::to_string(&qbf)).expect("parses");
-        prop_assert_eq!(parsed.eval_semantic(), qbf.eval_semantic());
-    }
+        assert_eq!(parsed.eval_semantic(), qbf.eval_semantic());
+    });
+}
 
-    /// Duality: prefixing a fresh universal variable that appears
-    /// nowhere never changes the truth value.
-    #[test]
-    fn vacuous_universal_is_neutral(recipe in qbf_strategy()) {
-        let qbf = build(&recipe);
+/// Duality: prefixing a fresh universal variable that appears
+/// nowhere never changes the truth value.
+#[test]
+fn vacuous_universal_is_neutral() {
+    sweep(0xFA11, 128, |rng| {
+        let qbf = random_qbf(rng);
+        let vars = qbf.matrix().num_vars();
         let expect = qbf.eval_semantic();
         let mut extended = qbf.clone();
-        let fresh = Var::new(recipe.vars as u32);
-        extended.matrix_mut().ensure_vars(recipe.vars + 1);
+        let fresh = Var::new(vars as u32);
+        extended.matrix_mut().ensure_vars(vars + 1);
         extended.push_block(Quantifier::ForAll, [fresh]);
-        prop_assert_eq!(
-            QdpllSolver::new().solve(&extended),
-            if expect { QbfResult::True } else { QbfResult::False }
-        );
-    }
+        assert_eq!(QdpllSolver::new().solve(&extended), bool_result(expect));
+    });
 }

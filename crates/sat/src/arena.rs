@@ -1,0 +1,341 @@
+//! Flat arena storage for the clause database.
+//!
+//! Every clause lives in one shared `Vec<u32>` as a contiguous
+//! `[header, (activity,) lit₀, lit₁, …]` record, and clauses are
+//! referred to by their word offset ([`CRef`]). Compared to the
+//! one-`Vec<Lit>`-per-clause layout this removes a pointer indirection
+//! from the propagation loop, packs the whole database into one cache-
+//! friendly allocation, and makes memory accounting *exact*: the arena
+//! knows precisely how many words are live and how many are garbage.
+//!
+//! ## Record layout
+//!
+//! ```text
+//! word 0          header: [ len : 29 | forwarded : 1 | freed : 1 | learnt : 1 ]
+//! word 1          f32 activity bits        (learnt clauses only)
+//! word 1(+1)..    literal codes, `len` of them
+//! ```
+//!
+//! ## Garbage and compaction
+//!
+//! [`ClauseArena::free`] only flips the `freed` bit and books the
+//! record's words as wasted — O(1), no memory moves. When the wasted
+//! share grows past the solver's threshold, the solver builds a fresh
+//! arena and calls [`ClauseArena::reloc`] on every root reference
+//! (clause lists, watcher lists, reason pointers). The first relocation
+//! of a record copies it and installs a forwarding pointer in the old
+//! header; later relocations of the same record just follow the
+//! pointer, so aliased references stay consistent. This is the
+//! MiniSat `RegionAllocator::reloc` protocol, without `unsafe`.
+
+use sebmc_logic::Lit;
+
+/// A clause reference: word offset of the clause record in the arena.
+///
+/// `CRef`s are stable between collections and dense enough to tag (the
+/// solver packs an is-binary bit into the top bit inside its watcher
+/// lists; offsets stay below 2³¹ words = 8 GiB of clauses).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CRef(pub(crate) u32);
+
+const LEARNT: u32 = 1;
+const FREED: u32 = 1 << 1;
+const FORWARDED: u32 = 1 << 2;
+const LEN_SHIFT: u32 = 3;
+/// Maximum literals per clause imposed by the 29-bit length field.
+pub const MAX_CLAUSE_LEN: usize = (1 << (32 - LEN_SHIFT)) - 1;
+
+/// The flat clause store. See the module docs for the record layout.
+#[derive(Debug, Default, Clone)]
+pub struct ClauseArena {
+    data: Vec<u32>,
+    wasted: usize,
+}
+
+impl ClauseArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ClauseArena::default()
+    }
+
+    /// An empty arena with `words` of pre-reserved capacity.
+    pub fn with_capacity(words: usize) -> Self {
+        ClauseArena {
+            data: Vec::with_capacity(words),
+            wasted: 0,
+        }
+    }
+
+    /// Allocates a clause record; `lits` must have at least 2 entries.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool) -> CRef {
+        debug_assert!(lits.len() >= 2);
+        assert!(lits.len() <= MAX_CLAUSE_LEN, "clause too long for arena");
+        // Offsets must stay below 2³¹ so the solver's watcher lists can
+        // tag bit 31: past this, a long-clause CRef would masquerade as
+        // a binary watcher and corrupt propagation silently.
+        assert!(
+            self.data.len() < (1 << 31) as usize - lits.len() - 2,
+            "clause arena exceeds the 2^31-word CRef limit"
+        );
+        let cref = CRef(self.data.len() as u32);
+        let header = ((lits.len() as u32) << LEN_SHIFT) | u32::from(learnt);
+        self.data.push(header);
+        if learnt {
+            self.data.push(0f32.to_bits());
+        }
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        cref
+    }
+
+    #[inline]
+    fn header(&self, c: CRef) -> u32 {
+        self.data[c.0 as usize]
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, c: CRef) -> usize {
+        (self.header(c) >> LEN_SHIFT) as usize
+    }
+
+    /// Whether the arena holds no clause records at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether the clause was allocated as a learnt clause.
+    #[inline]
+    pub fn is_learnt(&self, c: CRef) -> bool {
+        self.header(c) & LEARNT != 0
+    }
+
+    /// Whether the clause has been [`free`](ClauseArena::free)d.
+    #[inline]
+    pub fn is_freed(&self, c: CRef) -> bool {
+        self.header(c) & FREED != 0
+    }
+
+    /// Word index of the clause's first literal.
+    #[inline]
+    fn lit_base(&self, c: CRef) -> usize {
+        c.0 as usize + 1 + (self.header(c) & LEARNT) as usize
+    }
+
+    /// The `i`-th literal of the clause.
+    #[inline]
+    pub fn lit(&self, c: CRef, i: usize) -> Lit {
+        debug_assert!(i < self.len(c));
+        Lit::from_code(self.data[self.lit_base(c) + i] as usize)
+    }
+
+    /// All literals of the clause, as an iterator (no allocation).
+    #[inline]
+    pub fn lits(&self, c: CRef) -> impl Iterator<Item = Lit> + '_ {
+        let base = self.lit_base(c);
+        self.data[base..base + self.len(c)]
+            .iter()
+            .map(|&w| Lit::from_code(w as usize))
+    }
+
+    /// Overwrites the `i`-th literal.
+    #[inline]
+    pub fn set_lit(&mut self, c: CRef, i: usize, l: Lit) {
+        debug_assert!(i < self.len(c));
+        let base = self.lit_base(c);
+        self.data[base + i] = l.code() as u32;
+    }
+
+    /// Swaps two literals of the clause.
+    #[inline]
+    pub fn swap_lits(&mut self, c: CRef, i: usize, j: usize) {
+        let base = self.lit_base(c);
+        self.data.swap(base + i, base + j);
+    }
+
+    /// Clause activity (learnt clauses only; 0 for problem clauses).
+    #[inline]
+    pub fn activity(&self, c: CRef) -> f32 {
+        if self.is_learnt(c) {
+            f32::from_bits(self.data[c.0 as usize + 1])
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets the clause activity (must be learnt).
+    #[inline]
+    pub fn set_activity(&mut self, c: CRef, act: f32) {
+        debug_assert!(self.is_learnt(c));
+        self.data[c.0 as usize + 1] = act.to_bits();
+    }
+
+    /// Total words a record with `len` literals occupies.
+    fn record_words(len: usize, learnt: bool) -> usize {
+        1 + usize::from(learnt) + len
+    }
+
+    /// Words currently occupied by this clause's record.
+    #[inline]
+    pub fn clause_words(&self, c: CRef) -> usize {
+        Self::record_words(self.len(c), self.is_learnt(c))
+    }
+
+    /// Shrinks the clause in place to its first `new_len` literals,
+    /// booking the tail words as wasted. Used by `simplify()` when
+    /// stripping level-0-falsified literals.
+    pub fn shrink(&mut self, c: CRef, new_len: usize) {
+        let old_len = self.len(c);
+        debug_assert!(0 < new_len && new_len <= old_len);
+        let flags = self.header(c) & (LEARNT | FREED | FORWARDED);
+        self.data[c.0 as usize] = ((new_len as u32) << LEN_SHIFT) | flags;
+        self.wasted += old_len - new_len;
+    }
+
+    /// Marks the clause as garbage. O(1): the words are reclaimed
+    /// physically only by the next [`reloc`](ClauseArena::reloc)-based
+    /// collection. The caller must ensure no watcher or reason still
+    /// refers to the clause by the time that collection runs.
+    pub fn free(&mut self, c: CRef) {
+        debug_assert!(!self.is_freed(c));
+        self.wasted += self.clause_words(c);
+        self.data[c.0 as usize] |= FREED;
+    }
+
+    /// Moves the clause into `to` (or follows its forwarding pointer if
+    /// it already moved) and returns its new reference.
+    pub fn reloc(&mut self, c: CRef, to: &mut ClauseArena) -> CRef {
+        let header = self.header(c);
+        if header & FORWARDED != 0 {
+            return CRef(self.data[c.0 as usize + 1]);
+        }
+        debug_assert!(header & FREED == 0, "relocating a freed clause");
+        let len = (header >> LEN_SHIFT) as usize;
+        let learnt = header & LEARNT != 0;
+        let new = CRef(to.data.len() as u32);
+        let start = c.0 as usize;
+        to.data
+            .extend_from_slice(&self.data[start..start + Self::record_words(len, learnt)]);
+        self.data[start] = header | FORWARDED;
+        self.data[start + 1] = new.0;
+        new
+    }
+
+    /// Resident size of the arena in words (live + garbage).
+    pub fn resident_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words occupied by live (non-freed, non-stripped) records.
+    pub fn live_words(&self) -> usize {
+        self.data.len() - self.wasted
+    }
+
+    /// Words booked as garbage (freed records + stripped literals).
+    pub fn wasted_words(&self) -> usize {
+        self.wasted
+    }
+
+    /// Resident size in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Live bytes (what a perfectly compacted arena would occupy).
+    pub fn live_bytes(&self) -> usize {
+        self.live_words() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(codes: &[usize]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_code(c)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut a = ClauseArena::new();
+        let c1 = a.alloc(&lits(&[0, 3, 5]), false);
+        let c2 = a.alloc(&lits(&[2, 7]), true);
+        assert_eq!(a.len(c1), 3);
+        assert_eq!(a.len(c2), 2);
+        assert!(!a.is_learnt(c1));
+        assert!(a.is_learnt(c2));
+        assert_eq!(a.lit(c1, 1), Lit::from_code(3));
+        assert_eq!(a.lits(c2).collect::<Vec<_>>(), lits(&[2, 7]));
+        // 1+3 words for c1, 1+1+2 for c2.
+        assert_eq!(a.resident_words(), 8);
+        assert_eq!(a.live_words(), 8);
+    }
+
+    #[test]
+    fn activity_round_trips_only_for_learnt() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&lits(&[0, 2]), true);
+        assert_eq!(a.activity(c), 0.0);
+        a.set_activity(c, 3.25);
+        assert_eq!(a.activity(c), 3.25);
+        let p = a.alloc(&lits(&[4, 6]), false);
+        assert_eq!(a.activity(p), 0.0);
+    }
+
+    #[test]
+    fn swap_and_set_lits() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&lits(&[0, 2, 4]), false);
+        a.swap_lits(c, 0, 2);
+        assert_eq!(a.lits(c).collect::<Vec<_>>(), lits(&[4, 2, 0]));
+        a.set_lit(c, 1, Lit::from_code(9));
+        assert_eq!(a.lit(c, 1), Lit::from_code(9));
+    }
+
+    #[test]
+    fn free_and_shrink_book_waste() {
+        let mut a = ClauseArena::new();
+        let c1 = a.alloc(&lits(&[0, 2, 4, 6]), false);
+        let c2 = a.alloc(&lits(&[1, 3]), false);
+        assert_eq!(a.wasted_words(), 0);
+        a.shrink(c1, 2);
+        assert_eq!(a.len(c1), 2);
+        assert_eq!(a.wasted_words(), 2);
+        a.free(c2);
+        assert!(a.is_freed(c2));
+        assert_eq!(a.wasted_words(), 2 + 3);
+        assert_eq!(a.live_words(), a.resident_words() - 5);
+    }
+
+    #[test]
+    fn reloc_compacts_and_forwards() {
+        let mut a = ClauseArena::new();
+        let c1 = a.alloc(&lits(&[0, 2, 4]), false);
+        let c2 = a.alloc(&lits(&[1, 3]), true);
+        let c3 = a.alloc(&lits(&[5, 7]), false);
+        a.free(c1);
+        a.set_activity(c2, 1.5);
+
+        let mut to = ClauseArena::with_capacity(a.live_words());
+        let n2 = a.reloc(c2, &mut to);
+        let n2_again = a.reloc(c2, &mut to);
+        assert_eq!(n2, n2_again, "forwarding pointer must be followed");
+        let n3 = a.reloc(c3, &mut to);
+
+        assert_eq!(to.lits(n2).collect::<Vec<_>>(), lits(&[1, 3]));
+        assert_eq!(to.activity(n2), 1.5);
+        assert!(to.is_learnt(n2));
+        assert_eq!(to.lits(n3).collect::<Vec<_>>(), lits(&[5, 7]));
+        // c1's 4 words are gone: only c2 (4) + c3 (3) words remain.
+        assert_eq!(to.resident_words(), 7);
+        assert_eq!(to.wasted_words(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_includes_headers() {
+        let mut a = ClauseArena::new();
+        a.alloc(&lits(&[0, 2]), false); // 3 words
+        a.alloc(&lits(&[1, 3]), true); // 4 words
+        assert_eq!(a.resident_bytes(), 7 * 4);
+        assert_eq!(a.live_bytes(), 7 * 4);
+    }
+}

@@ -33,9 +33,7 @@ impl ActivityHeap {
 
     /// Whether `v` is currently in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .is_some_and(|&p| p != ABSENT)
+        self.pos.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Number of queued variables.
@@ -107,14 +105,10 @@ impl ActivityHeap {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut best = i;
-            if l < self.heap.len()
-                && act[self.heap[l].index()] > act[self.heap[best].index()]
-            {
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
                 best = l;
             }
-            if r < self.heap.len()
-                && act[self.heap[r].index()] > act[self.heap[best].index()]
-            {
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
                 best = r;
             }
             if best == i {

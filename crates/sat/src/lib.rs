@@ -33,7 +33,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod heap;
 mod solver;
 
+pub use arena::{CRef, ClauseArena};
 pub use solver::{Limits, SolveResult, Solver, Stats};

@@ -5,7 +5,8 @@
 //! "state-of-the-art DPLL-based SAT solvers" the paper evaluated in
 //! 2005, and the substrate its jSAT procedure was built on:
 //!
-//! * two-watched-literal propagation with blocker literals,
+//! * two-watched-literal propagation with blocker literals and an
+//!   inline binary-clause fast path,
 //! * first-UIP conflict analysis with basic clause minimization,
 //! * VSIDS variable activities with phase saving,
 //! * Luby-sequence restarts,
@@ -15,11 +16,48 @@
 //! * `simplify()` — level-0 garbage collection that physically removes
 //!   satisfied clauses, which is what lets jSAT retract blocking
 //!   clauses and keep its memory proportional to the path length.
+//!
+//! # Clause storage: the arena
+//!
+//! All clauses live in a single flat [`ClauseArena`] (see
+//! [`crate::arena`] for the record layout) and are referred to by
+//! [`CRef`] word offsets. Three kinds of root references exist, and
+//! the solver maintains these invariants for each:
+//!
+//! * **clause lists** (`clauses` for problem clauses, `learnt_refs`
+//!   for learnt ones) hold every live clause exactly once and *never*
+//!   hold a freed clause — `free` is always paired with removal from
+//!   the owning list;
+//! * **watcher lists** hold exactly two watchers per live clause of
+//!   length ≥ 2 (for clauses of length 2 the watcher carries the other
+//!   literal inline and is tagged binary, so propagation never touches
+//!   the arena for them); a clause is detached before it is freed,
+//!   except in `simplify()` which rebuilds every watcher list from
+//!   scratch;
+//! * **reason references** (`VarData::reason`) exist only for
+//!   currently-assigned non-decision variables on the trail; clauses
+//!   locked as reasons are never freed (`reduce_db` checks
+//!   `is_locked`, and `simplify` runs at level 0 where reasons have
+//!   been cleared).
+//!
+//! # Compacting garbage collection
+//!
+//! `free`/`shrink` only *book* garbage; the words are reclaimed by
+//! [`Solver::garbage_collect`], which copies live records into a fresh
+//! arena (in clause-list order, restoring allocation locality) and
+//! rewrites all three root-reference kinds through the arena's
+//! forwarding pointers. Collection triggers automatically whenever the
+//! wasted share of the arena exceeds [`GC_WASTE_FRACTION`] at a safe
+//! point: after `simplify()` (jSAT's blocking-clause retirement) and
+//! after `reduce_db()` (learnt-clause pruning). This is what turns the
+//! seed's tombstone leak into physically-flat memory: retired clauses
+//! now shrink the resident clause database, not just a counter.
 
 use std::time::Instant;
 
 use sebmc_logic::{Cnf, Lit, Var};
 
+use crate::arena::{CRef, ClauseArena};
 use crate::heap::ActivityHeap;
 
 /// Result of a [`Solver::solve`] call.
@@ -85,17 +123,30 @@ pub struct Stats {
     pub learnts: u64,
     /// Clauses removed by reduction or simplification.
     pub removed_clauses: u64,
+    /// Arena compactions performed.
+    pub gc_runs: u64,
     /// Current live literal count across all clauses (memory proxy).
     pub live_lits: usize,
     /// Peak live literal count ever observed (memory proxy; E4).
     pub peak_live_lits: usize,
+    /// Current live clause-database size in arena words, clause
+    /// headers included (exact memory measure).
+    pub live_words: usize,
+    /// Peak of [`Stats::live_words`] ever observed.
+    pub peak_live_words: usize,
 }
 
 impl Stats {
-    /// Approximate peak clause-database size in bytes (4 bytes per
-    /// literal).
+    /// Exact peak clause-database size in bytes: every live arena word
+    /// at the high-water mark, clause headers and activity words
+    /// included — not the seed's `peak_live_lits * 4` approximation.
     pub fn peak_bytes(&self) -> usize {
-        self.peak_live_lits * std::mem::size_of::<Lit>()
+        self.peak_live_words * std::mem::size_of::<u32>()
+    }
+
+    /// Exact current live clause-database size in bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live_words * std::mem::size_of::<u32>()
     }
 }
 
@@ -106,30 +157,64 @@ enum Value {
     Unassigned,
 }
 
-#[derive(Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-}
-
+/// One entry of a watch list.
+///
+/// `cref_tag` is the clause's [`CRef`] with [`BIN_TAG`] set when the
+/// clause is binary. For binary clauses `blocker` *is* the other
+/// literal, so propagation decides keep/enqueue/conflict without ever
+/// dereferencing the arena; for longer clauses `blocker` is a cached
+/// literal whose truth lets the common already-satisfied case skip the
+/// arena too.
 #[derive(Copy, Clone, Debug)]
 struct Watcher {
-    cref: u32,
+    cref_tag: u32,
     blocker: Lit,
+}
+
+const BIN_TAG: u32 = 1 << 31;
+
+impl Watcher {
+    #[inline]
+    fn long(cref: CRef, blocker: Lit) -> Self {
+        Watcher {
+            cref_tag: cref.0,
+            blocker,
+        }
+    }
+
+    #[inline]
+    fn binary(cref: CRef, other: Lit) -> Self {
+        Watcher {
+            cref_tag: cref.0 | BIN_TAG,
+            blocker: other,
+        }
+    }
+
+    #[inline]
+    fn is_binary(self) -> bool {
+        self.cref_tag & BIN_TAG != 0
+    }
+
+    #[inline]
+    fn cref(self) -> CRef {
+        CRef(self.cref_tag & !BIN_TAG)
+    }
 }
 
 #[derive(Copy, Clone, Debug)]
 struct VarData {
-    reason: Option<u32>,
+    reason: Option<CRef>,
     level: u32,
 }
 
 const VAR_DECAY: f64 = 0.95;
-const CLA_DECAY: f64 = 0.999;
+const CLA_DECAY: f32 = 0.999;
 const RESTART_FIRST: u64 = 100;
 const RESCALE_LIMIT: f64 = 1e100;
+const CLA_RESCALE_LIMIT: f32 = 1e20;
+/// Fraction of the arena that may be garbage before a safe point
+/// triggers compaction.
+const GC_WASTE_FRACTION: f64 = 0.20;
 
 /// An incremental CDCL SAT solver.
 ///
@@ -147,8 +232,9 @@ const RESCALE_LIMIT: f64 = 1e100;
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<ClauseData>,
-    learnt_refs: Vec<u32>,
+    arena: ClauseArena,
+    clauses: Vec<CRef>,
+    learnt_refs: Vec<CRef>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<Value>,
     vardata: Vec<VarData>,
@@ -157,7 +243,7 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    cla_inc: f64,
+    cla_inc: f32,
     heap: ActivityHeap,
     phase: Vec<bool>,
     seen: Vec<bool>,
@@ -179,6 +265,7 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
+            arena: ClauseArena::new(),
             clauses: Vec::new(),
             learnt_refs: Vec::new(),
             watches: Vec::new(),
@@ -231,9 +318,9 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of live (non-deleted) problem clauses.
+    /// Number of live problem clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count()
+        self.clauses.len()
     }
 
     /// Whether the solver is still consistent (no top-level conflict).
@@ -249,6 +336,19 @@ impl Solver {
     /// Search statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Resident clause-database size in bytes: live records *plus*
+    /// garbage not yet compacted away. This is what the process
+    /// actually holds; it shrinks when [`Solver::garbage_collect`]
+    /// runs.
+    pub fn clause_db_resident_bytes(&self) -> usize {
+        self.arena.resident_bytes()
+    }
+
+    /// Live clause-database size in bytes (headers included).
+    pub fn clause_db_live_bytes(&self) -> usize {
+        self.arena.live_bytes()
     }
 
     /// Adds a clause; returns `false` if the solver became inconsistent
@@ -294,7 +394,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.alloc_clause(filtered, false);
+                self.alloc_clause(&filtered, false);
                 true
             }
         }
@@ -373,7 +473,9 @@ impl Solver {
 
     /// Level-0 simplification: removes clauses satisfied at the top
     /// level and strips falsified literals, physically reclaiming
-    /// memory. Returns `false` if the formula became inconsistent.
+    /// memory (the arena is compacted when enough garbage has
+    /// accumulated). Returns `false` if the formula became
+    /// inconsistent.
     ///
     /// This is the operation jSAT uses to retract deactivated blocking
     /// clauses (see crate `sebmc`, module `jsat`).
@@ -395,52 +497,63 @@ impl Solver {
             w.clear();
         }
         let mut enqueue: Vec<Lit> = Vec::new();
-        for cref in 0..self.clauses.len() as u32 {
-            let (remove, strip) = {
-                let c = &self.clauses[cref as usize];
-                if c.deleted {
+        for which in [false, true] {
+            let mut refs = std::mem::take(if which {
+                &mut self.learnt_refs
+            } else {
+                &mut self.clauses
+            });
+            let mut kept = Vec::with_capacity(refs.len());
+            for &cref in &refs {
+                let satisfied = self
+                    .arena
+                    .lits(cref)
+                    .any(|l| lit_value(&self.assigns, l) == Value::True);
+                if satisfied {
+                    self.free_clause(cref);
                     continue;
                 }
-                let satisfied = c
-                    .lits
-                    .iter()
-                    .any(|&l| lit_value(&self.assigns, l) == Value::True);
-                if satisfied {
-                    (true, false)
-                } else {
-                    let has_false = c
-                        .lits
-                        .iter()
-                        .any(|&l| lit_value(&self.assigns, l) == Value::False);
-                    (false, has_false)
+                // Strip level-0-falsified literals in place.
+                let len = self.arena.len(cref);
+                let mut kept_lits = 0;
+                for i in 0..len {
+                    let l = self.arena.lit(cref, i);
+                    if lit_value(&self.assigns, l) != Value::False {
+                        if i != kept_lits {
+                            self.arena.set_lit(cref, kept_lits, l);
+                        }
+                        kept_lits += 1;
+                    }
                 }
-            };
-            if remove {
-                self.delete_clause(cref);
-                continue;
+                if kept_lits < len {
+                    self.arena.shrink(cref, kept_lits.max(1));
+                    self.stats.live_lits -= len - kept_lits.max(1);
+                }
+                match kept_lits {
+                    0 => {
+                        self.ok = false;
+                        // Restore list ownership before bailing out.
+                        refs.clear();
+                        return false;
+                    }
+                    1 => {
+                        enqueue.push(self.arena.lit(cref, 0));
+                        self.free_clause(cref);
+                    }
+                    _ => {
+                        self.attach_clause(cref);
+                        kept.push(cref);
+                    }
+                }
             }
-            if strip {
-                let c = &mut self.clauses[cref as usize];
-                let before = c.lits.len();
-                let assigns = &self.assigns;
-                c.lits.retain(|&l| lit_value(assigns, l) != Value::False);
-                self.stats.live_lits -= before - c.lits.len();
-            }
-            let c = &self.clauses[cref as usize];
-            match c.lits.len() {
-                0 => {
-                    self.ok = false;
-                    return false;
-                }
-                1 => {
-                    enqueue.push(c.lits[0]);
-                    self.delete_clause(cref);
-                }
-                _ => {
-                    self.attach_clause(cref);
-                }
+            refs.clear();
+            if which {
+                self.learnt_refs = kept;
+            } else {
+                self.clauses = kept;
             }
         }
+        self.sync_word_stats();
         for l in enqueue {
             match lit_value(&self.assigns, l) {
                 Value::True => {}
@@ -456,10 +569,59 @@ impl Solver {
             self.ok = false;
             return false;
         }
+        self.maybe_garbage_collect();
         self.ok
     }
 
+    /// Compacts the clause arena now: copies every live clause into a
+    /// fresh arena and rewrites clause lists, watcher lists, and reason
+    /// references. Resident memory drops by exactly the booked garbage.
+    pub fn garbage_collect(&mut self) {
+        if self.arena.wasted_words() == 0 {
+            return;
+        }
+        let mut to = ClauseArena::with_capacity(self.arena.live_words());
+        for c in self.clauses.iter_mut() {
+            *c = self.arena.reloc(*c, &mut to);
+        }
+        for c in self.learnt_refs.iter_mut() {
+            *c = self.arena.reloc(*c, &mut to);
+        }
+        for list in self.watches.iter_mut() {
+            for w in list.iter_mut() {
+                let new = self.arena.reloc(w.cref(), &mut to);
+                *w = if w.is_binary() {
+                    Watcher::binary(new, w.blocker)
+                } else {
+                    Watcher::long(new, w.blocker)
+                };
+            }
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            if let Some(r) = self.vardata[v.index()].reason {
+                self.vardata[v.index()].reason = Some(self.arena.reloc(r, &mut to));
+            }
+        }
+        self.arena = to;
+        self.stats.gc_runs += 1;
+        self.sync_word_stats();
+    }
+
     // ----- internal machinery -------------------------------------------------
+
+    fn maybe_garbage_collect(&mut self) {
+        let resident = self.arena.resident_words();
+        if resident > 0 && self.arena.wasted_words() as f64 >= resident as f64 * GC_WASTE_FRACTION {
+            self.garbage_collect();
+        }
+    }
+
+    /// Refreshes the word-level memory statistics from the arena.
+    fn sync_word_stats(&mut self) {
+        self.stats.live_words = self.arena.live_words();
+        self.stats.peak_live_words = self.stats.peak_live_words.max(self.stats.live_words);
+    }
 
     fn decision_level(&self) -> usize {
         self.trail_lim.len()
@@ -469,63 +631,61 @@ impl Solver {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn alloc_clause(&mut self, lits: &[Lit], learnt: bool) -> CRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
+        let cref = self.arena.alloc(lits, learnt);
         self.stats.live_lits += lits.len();
         self.stats.peak_live_lits = self.stats.peak_live_lits.max(self.stats.live_lits);
-        self.clauses.push(ClauseData {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-        });
         if learnt {
             self.learnt_refs.push(cref);
             self.stats.learnts += 1;
+        } else {
+            self.clauses.push(cref);
         }
+        self.sync_word_stats();
         self.attach_clause(cref);
         cref
     }
 
-    fn attach_clause(&mut self, cref: u32) {
-        let (w0, w1, b0, b1) = {
-            let c = &self.clauses[cref as usize];
-            (c.lits[0], c.lits[1], c.lits[1], c.lits[0])
-        };
-        self.watches[(!w0).code()].push(Watcher { cref, blocker: b0 });
-        self.watches[(!w1).code()].push(Watcher { cref, blocker: b1 });
+    fn attach_clause(&mut self, cref: CRef) {
+        let w0 = self.arena.lit(cref, 0);
+        let w1 = self.arena.lit(cref, 1);
+        if self.arena.len(cref) == 2 {
+            self.watches[(!w0).code()].push(Watcher::binary(cref, w1));
+            self.watches[(!w1).code()].push(Watcher::binary(cref, w0));
+        } else {
+            self.watches[(!w0).code()].push(Watcher::long(cref, w1));
+            self.watches[(!w1).code()].push(Watcher::long(cref, w0));
+        }
     }
 
-    fn detach_clause(&mut self, cref: u32) {
-        let (w0, w1) = {
-            let c = &self.clauses[cref as usize];
-            (c.lits[0], c.lits[1])
-        };
+    fn detach_clause(&mut self, cref: CRef) {
+        let w0 = self.arena.lit(cref, 0);
+        let w1 = self.arena.lit(cref, 1);
         for w in [w0, w1] {
             let list = &mut self.watches[(!w).code()];
-            if let Some(pos) = list.iter().position(|x| x.cref == cref) {
+            if let Some(pos) = list.iter().position(|x| x.cref() == cref) {
                 list.swap_remove(pos);
             }
         }
     }
 
-    /// Marks a clause deleted and frees its literal storage. The caller
-    /// is responsible for watches (either `detach_clause` first, or a
-    /// wholesale watch rebuild as in `simplify`).
-    fn delete_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        debug_assert!(!c.deleted);
-        c.deleted = true;
-        self.stats.live_lits -= c.lits.len();
+    /// Books the clause as garbage and updates the statistics. The
+    /// caller is responsible for the watcher lists (either
+    /// `detach_clause` first, or a wholesale rebuild as in `simplify`)
+    /// and for removing the reference from its owning clause list.
+    fn free_clause(&mut self, cref: CRef) {
+        self.stats.live_lits -= self.arena.len(cref);
         self.stats.removed_clauses += 1;
-        if c.learnt {
+        if self.arena.is_learnt(cref) {
             self.stats.learnts -= 1;
         }
-        c.lits = Vec::new();
+        self.arena.free(cref);
+        self.stats.live_words = self.arena.live_words();
     }
 
-    fn unchecked_enqueue(&mut self, p: Lit, reason: Option<u32>) {
+    #[inline]
+    fn unchecked_enqueue(&mut self, p: Lit, reason: Option<CRef>) {
         debug_assert_eq!(lit_value(&self.assigns, p), Value::Unassigned);
         self.assigns[p.var().index()] = if p.is_positive() {
             Value::True
@@ -541,99 +701,99 @@ impl Solver {
 
     /// Unit propagation; returns the conflicting clause reference, if
     /// any.
-    fn propagate(&mut self) -> Option<u32> {
+    ///
+    /// Binary watchers complete without touching the arena: the
+    /// watcher's blocker *is* the other literal, so satisfied/unit/
+    /// conflict are decided from the assignment table alone. Long
+    /// clauses take the classic MiniSat path over the flat arena.
+    fn propagate(&mut self) -> Option<CRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let false_lit = !p;
+            // Take the list to sidestep aliasing with pushes into
+            // *other* watch lists; the allocation survives and is
+            // swapped back below, so there is no per-literal churn.
             let mut ws = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0;
-            let mut keep = 0;
+            let mut j = 0;
             'watchers: while i < ws.len() {
-                let Watcher { cref, blocker } = ws[i];
+                let w = ws[i];
                 i += 1;
-                if lit_value(&self.assigns, blocker) == Value::True {
-                    ws[keep] = Watcher { cref, blocker };
-                    keep += 1;
+                // Cheapest exit: the cached blocker is already true.
+                if lit_value(&self.assigns, w.blocker) == Value::True {
+                    ws[j] = w;
+                    j += 1;
                     continue;
                 }
-                enum Action {
-                    Keep(Lit),
-                    Moved,
-                    Unit(Lit),
-                    Conflict,
-                }
-                let action = {
-                    let not_p = !p;
-                    let c = &mut self.clauses[cref as usize];
-                    debug_assert!(!c.deleted);
-                    if c.lits[0] == not_p {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], not_p);
-                    let first = c.lits[0];
-                    if first != blocker && lit_value(&self.assigns, first) == Value::True {
-                        Action::Keep(first)
-                    } else {
-                        let mut moved = false;
-                        for k in 2..c.lits.len() {
-                            if lit_value(&self.assigns, c.lits[k]) != Value::False {
-                                c.lits.swap(1, k);
-                                moved = true;
-                                break;
+                if w.is_binary() {
+                    // The blocker is the whole rest of the clause.
+                    ws[j] = w;
+                    j += 1;
+                    match lit_value(&self.assigns, w.blocker) {
+                        Value::Unassigned => {
+                            self.unchecked_enqueue(w.blocker, Some(w.cref()));
+                        }
+                        Value::False => {
+                            conflict = Some(w.cref());
+                            while i < ws.len() {
+                                ws[j] = ws[i];
+                                j += 1;
+                                i += 1;
                             }
+                            self.qhead = self.trail.len();
+                            break 'watchers;
                         }
-                        if moved {
-                            let new_watch = !c.lits[1];
-                            self.watches[new_watch.code()].push(Watcher {
-                                cref,
-                                blocker: first,
-                            });
-                            Action::Moved
-                        } else if lit_value(&self.assigns, first) == Value::False {
-                            Action::Conflict
-                        } else {
-                            Action::Unit(first)
-                        }
+                        Value::True => unreachable!("handled by the blocker test"),
                     }
-                };
-                match action {
-                    Action::Keep(first) => {
-                        ws[keep] = Watcher {
-                            cref,
-                            blocker: first,
-                        };
-                        keep += 1;
-                    }
-                    Action::Moved => {}
-                    Action::Unit(first) => {
-                        ws[keep] = Watcher {
-                            cref,
-                            blocker: first,
-                        };
-                        keep += 1;
-                        self.unchecked_enqueue(first, Some(cref));
-                    }
-                    Action::Conflict => {
-                        ws[keep] = Watcher {
-                            cref,
-                            blocker: self.clauses[cref as usize].lits[0],
-                        };
-                        keep += 1;
-                        // Keep the remaining watchers and stop.
-                        while i < ws.len() {
-                            ws[keep] = ws[i];
-                            keep += 1;
-                            i += 1;
-                        }
-                        conflict = Some(cref);
-                        self.qhead = self.trail.len();
-                        break 'watchers;
+                    continue;
+                }
+                let cref = w.cref();
+                // Make sure the false literal is at slot 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
+                let keep = Watcher::long(cref, first);
+                if first != w.blocker && lit_value(&self.assigns, first) == Value::True {
+                    ws[j] = keep;
+                    j += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.arena.len(cref);
+                let mut moved = false;
+                for k in 2..len {
+                    let lk = self.arena.lit(cref, k);
+                    if lit_value(&self.assigns, lk) != Value::False {
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watches[(!lk).code()].push(keep);
+                        moved = true;
+                        break;
                     }
                 }
+                if moved {
+                    continue;
+                }
+                // No replacement: the clause is unit or conflicting.
+                ws[j] = keep;
+                j += 1;
+                if lit_value(&self.assigns, first) == Value::False {
+                    conflict = Some(cref);
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    break 'watchers;
+                }
+                self.unchecked_enqueue(first, Some(cref));
             }
-            ws.truncate(keep);
+            ws.truncate(j);
             self.watches[p.code()] = ws;
             if conflict.is_some() {
                 break;
@@ -644,24 +804,26 @@ impl Solver {
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backjump level.
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+    ///
+    /// Reason clauses are iterated by value with the resolved variable
+    /// skipped, so binary reasons work regardless of which arena slot
+    /// the implied literal occupies.
+    fn analyze(&mut self, mut confl: CRef) -> (Vec<Lit>, usize) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0 = UIP
         let mut path_c = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         loop {
-            {
-                let bump = {
-                    let c = &self.clauses[confl as usize];
-                    c.learnt
-                };
-                if bump {
-                    self.bump_clause(confl);
-                }
+            if self.arena.is_learnt(confl) {
+                self.bump_clause(confl);
             }
-            let start = usize::from(p.is_some());
-            let lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
-            for q in lits {
+            for idx in 0..self.arena.len(confl) {
+                let q = self.arena.lit(confl, idx);
+                if let Some(pl) = p {
+                    if q.var() == pl.var() {
+                        continue; // the resolved literal itself
+                    }
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.vardata[v.index()].level > 0 {
                     self.seen[v.index()] = true;
@@ -700,8 +862,10 @@ impl Solver {
             let x = learnt[i].var();
             let redundant = match self.vardata[x.index()].reason {
                 None => false,
-                Some(r) => self.clauses[r as usize].lits[1..].iter().all(|&q| {
-                    self.seen[q.var().index()] || self.vardata[q.var().index()].level == 0
+                Some(r) => self.arena.lits(r).all(|q| {
+                    q.var() == x
+                        || self.seen[q.var().index()]
+                        || self.vardata[q.var().index()].level == 0
                 }),
             };
             if !redundant {
@@ -745,14 +909,16 @@ impl Solver {
         self.heap.bumped(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > RESCALE_LIMIT {
-            for cl in &mut self.clauses {
-                cl.activity *= 1.0 / RESCALE_LIMIT;
+    fn bump_clause(&mut self, cref: CRef) {
+        let act = self.arena.activity(cref) + self.cla_inc;
+        self.arena.set_activity(cref, act);
+        if act > CLA_RESCALE_LIMIT {
+            for i in 0..self.learnt_refs.len() {
+                let c = self.learnt_refs[i];
+                let a = self.arena.activity(c);
+                self.arena.set_activity(c, a / CLA_RESCALE_LIMIT);
             }
-            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+            self.cla_inc /= CLA_RESCALE_LIMIT;
         }
     }
 
@@ -814,9 +980,9 @@ impl Solver {
                     self.conflict_core.push(self.trail[i]);
                 }
                 Some(r) => {
-                    let lits: Vec<Lit> = self.clauses[r as usize].lits[1..].to_vec();
-                    for q in lits {
-                        if self.vardata[q.var().index()].level > 0 {
+                    for idx in 0..self.arena.len(r) {
+                        let q = self.arena.lit(r, idx);
+                        if q.var() != x && self.vardata[q.var().index()].level > 0 {
                             self.seen[q.var().index()] = true;
                         }
                     }
@@ -831,38 +997,31 @@ impl Solver {
         // Sort learnt clauses by activity, ascending; drop the weaker
         // half, sparing binary and locked clauses.
         let mut refs = std::mem::take(&mut self.learnt_refs);
-        refs.retain(|&r| !self.clauses[r as usize].deleted);
         refs.sort_by(|&a, &b| {
-            let ca = self.clauses[a as usize].activity;
-            let cb = self.clauses[b as usize].activity;
+            let ca = self.arena.activity(a);
+            let cb = self.arena.activity(b);
             ca.partial_cmp(&cb).expect("activities are finite")
         });
         let half = refs.len() / 2;
         let mut kept = Vec::with_capacity(refs.len());
         for (i, &r) in refs.iter().enumerate() {
-            let removable = {
-                let c = &self.clauses[r as usize];
-                c.lits.len() > 2 && !self.is_locked(r)
-            };
+            let removable = self.arena.len(r) > 2 && !self.is_locked(r);
             if i < half && removable {
                 self.detach_clause(r);
-                self.delete_clause(r);
+                self.free_clause(r);
             } else {
                 kept.push(r);
             }
         }
         self.learnt_refs = kept;
         self.max_learnts *= 1.15;
+        self.maybe_garbage_collect();
     }
 
-    fn is_locked(&self, cref: u32) -> bool {
-        let c = &self.clauses[cref as usize];
-        if c.lits.is_empty() {
-            return false;
-        }
-        let v = c.lits[0].var();
-        self.vardata[v.index()].reason == Some(cref)
-            && lit_value(&self.assigns, c.lits[0]) == Value::True
+    fn is_locked(&self, cref: CRef) -> bool {
+        let l0 = self.arena.lit(cref, 0);
+        self.vardata[l0.var().index()].reason == Some(cref)
+            && lit_value(&self.assigns, l0) == Value::True
     }
 
     fn budget_exhausted(&self) -> bool {
@@ -905,7 +1064,7 @@ impl Solver {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.alloc_clause(learnt, true);
+                    let cref = self.alloc_clause(&learnt, true);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
@@ -924,9 +1083,7 @@ impl Solver {
                     self.cancel_until(0);
                     return SearchOutcome::Unknown;
                 }
-                if self.learnt_refs.len() as f64
-                    >= self.max_learnts + (self.trail.len() as f64)
-                {
+                if self.learnt_refs.len() as f64 >= self.max_learnts + (self.trail.len() as f64) {
                     self.reduce_db();
                 }
                 let dl = self.decision_level();
@@ -1070,7 +1227,8 @@ mod tests {
         assert_eq!(s.value(v[1].var()), Some(true));
     }
 
-    /// All binary clauses of an XOR chain: forces real search.
+    /// All binary clauses of an XOR chain: forces real search, and —
+    /// post-arena — exercises the binary fast path exclusively.
     #[test]
     fn xor_chain_sat() {
         let mut s = Solver::new();
@@ -1083,8 +1241,8 @@ mod tests {
         }
         s.add_clause([v[0]]);
         assert_eq!(s.solve(), SolveResult::Sat);
-        for i in 0..n {
-            assert_eq!(s.value(v[i].var()), Some(i % 2 == 0), "position {i}");
+        for (i, l) in v.iter().enumerate() {
+            assert_eq!(s.value(l.var()), Some(i % 2 == 0), "position {i}");
         }
     }
 
@@ -1101,6 +1259,7 @@ mod tests {
             s.add_clause(row.iter().copied());
         }
         // No two pigeons share a hole.
+        #[allow(clippy::needless_range_loop)]
         for h in 0..holes {
             for i in 0..pigeons {
                 for j in i + 1..pigeons {
@@ -1124,9 +1283,7 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         // Verify the model is a valid assignment of pigeons to holes.
         for (i, row) in p.iter().enumerate() {
-            let hole = row
-                .iter()
-                .position(|&l| s.lit_value_model(l) == Some(true));
+            let hole = row.iter().position(|&l| s.lit_value_model(l) == Some(true));
             assert!(hole.is_some(), "pigeon {i} unplaced");
         }
     }
@@ -1233,13 +1390,70 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
     }
 
+    /// The acceptance check of the arena refactor: retracting guarded
+    /// clauses must shrink the *resident* clause database, not just a
+    /// live-size counter — i.e. the compactor physically frees what the
+    /// seed solver only tombstoned.
+    #[test]
+    fn gc_physically_reclaims_retired_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 64);
+        let act = s.new_var().positive();
+        // A permanent base formula.
+        for w in v.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        // Many wide guarded "blocking" clauses, jSAT style.
+        for chunk in v.chunks(8) {
+            let mut c = vec![!act];
+            c.extend(chunk.iter().map(|&l| !l));
+            s.add_clause(c);
+        }
+        let resident_full = s.clause_db_resident_bytes();
+        let live_full = s.clause_db_live_bytes();
+        assert_eq!(resident_full, live_full, "no garbage yet");
+        // Retract the guard: every blocking clause dies.
+        s.add_clause([!act]);
+        assert!(s.simplify());
+        let resident_after = s.clause_db_resident_bytes();
+        assert!(
+            resident_after < resident_full,
+            "GC must shrink resident bytes ({resident_full} -> {resident_after})"
+        );
+        assert_eq!(
+            s.clause_db_live_bytes(),
+            resident_after,
+            "post-GC arena is garbage-free"
+        );
+        assert!(s.stats().gc_runs > 0, "the compactor actually ran");
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// A solver that has just compacted must keep solving correctly
+    /// (watchers, reasons, and clause lists were all rewritten).
+    #[test]
+    fn solving_continues_after_explicit_gc() {
+        let (mut s, _) = pigeonhole(6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let (mut s, p) = pigeonhole(4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Force garbage + compaction, then keep using the solver.
+        s.add_clause([p[0][0]]);
+        assert!(s.simplify());
+        s.garbage_collect();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.lit_value_model(p[0][0]), Some(true));
+    }
+
     #[test]
     fn model_satisfies_formula() {
         // Deterministic random 3-SAT at ratio ~4, checked against the
         // model evaluator.
         let mut state = 0xdead_beefu64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for round in 0..30 {
@@ -1271,7 +1485,9 @@ mod tests {
     fn agrees_with_brute_force_on_small_random_instances() {
         let mut state = 0x0bad_cafeu64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..120 {
@@ -1291,7 +1507,11 @@ mod tests {
             let mut s = Solver::new();
             assert!(s.num_vars() == 0);
             let consistent = s.add_cnf(&cnf);
-            let got = if consistent { s.solve() } else { SolveResult::Unsat };
+            let got = if consistent {
+                s.solve()
+            } else {
+                SolveResult::Unsat
+            };
             let expect = cnf.brute_force_satisfiable();
             assert_eq!(
                 got.is_sat(),
@@ -1336,7 +1556,9 @@ mod tests {
         let initial = s.stats().live_lits;
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().peak_live_lits >= initial);
-        assert!(s.stats().peak_bytes() >= s.stats().peak_live_lits);
+        // Exact bytes include headers, so they exceed 4 bytes/literal.
+        assert!(s.stats().peak_bytes() > s.stats().peak_live_lits * 4);
+        assert!(s.stats().peak_live_words >= s.stats().live_words);
     }
 
     #[test]

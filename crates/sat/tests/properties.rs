@@ -1,120 +1,232 @@
 //! Property-based tests for the CDCL solver: agreement with brute
-//! force, model validity, incremental-interface laws, and core
-//! minimality properties on proptest-generated formulae.
+//! force, model validity, incremental-interface laws, core minimality,
+//! and clause-database GC transparency.
+//!
+//! The workspace is dependency-free, so instead of proptest these run
+//! each property over a few hundred formulae drawn from a seeded
+//! [`SplitMix64`] stream — fully deterministic and reproducible from
+//! the case number printed on failure.
 
-use proptest::prelude::*;
-use sebmc_logic::{Cnf, Var};
+use sebmc_logic::rng::SplitMix64;
+use sebmc_logic::{dimacs, Cnf, Var};
 use sebmc_sat::{SolveResult, Solver};
 
-fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec((0..max_vars, any::<bool>()), 1..4),
-        0..max_clauses,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::with_vars(max_vars as usize);
-        for c in clauses {
-            cnf.add_clause(c.into_iter().map(|(v, p)| Var::new(v).lit(p)));
-        }
-        cnf
-    })
+/// A random CNF over at most `max_vars` variables with at most
+/// `max_clauses` clauses of 1–3 literals.
+fn random_cnf(rng: &mut SplitMix64, max_vars: usize, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(max_vars);
+    for _ in 0..rng.below(max_clauses + 1) {
+        let len = rng.range_inclusive(1, 3);
+        cnf.add_clause((0..len).map(|_| Var::new(rng.below(max_vars) as u32).lit(rng.coin())));
+    }
+    cnf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn agrees_with_brute_force(cnf in cnf_strategy(8, 24)) {
-        let mut s = Solver::new();
-        let consistent = s.add_cnf(&cnf);
-        let got = if consistent { s.solve() } else { SolveResult::Unsat };
-        prop_assert_eq!(got.is_sat(), cnf.brute_force_satisfiable());
-    }
-
-    #[test]
-    fn models_satisfy_the_formula(cnf in cnf_strategy(10, 30)) {
-        let mut s = Solver::new();
-        if s.add_cnf(&cnf) && s.solve() == SolveResult::Sat {
-            let assignment: Vec<bool> = (0..cnf.num_vars())
-                .map(|i| s.value(Var::new(i as u32)).unwrap_or(false))
-                .collect();
-            prop_assert!(cnf.eval(&assignment));
+/// Runs `check` on `cases` seeded random CNFs, reporting the failing
+/// formula in DIMACS on panic.
+fn for_random_cnfs(
+    seed: u64,
+    cases: u64,
+    max_vars: usize,
+    max_clauses: usize,
+    check: impl Fn(&Cnf, &mut SplitMix64),
+) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(seed ^ (case.wrapping_mul(0x9e37_79b9)));
+        let cnf = random_cnf(&mut rng, max_vars, max_clauses);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&cnf, &mut rng)));
+        if let Err(e) = result {
+            eprintln!(
+                "property failed on case {case} (seed {seed}):\n{}",
+                dimacs::to_string(&cnf)
+            );
+            std::panic::resume_unwind(e);
         }
     }
+}
 
-    /// Assumptions behave like temporary unit clauses.
-    #[test]
-    fn assumptions_equal_units(cnf in cnf_strategy(7, 18), assum_bits in any::<u8>()) {
+fn model_of(s: &Solver, num_vars: usize) -> Vec<bool> {
+    (0..num_vars)
+        .map(|i| s.value(Var::new(i as u32)).unwrap_or(false))
+        .collect()
+}
+
+#[test]
+fn agrees_with_brute_force() {
+    for_random_cnfs(0xA11CE, 256, 8, 24, |cnf, _| {
+        let mut s = Solver::new();
+        let consistent = s.add_cnf(cnf);
+        let got = if consistent {
+            s.solve()
+        } else {
+            SolveResult::Unsat
+        };
+        assert_eq!(got.is_sat(), cnf.brute_force_satisfiable());
+    });
+}
+
+#[test]
+fn models_satisfy_the_formula() {
+    for_random_cnfs(0xB0B, 256, 10, 30, |cnf, _| {
+        let mut s = Solver::new();
+        if s.add_cnf(cnf) && s.solve() == SolveResult::Sat {
+            assert!(cnf.eval(&model_of(&s, cnf.num_vars())));
+        }
+    });
+}
+
+/// Assumptions behave like temporary unit clauses.
+#[test]
+fn assumptions_equal_units() {
+    for_random_cnfs(0xCAFE, 192, 7, 18, |cnf, rng| {
         let assumptions: Vec<_> = (0..cnf.num_vars().min(3))
-            .map(|i| Var::new(i as u32).lit(assum_bits >> i & 1 == 1))
+            .map(|i| Var::new(i as u32).lit(rng.coin()))
             .collect();
         // Via assumptions:
         let mut s1 = Solver::new();
-        prop_assume!(s1.add_cnf(&cnf));
+        if !s1.add_cnf(cnf) {
+            return;
+        }
         let r1 = s1.solve_with(&assumptions);
         // Via added units:
         let mut s2 = Solver::new();
-        s2.add_cnf(&cnf);
+        s2.add_cnf(cnf);
         let mut ok = true;
         for &a in &assumptions {
             ok &= s2.add_clause([a]);
         }
         let r2 = if ok { s2.solve() } else { SolveResult::Unsat };
-        prop_assert_eq!(r1.is_sat(), r2.is_sat());
-    }
+        assert_eq!(r1.is_sat(), r2.is_sat());
+    });
+}
 
-    /// The failed-assumption set must itself be unsatisfiable with the
-    /// formula (it is a real core).
-    #[test]
-    fn failed_assumptions_are_a_core(cnf in cnf_strategy(7, 18), assum_bits in any::<u8>()) {
+/// The failed-assumption set must itself be unsatisfiable with the
+/// formula (it is a real core).
+#[test]
+fn failed_assumptions_are_a_core() {
+    for_random_cnfs(0xC04E, 192, 7, 18, |cnf, rng| {
         let assumptions: Vec<_> = (0..cnf.num_vars().min(4))
-            .map(|i| Var::new(i as u32).lit(assum_bits >> i & 1 == 1))
+            .map(|i| Var::new(i as u32).lit(rng.coin()))
             .collect();
         let mut s = Solver::new();
-        prop_assume!(s.add_cnf(&cnf));
+        if !s.add_cnf(cnf) {
+            return;
+        }
         if s.solve_with(&assumptions) == SolveResult::Unsat {
             let core = s.failed_assumptions().to_vec();
             for c in &core {
-                prop_assert!(assumptions.contains(c), "core must be a subset");
+                assert!(assumptions.contains(c), "core must be a subset");
             }
-            prop_assert_eq!(s.solve_with(&core), SolveResult::Unsat);
+            assert_eq!(s.solve_with(&core), SolveResult::Unsat);
         }
-    }
+    });
+}
 
-    /// Solving twice gives the same verdict (the solver is stateless
-    /// modulo learnt clauses, which must not change satisfiability).
-    #[test]
-    fn resolving_is_stable(cnf in cnf_strategy(8, 20)) {
+/// Solving twice gives the same verdict (the solver is stateless
+/// modulo learnt clauses, which must not change satisfiability).
+#[test]
+fn resolving_is_stable() {
+    for_random_cnfs(0x57AB, 192, 8, 20, |cnf, _| {
         let mut s = Solver::new();
-        prop_assume!(s.add_cnf(&cnf));
+        if !s.add_cnf(cnf) {
+            return;
+        }
         let first = s.solve();
         let second = s.solve();
-        prop_assert_eq!(first, second);
-    }
+        assert_eq!(first, second);
+    });
+}
 
-    /// simplify() never changes satisfiability.
-    #[test]
-    fn simplify_preserves_satisfiability(cnf in cnf_strategy(8, 20)) {
+/// simplify() never changes satisfiability.
+#[test]
+fn simplify_preserves_satisfiability() {
+    for_random_cnfs(0x51CC, 192, 8, 20, |cnf, _| {
         let mut s1 = Solver::new();
-        let c1 = s1.add_cnf(&cnf);
+        let c1 = s1.add_cnf(cnf);
         let mut s2 = Solver::new();
-        let c2 = s2.add_cnf(&cnf);
+        let c2 = s2.add_cnf(cnf);
         let r1 = if c1 { s1.solve() } else { SolveResult::Unsat };
         let r2 = if c2 && s2.simplify() {
             s2.solve()
         } else {
             SolveResult::Unsat
         };
-        prop_assert_eq!(r1.is_sat(), r2.is_sat());
-    }
+        assert_eq!(r1.is_sat(), r2.is_sat());
+    });
+}
 
-    /// Adding a satisfied model as a blocking clause makes the old
-    /// model infeasible (the enumeration pattern jSAT relies on).
-    #[test]
-    fn blocking_clauses_exclude_models(cnf in cnf_strategy(6, 14)) {
+/// Interleaving `simplify()` (which triggers arena compaction) with
+/// solving must be fully transparent: identical SAT/UNSAT verdicts,
+/// and every model returned after compaction still satisfies the
+/// original formula. This is the property jSAT relies on when it
+/// retires blocking clauses mid-search.
+#[test]
+fn simplify_and_gc_preserve_verdicts_and_models() {
+    for_random_cnfs(0x6C6C, 192, 9, 26, |cnf, rng| {
+        // Reference verdict on a pristine solver.
+        let mut reference = Solver::new();
+        let verdict = if reference.add_cnf(cnf) {
+            reference.solve()
+        } else {
+            SolveResult::Unsat
+        };
+
+        // Subject: same formula, with unit strengthenings and
+        // simplify()/GC rounds interleaved between repeated solves.
         let mut s = Solver::new();
-        prop_assume!(s.add_cnf(&cnf));
-        let mut models_seen = 0;
+        let mut consistent = s.add_cnf(cnf);
+        let mut strengthened = cnf.clone();
+        for round in 0..3 {
+            let got = if consistent && s.is_ok() {
+                s.solve()
+            } else {
+                SolveResult::Unsat
+            };
+            if round == 0 {
+                assert_eq!(
+                    got.is_sat(),
+                    verdict.is_sat(),
+                    "verdict changed under simplify/GC"
+                );
+            } else {
+                assert_eq!(got.is_sat(), strengthened.brute_force_satisfiable());
+            }
+            if got == SolveResult::Sat {
+                let model = model_of(&s, cnf.num_vars());
+                assert!(
+                    strengthened.eval(&model),
+                    "model after simplify/GC violates the formula"
+                );
+            }
+            if got != SolveResult::Sat {
+                break;
+            }
+            // Strengthen by a random unit, mirroring it in the oracle
+            // copy, then force a simplify (and with it a compaction
+            // opportunity).
+            if cnf.num_vars() > 0 {
+                let unit = Var::new(rng.below(cnf.num_vars()) as u32).lit(rng.coin());
+                consistent &= s.add_clause([unit]);
+                strengthened.add_unit(unit);
+            }
+            if consistent {
+                consistent = s.simplify();
+            }
+        }
+    });
+}
+
+/// Adding a satisfied model as a blocking clause makes the old
+/// model infeasible (the enumeration pattern jSAT relies on).
+#[test]
+fn blocking_clauses_exclude_models() {
+    for_random_cnfs(0xB10C, 128, 6, 14, |cnf, _| {
+        let mut s = Solver::new();
+        if !s.add_cnf(cnf) {
+            return;
+        }
+        let mut models_seen = 0u32;
         while s.solve() == SolveResult::Sat && models_seen < 70 {
             models_seen += 1;
             let block: Vec<_> = (0..cnf.num_vars())
@@ -128,6 +240,6 @@ proptest! {
             }
         }
         // Full enumeration must terminate within 2^vars models.
-        prop_assert!(models_seen <= 1 << cnf.num_vars());
-    }
+        assert!(models_seen <= 1 << cnf.num_vars());
+    });
 }

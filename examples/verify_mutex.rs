@@ -26,7 +26,8 @@ fn broken_mutex() -> Model {
     b.set_next(1, want1);
     let both = b.aig_mut().and(c0, c1);
     b.set_target(both);
-    b.build().expect("broken mutex is (structurally) well-formed")
+    b.build()
+        .expect("broken mutex is (structurally) well-formed")
 }
 
 fn main() {

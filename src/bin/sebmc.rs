@@ -70,9 +70,7 @@ fn parse_args() -> Options {
             "--mem-mb" => mem_mb = args.next().and_then(|v| v.parse().ok()),
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
-            other if path.is_none() && !other.starts_with('-') => {
-                path = Some(other.to_string())
-            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => usage(),
         }
     }
@@ -100,10 +98,7 @@ fn print_witness(model: &Model, trace: &Trace) {
         .collect();
     println!("{init}");
     for step in &trace.inputs {
-        let line: String = step
-            .iter()
-            .map(|&b| if b { '1' } else { '0' })
-            .collect();
+        let line: String = step.iter().map(|&b| if b { '1' } else { '0' }).collect();
         println!("{line}");
     }
     println!(".");

@@ -24,7 +24,14 @@ fn reachable_circuit_yields_witness() {
     let file = aiger::model_to_aiger(&model).expect("export");
     let path = write_temp_aag("shift", &aiger::to_ascii_string(&file));
     let out = cli()
-        .args([path.to_str().unwrap(), "--engine", "jsat", "--bound", "3", "--quiet"])
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "jsat",
+            "--bound",
+            "3",
+            "--quiet",
+        ])
         .output()
         .expect("run sebmc");
     assert_eq!(out.status.code(), Some(10), "reachable exit code");
@@ -49,7 +56,14 @@ fn unreachable_circuit_yields_zero() {
     let path = write_temp_aag("traffic", &aiger::to_ascii_string(&file));
     for engine in ["jsat", "unroll"] {
         let out = cli()
-            .args([path.to_str().unwrap(), "--engine", engine, "--bound", "6", "--quiet"])
+            .args([
+                path.to_str().unwrap(),
+                "--engine",
+                engine,
+                "--bound",
+                "6",
+                "--quiet",
+            ])
             .output()
             .expect("run sebmc");
         assert_eq!(out.status.code(), Some(20), "{engine} safe exit code");
@@ -126,7 +140,13 @@ fn within_semantics_flag() {
         .expect("run");
     assert_eq!(exact.status.code(), Some(20), "exactly-8 unreachable");
     let within = cli()
-        .args([path.to_str().unwrap(), "--bound", "8", "--within", "--quiet"])
+        .args([
+            path.to_str().unwrap(),
+            "--bound",
+            "8",
+            "--within",
+            "--quiet",
+        ])
         .output()
         .expect("run");
     assert_eq!(within.status.code(), Some(10), "within-8 reachable");

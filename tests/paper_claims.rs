@@ -69,10 +69,22 @@ fn qbf_growth_is_smaller_than_unroll_growth() {
     // with the same state count but very different TR sizes.
     let small_tr = builders::token_ring(8);
     let big_tr = builders::random_fsm(8, 2, 99);
-    let g_small = encode_qbf_linear(&small_tr, 7).formula.matrix().num_literals()
-        - encode_qbf_linear(&small_tr, 6).formula.matrix().num_literals();
-    let g_big = encode_qbf_linear(&big_tr, 7).formula.matrix().num_literals()
-        - encode_qbf_linear(&big_tr, 6).formula.matrix().num_literals();
+    let g_small = encode_qbf_linear(&small_tr, 7)
+        .formula
+        .matrix()
+        .num_literals()
+        - encode_qbf_linear(&small_tr, 6)
+            .formula
+            .matrix()
+            .num_literals();
+    let g_big = encode_qbf_linear(&big_tr, 7)
+        .formula
+        .matrix()
+        .num_literals()
+        - encode_qbf_linear(&big_tr, 6)
+            .formula
+            .matrix()
+            .num_literals();
     // Same state width ⇒ identical per-iteration growth, despite the
     // TR size difference.
     assert_eq!(g_small, g_big, "growth must not depend on |TR|");
@@ -86,10 +98,7 @@ fn universal_counts_match_paper() {
     let model = builders::johnson_counter(5);
     let n = model.num_state_vars();
     for k in 2..10 {
-        assert_eq!(
-            encode_qbf_linear(&model, k).formula.num_universals(),
-            2 * n
-        );
+        assert_eq!(encode_qbf_linear(&model, k).formula.num_universals(), 2 * n);
     }
     for (k, levels) in [(2usize, 1usize), (4, 2), (8, 3), (16, 4)] {
         let f = encode_qbf_squaring(&model, k).formula;
@@ -117,7 +126,11 @@ fn solver_ordering_matches_paper_shape() {
             if !sat.check(&model, k, Semantics::Exactly).result.is_unknown() {
                 sat_solved += 1;
             }
-            if !jsat.check(&model, k, Semantics::Exactly).result.is_unknown() {
+            if !jsat
+                .check(&model, k, Semantics::Exactly)
+                .result
+                .is_unknown()
+            {
                 jsat_solved += 1;
             }
             if !qbf.check(&model, k, Semantics::Exactly).result.is_unknown() {

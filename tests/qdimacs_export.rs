@@ -13,7 +13,10 @@ fn linear_encoding_round_trips_through_qdimacs() {
         let enc = encode_qbf_linear(&model, k);
         let text = qdimacs::to_string(&enc.formula);
         let parsed = qdimacs::parse(&text).expect("our exports must parse");
-        assert_eq!(parsed.matrix().num_clauses(), enc.formula.matrix().num_clauses());
+        assert_eq!(
+            parsed.matrix().num_clauses(),
+            enc.formula.matrix().num_clauses()
+        );
         assert_eq!(parsed.num_universals(), enc.formula.num_universals());
         assert_eq!(parsed.num_alternations(), enc.formula.num_alternations());
     }

@@ -1,50 +1,42 @@
 //! Property-based cross-validation on random models.
 //!
-//! proptest generates random transition systems; the symbolic engines
-//! must match the explicit-state oracle on every sample, and witnesses
-//! must replay. This is the widest soundness net in the repository:
-//! it exercises the AIG, Tseitin, CDCL, jSAT and (small) QBF paths in
-//! one property.
+//! Seeded random transition systems; the symbolic engines must match
+//! the explicit-state oracle on every sample, and witnesses must
+//! replay. This is the widest soundness net in the repository: it
+//! exercises the AIG, Tseitin, CDCL, jSAT and (small) QBF paths in one
+//! property. Dependency-free property style — the case number printed
+//! on failure reproduces the model.
 
-use proptest::prelude::*;
 use sebmc_repro::bmc::{BoundedChecker, JSat, QbfBackend, QbfLinear, Semantics, UnrollSat};
+use sebmc_repro::logic::rng::SplitMix64;
 use sebmc_repro::logic::AigRef;
 use sebmc_repro::model::{explicit, Model, ModelBuilder};
 
-/// A recipe for a small random model, generated by proptest.
-#[derive(Debug, Clone)]
-struct Recipe {
-    bits: usize,
-    inputs: usize,
-    gates: Vec<(u8, u8, u8, bool, bool)>, // (op, operand a, operand b, neg a, neg b)
-    nexts: Vec<(u8, bool)>,               // per state var: pool pick + negation
-    target: Vec<(u8, bool)>,              // cube literals
-    init_value: u64,
-}
-
-fn build(recipe: &Recipe) -> Model {
+/// Builds a small random model: 2–4 state bits, 1–2 inputs, a random
+/// AIG cloud for the next functions, and a random target cube.
+fn random_model(rng: &mut SplitMix64) -> Model {
+    let bits = rng.range_inclusive(2, 4);
+    let inputs = rng.range_inclusive(1, 2);
     let mut b = ModelBuilder::new("random");
-    let state = b.state_vars(recipe.bits, "s");
-    let ins = b.inputs(recipe.inputs, "i");
+    let state = b.state_vars(bits, "s");
+    let ins = b.inputs(inputs, "i");
     let mut pool: Vec<AigRef> = state.iter().chain(ins.iter()).copied().collect();
-    for &(op, a, bb, na, nb) in &recipe.gates {
-        let x = pool[a as usize % pool.len()];
-        let y = pool[bb as usize % pool.len()];
-        let x = if na { !x } else { x };
-        let y = if nb { !y } else { y };
-        let g = match op % 3 {
+    for _ in 0..rng.range_inclusive(1, 7) {
+        let x = pool[rng.below(pool.len())];
+        let y = pool[rng.below(pool.len())];
+        let x = if rng.coin() { !x } else { x };
+        let y = if rng.coin() { !y } else { y };
+        let g = match rng.below(3) {
             0 => b.aig_mut().and(x, y),
             1 => b.aig_mut().or(x, y),
             _ => b.aig_mut().xor(x, y),
         };
         pool.push(g);
     }
-    let nexts: Vec<AigRef> = recipe
-        .nexts
-        .iter()
-        .map(|&(pick, neg)| {
-            let g = pool[pick as usize % pool.len()];
-            if neg {
+    let nexts: Vec<AigRef> = (0..bits)
+        .map(|_| {
+            let g = pool[rng.below(pool.len())];
+            if rng.coin() {
                 !g
             } else {
                 g
@@ -52,93 +44,83 @@ fn build(recipe: &Recipe) -> Model {
         })
         .collect();
     b.set_next_all(&nexts);
-    let init = b
-        .aig_mut()
-        .eq_const(&state, recipe.init_value & ((1 << recipe.bits) - 1));
+    let init_value = rng.next_u64();
+    let init = b.aig_mut().eq_const(&state, init_value & ((1 << bits) - 1));
     b.set_init(init);
     let mut target = AigRef::TRUE;
-    for &(pick, neg) in &recipe.target {
-        let s = state[pick as usize % state.len()];
-        let lit = if neg { !s } else { s };
+    for _ in 0..rng.range_inclusive(1, bits) {
+        let s = state[rng.below(bits)];
+        let lit = if rng.coin() { !s } else { s };
         target = b.aig_mut().and(target, lit);
     }
     b.set_target(target);
-    b.build().expect("recipe models are well-formed")
+    b.build().expect("random models are well-formed")
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    (2usize..=4, 1usize..=2).prop_flat_map(|(bits, inputs)| {
-        (
-            prop::collection::vec(
-                (any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>(), any::<bool>()),
-                1..8,
-            ),
-            prop::collection::vec((any::<u8>(), any::<bool>()), bits),
-            prop::collection::vec((any::<u8>(), any::<bool>()), 1..=bits),
-            any::<u64>(),
-        )
-            .prop_map(move |(gates, nexts, target, init_value)| Recipe {
-                bits,
-                inputs,
-                gates,
-                nexts,
-                target,
-                init_value,
-            })
-    })
+fn sweep(seed: u64, cases: u64, check: impl Fn(&Model, usize)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(seed ^ (case.wrapping_mul(0x9e37_79b9)));
+        let model = random_model(&mut rng);
+        let k = rng.below(5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&model, k)));
+        if let Err(e) = result {
+            eprintln!("property failed on case {case} (seed {seed}, k {k})");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn unroll_and_jsat_match_oracle_on_random_models(recipe in recipe_strategy(), k in 0usize..5) {
-        let model = build(&recipe);
-        let expect_exact = explicit::reachable_in_exactly(&model, k);
-        let expect_within = explicit::reachable_within(&model, k);
+#[test]
+fn unroll_and_jsat_match_oracle_on_random_models() {
+    sweep(0x40D3, 48, |model, k| {
+        let expect_exact = explicit::reachable_in_exactly(model, k);
+        let expect_within = explicit::reachable_within(model, k);
 
         let mut unroll = UnrollSat::default();
-        let out = unroll.check(&model, k, Semantics::Exactly);
-        prop_assert_eq!(out.result.is_reachable(), expect_exact);
+        let out = unroll.check(model, k, Semantics::Exactly);
+        assert_eq!(out.result.is_reachable(), expect_exact);
         if let Some(t) = out.result.witness() {
-            prop_assert_eq!(model.check_trace(t), Ok(()));
+            assert_eq!(model.check_trace(t), Ok(()));
         }
-        let out = unroll.check(&model, k, Semantics::Within);
-        prop_assert_eq!(out.result.is_reachable(), expect_within);
+        let out = unroll.check(model, k, Semantics::Within);
+        assert_eq!(out.result.is_reachable(), expect_within);
 
         let mut jsat = JSat::default();
-        let out = jsat.check(&model, k, Semantics::Exactly);
-        prop_assert_eq!(out.result.is_reachable(), expect_exact);
+        let out = jsat.check(model, k, Semantics::Exactly);
+        assert_eq!(out.result.is_reachable(), expect_exact);
         if let Some(t) = out.result.witness() {
-            prop_assert_eq!(model.check_trace(t), Ok(()));
+            assert_eq!(model.check_trace(t), Ok(()));
         }
-        let out = jsat.check(&model, k, Semantics::Within);
-        prop_assert_eq!(out.result.is_reachable(), expect_within);
-    }
+        let out = jsat.check(model, k, Semantics::Within);
+        assert_eq!(out.result.is_reachable(), expect_within);
+    });
+}
 
-    #[test]
-    fn qdpll_matches_oracle_on_tiny_random_models(recipe in recipe_strategy(), k in 0usize..3) {
-        let model = build(&recipe);
+#[test]
+fn qdpll_matches_oracle_on_tiny_random_models() {
+    sweep(0x0D33, 48, |model, k| {
+        let k = k.min(2);
         // Unbudgeted QDPLL on tiny bounds must terminate and be correct.
         let mut qbf = QbfLinear::new(QbfBackend::Qdpll);
-        let out = qbf.check(&model, k, Semantics::Exactly);
-        prop_assert!(!out.result.is_unknown());
-        prop_assert_eq!(
+        let out = qbf.check(model, k, Semantics::Exactly);
+        assert!(!out.result.is_unknown());
+        assert_eq!(
             out.result.is_reachable(),
-            explicit::reachable_in_exactly(&model, k)
+            explicit::reachable_in_exactly(model, k)
         );
-    }
+    });
+}
 
-    #[test]
-    fn aiger_round_trip_preserves_engine_verdicts(recipe in recipe_strategy(), k in 0usize..4) {
-        let model = build(&recipe);
-        let file = sebmc_repro::aiger::model_to_aiger(&model).expect("small cube init");
+#[test]
+fn aiger_round_trip_preserves_engine_verdicts() {
+    sweep(0xA13E, 48, |model, k| {
+        let file = sebmc_repro::aiger::model_to_aiger(model).expect("small cube init");
         let text = sebmc_repro::aiger::to_ascii_string(&file);
         let parsed = sebmc_repro::aiger::parse_ascii(&text).expect("round trip");
         let back = sebmc_repro::aiger::aiger_to_model(&parsed, "back").expect("convert");
         let mut e = UnrollSat::default();
-        let a = e.check(&model, k, Semantics::Exactly).result.is_reachable();
+        let a = e.check(model, k, Semantics::Exactly).result.is_reachable();
         let b = e.check(&back, k, Semantics::Exactly).result.is_reachable();
-        prop_assert_eq!(a, b, "verdict changed across AIGER round-trip");
-    }
+        assert_eq!(a, b, "verdict changed across AIGER round-trip");
+    });
 }
