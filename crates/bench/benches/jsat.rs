@@ -1,7 +1,7 @@
 //! Benches for jSAT internals (supports E4/E5): cache ablation and
 //! memory-relevant workloads.
 
-use sebmc::{BoundedChecker, EngineLimits, JSat, JSatConfig, Semantics, UnrollSat};
+use sebmc::{BoundedChecker, Budget, JSat, JSatConfig, Semantics, UnrollSat};
 use sebmc_bench::microbench::run;
 use sebmc_model::builders::{counter_with_reset, shift_register};
 
@@ -13,7 +13,7 @@ fn main() {
     });
     run("jsat_unsat_exhaustion_k6/without_cache", 2, 10, || {
         let mut e = JSat::with_config(
-            EngineLimits::none(),
+            Budget::none(),
             JSatConfig {
                 use_failed_cache: false,
                 ..JSatConfig::default()

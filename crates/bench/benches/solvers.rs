@@ -2,7 +2,7 @@
 //! end-to-end check time per engine, SAT and UNSAT.
 
 use sebmc::{
-    BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
+    BoundedChecker, Budget, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
 };
 use sebmc_bench::microbench::run;
 use sebmc_model::builders::{counter_with_reset, token_ring, traffic_light};
@@ -48,9 +48,9 @@ fn main() {
     // budget check itself is cheap.
     let model = counter_with_reset(4);
     run("qbf_budget_overhead/qdpll_10ms_budget", 2, 10, || {
-        let mut e = QbfLinear::with_limits(
+        let mut e = QbfLinear::with_budget(
             QbfBackend::Qdpll,
-            EngineLimits::with_timeout(Duration::from_millis(10)),
+            Budget::with_timeout(Duration::from_millis(10)),
         );
         e.check(&model, 15, Semantics::Exactly)
     });

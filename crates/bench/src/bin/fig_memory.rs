@@ -41,8 +41,8 @@ fn main() {
         ]);
         let mut k = step;
         while k <= max_bound {
-            let mut unroll = UnrollSat::with_limits(limits.clone());
-            let mut jsat = JSat::with_limits(limits.clone());
+            let mut unroll = UnrollSat::with_budget(limits.clone());
+            let mut jsat = JSat::with_budget(limits.clone());
             let uo = unroll.check(&model, k, Semantics::Exactly);
             let jo = jsat.check(&model, k, Semantics::Exactly);
             assert!(

@@ -10,12 +10,12 @@
 //!     [--timeout-ms 10000] [--bound 10]
 //! ```
 
-use sebmc::{BoundedChecker, EngineLimits, JSat, JSatConfig, Semantics};
+use sebmc::{BoundedChecker, Budget, JSat, JSatConfig, Semantics};
 use sebmc_bench::{budget, flag_u64, Table};
 use sebmc_model::builders::{counter_with_enable, peterson, traffic_light};
 
 fn run(
-    limits: &EngineLimits,
+    limits: &Budget,
     config: JSatConfig,
     model: &sebmc_model::Model,
     k: usize,

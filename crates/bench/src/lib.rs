@@ -16,7 +16,7 @@ pub mod microbench;
 
 use std::time::Duration;
 
-use sebmc::{BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, UnrollSat};
+use sebmc::{BoundedChecker, Budget, JSat, QbfBackend, QbfLinear, QbfSquaring, UnrollSat};
 
 /// A minimal command-line flag reader: `--name value`.
 pub fn flag(name: &str) -> Option<String> {
@@ -40,23 +40,25 @@ pub fn flag_u64(name: &str, default: u64) -> u64 {
 }
 
 /// The paper's per-instance protocol, scaled: timeout in milliseconds
-/// and a memory cap in MiB (formula literals at 4 bytes each).
-pub fn budget(timeout_ms: u64, mem_mib: u64) -> EngineLimits {
-    EngineLimits {
+/// and a **byte-based** memory cap in MiB (compared against the SAT
+/// solver's exact clause-arena accounting, headers included).
+pub fn budget(timeout_ms: u64, mem_mib: u64) -> Budget {
+    Budget {
         timeout: Some(Duration::from_millis(timeout_ms)),
-        max_formula_lits: Some((mem_mib as usize) * 1024 * 1024 / 4),
+        max_formula_bytes: Some((mem_mib as usize) * 1024 * 1024),
+        ..Budget::default()
     }
 }
 
 /// The four engines of experiment E1, each with the given budget.
-pub fn e1_engines(limits: &EngineLimits) -> Vec<Box<dyn BoundedChecker + Send>> {
+pub fn e1_engines(budget: &Budget) -> Vec<Box<dyn BoundedChecker + Send>> {
     vec![
-        Box::new(UnrollSat::with_limits(limits.clone())),
-        Box::new(JSat::with_limits(limits.clone())),
-        Box::new(QbfLinear::with_limits(QbfBackend::Qdpll, limits.clone())),
-        Box::new(QbfSquaring::with_limits(
+        Box::new(UnrollSat::with_budget(budget.clone())),
+        Box::new(JSat::with_budget(budget.clone())),
+        Box::new(QbfLinear::with_budget(QbfBackend::Qdpll, budget.clone())),
+        Box::new(QbfSquaring::with_budget(
             QbfBackend::Expansion,
-            limits.clone(),
+            budget.clone(),
         )),
     ]
 }
@@ -146,12 +148,12 @@ mod tests {
     fn budget_converts_units() {
         let b = budget(500, 100);
         assert_eq!(b.timeout, Some(Duration::from_millis(500)));
-        assert_eq!(b.max_formula_lits, Some(100 * 1024 * 1024 / 4));
+        assert_eq!(b.max_formula_bytes, Some(100 * 1024 * 1024));
     }
 
     #[test]
     fn e1_engine_lineup() {
-        let engines = e1_engines(&EngineLimits::none());
+        let engines = e1_engines(&Budget::none());
         let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
         assert_eq!(
             names,

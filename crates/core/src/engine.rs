@@ -1,6 +1,34 @@
 //! The common interface of all bounded-reachability engines.
+//!
+//! The central abstraction is the **session**: [`Engine::start`] binds
+//! an engine to one model/semantics/[`Budget`] and returns a
+//! [`Session`] whose [`Session::check_bound`] may be called for a
+//! *sequence* of bounds. Engines keep their solver and encoding state
+//! alive between calls — incremental unrolling keeps its CDCL solver
+//! and learnt clauses, jSAT keeps formula (4) and its failed-state
+//! cache, the QBF engines keep their (self-loop-transformed) model —
+//! which is what makes the paper's bound-deepening loop cheap.
+//!
+//! ```
+//! use sebmc::{Budget, Engine, Semantics, UnrollSat};
+//! use sebmc_model::builders::shift_register;
+//!
+//! let model = shift_register(4);
+//! let engine = UnrollSat::default();
+//! let mut session = engine.start(&model, Semantics::Exactly, Budget::none());
+//! // Deepen: every bound reuses the clauses (and learnt clauses) of
+//! // the previous ones.
+//! for k in 0..4 {
+//!     assert!(session.check_bound(k).result.is_unreachable());
+//! }
+//! assert!(session.check_bound(4).result.is_reachable());
+//! let total = session.cumulative_stats();
+//! assert!(total.bounds_checked == 5 && total.encode_lits > 0);
+//! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sebmc_model::{Model, Trace};
@@ -35,8 +63,8 @@ pub enum BmcResult {
     Reachable(Option<Trace>),
     /// No target state is reachable under the given bound/semantics.
     Unreachable,
-    /// The engine gave up (budget exhausted or unsupported bound); the
-    /// string says why.
+    /// The engine gave up (budget exhausted, cancelled, or unsupported
+    /// bound); the string says why.
     Unknown(String),
 }
 
@@ -85,40 +113,155 @@ impl fmt::Display for BmcResult {
     }
 }
 
-/// Resource budgets shared by every engine — the reproduction of the
-/// paper's per-instance 300 s / 1 GB protocol.
+/// A cooperative cancellation token shared between a session and
+/// whoever wants to abort it (a portfolio harness, a service layer, a
+/// ctrl-C handler).
+///
+/// Clones share the underlying flag. Engines poll the token at their
+/// safe points — the SAT solver every 64 conflicts, the QDPLL solver
+/// per decision, jSAT between incremental SAT calls — and return
+/// [`BmcResult::Unknown`] ("cancelled") promptly after it fires.
 #[derive(Clone, Debug, Default)]
-pub struct EngineLimits {
-    /// Wall-clock budget for the whole check.
-    pub timeout: Option<Duration>,
-    /// Memory budget expressed in live formula literals (≈ 4 bytes
-    /// each), applied to the dominant in-memory formula.
-    pub max_formula_lits: Option<usize>,
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
 }
 
-impl EngineLimits {
-    /// No limits.
-    pub fn none() -> Self {
-        EngineLimits::default()
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
     }
 
-    /// Limits with only a timeout.
+    /// Fires the token. All clones observe the cancellation; firing is
+    /// idempotent and cannot be undone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw shared flag, for plumbing into solver-level limit
+    /// structs ([`sebmc_sat::Limits::cancel`],
+    /// [`sebmc_qbf::QbfLimits::cancel`]).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Unified resource budget for a whole session — the reproduction of
+/// the paper's per-instance 300 s / 1 GB protocol, plus cooperative
+/// cancellation.
+///
+/// The wall clock starts when [`Engine::start`] creates the session;
+/// every later [`Session::check_bound`] call shares the same deadline.
+/// The memory cap is **byte-based** and compared against the exact
+/// clause-arena accounting of the SAT solver (headers included) — not
+/// a literal-count approximation.
+///
+/// `Clone` shares the [`CancelToken`]: cloning a budget for several
+/// portfolio engines lets one `cancel()` stop them all.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock budget for the whole session.
+    pub timeout: Option<Duration>,
+    /// Memory budget in bytes, applied to the dominant in-memory
+    /// formula (the SAT clause arena's live bytes, or the QBF matrix at
+    /// 4 bytes per literal).
+    pub max_formula_bytes: Option<usize>,
+    /// Cooperative cancellation; fires for every clone of this budget.
+    pub cancel: CancelToken,
+}
+
+impl Budget {
+    /// No limits (and a fresh, un-fired token).
+    pub fn none() -> Self {
+        Budget::default()
+    }
+
+    /// A budget with only a timeout.
     pub fn with_timeout(timeout: Duration) -> Self {
-        EngineLimits {
+        Budget {
             timeout: Some(timeout),
-            max_formula_lits: None,
+            ..Budget::default()
         }
     }
 
-    /// The wall-clock deadline implied by [`EngineLimits::timeout`],
-    /// measured from `start`.
+    /// A budget with only a byte-based memory cap.
+    pub fn with_memory_bytes(bytes: usize) -> Self {
+        Budget {
+            max_formula_bytes: Some(bytes),
+            ..Budget::default()
+        }
+    }
+
+    /// Returns `self` with its cancel token replaced by `token` (used
+    /// to tie several budgets to one external kill switch).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of the session's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The wall-clock deadline implied by [`Budget::timeout`], measured
+    /// from `start`.
     pub fn deadline_from(&self, start: Instant) -> Option<Instant> {
         self.timeout.map(|t| start + t)
+    }
+
+    /// `true` once the deadline (measured from `start`) has passed or
+    /// the token has fired.
+    pub fn expired(&self, start: Instant) -> bool {
+        self.cancel.is_cancelled()
+            || self
+                .deadline_from(start)
+                .is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The canonical [`BmcResult::Unknown`] reason under this budget:
+    /// `"cancelled"` if the token fired, `"budget exhausted"` otherwise.
+    pub fn unknown_reason(&self) -> String {
+        if self.cancel.is_cancelled() {
+            "cancelled".into()
+        } else {
+            "budget exhausted".into()
+        }
+    }
+
+    /// This budget lowered onto the SAT solver's per-solve limits, with
+    /// the deadline measured from `start` and the memory cap applied to
+    /// the arena's exact live bytes.
+    pub fn sat_limits(&self, start: Instant) -> sebmc_sat::Limits {
+        sebmc_sat::Limits {
+            deadline: self.deadline_from(start),
+            max_live_bytes: self.max_formula_bytes,
+            cancel: Some(self.cancel.flag()),
+            ..sebmc_sat::Limits::none()
+        }
+    }
+
+    /// This budget lowered onto the QBF solvers' limits.
+    pub fn qbf_limits(&self, start: Instant) -> sebmc_qbf::QbfLimits {
+        sebmc_qbf::QbfLimits {
+            deadline: self.deadline_from(start),
+            max_decisions: None,
+            cancel: Some(self.cancel.flag()),
+        }
     }
 }
 
 /// Size and effort metrics for one engine run — the raw material of
 /// the experiment tables (see `EXPERIMENTS.md`).
+///
+/// For a [`Session`], the per-bound [`BmcOutcome::stats`] describe one
+/// `check_bound` call while [`Session::cumulative_stats`] aggregates
+/// across the whole session via [`RunStats::absorb`].
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Wall-clock time spent.
@@ -141,6 +284,26 @@ pub struct RunStats {
     pub peak_formula_bytes: usize,
     /// Back-end solver conflicts (SAT) or decisions (QBF).
     pub solver_effort: u64,
+    /// `check_bound` calls folded into this record (1 for a one-shot
+    /// outcome; the session total in
+    /// [`Session::cumulative_stats`]).
+    pub bounds_checked: usize,
+}
+
+impl RunStats {
+    /// Folds the stats of one more bounded check into a cumulative
+    /// record: durations and solver effort add up, formula sizes and
+    /// peaks take the maximum.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.duration += other.duration;
+        self.encode_vars = self.encode_vars.max(other.encode_vars);
+        self.encode_clauses = self.encode_clauses.max(other.encode_clauses);
+        self.encode_lits = self.encode_lits.max(other.encode_lits);
+        self.peak_formula_lits = self.peak_formula_lits.max(other.peak_formula_lits);
+        self.peak_formula_bytes = self.peak_formula_bytes.max(other.peak_formula_bytes);
+        self.solver_effort += other.solver_effort;
+        self.bounds_checked += other.bounds_checked;
+    }
 }
 
 /// Outcome of a bounded check: verdict plus metrics.
@@ -162,13 +325,78 @@ impl BmcOutcome {
     }
 }
 
-/// A bounded-reachability decision procedure.
+/// A bounded-reachability decision procedure, viewed as a session
+/// factory.
 ///
-/// Implementations: [`UnrollSat`](crate::UnrollSat) (formulation (1)),
-/// [`QbfLinear`](crate::QbfLinear) (formulation (2) via a
-/// general-purpose QBF solver), [`QbfSquaring`](crate::QbfSquaring)
-/// (formulation (3)), and [`JSat`](crate::JSat) (the paper's
-/// special-purpose procedure, formula (4)).
+/// Implementations: [`UnrollSat`](crate::UnrollSat) (formulation (1),
+/// incrementally unrolled), [`QbfLinear`](crate::QbfLinear)
+/// (formulation (2) via a general-purpose QBF solver),
+/// [`QbfSquaring`](crate::QbfSquaring) (formulation (3)), and
+/// [`JSat`](crate::JSat) (the paper's special-purpose procedure,
+/// formula (4)).
+///
+/// See the [module docs](crate::engine) for a deepening example.
+pub trait Engine {
+    /// Short engine name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Opens a session on `model` under `semantics` and `budget`. The
+    /// budget's wall clock starts now and covers every subsequent
+    /// [`Session::check_bound`] call.
+    fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session>;
+
+    /// The budget used by the one-shot [`BoundedChecker::check`]
+    /// convenience path (the engine's configured per-check budget).
+    fn default_budget(&self) -> Budget {
+        Budget::none()
+    }
+}
+
+/// An open bounded-model-checking session: engine state bound to one
+/// model, semantics and [`Budget`].
+///
+/// Bounds may be checked in any order; engines reuse whatever state
+/// survives between bounds (clauses, learnt clauses, caches). All
+/// sessions are `Send` so a portfolio can drive them from worker
+/// threads.
+pub trait Session: Send {
+    /// Name of the engine that opened the session.
+    fn name(&self) -> &'static str;
+
+    /// The semantics the session was opened with.
+    fn semantics(&self) -> Semantics;
+
+    /// Decides reachability at bound `k`, reusing session state. The
+    /// returned stats describe this call only.
+    fn check_bound(&mut self, k: usize) -> BmcOutcome;
+
+    /// Whether the engine's technique can decide this bound at all
+    /// (iterative squaring checks only powers of two). `check_bound`
+    /// on an unsupported bound returns [`BmcResult::Unknown`];
+    /// deepening loops should skip it rather than give up.
+    fn supports_bound(&self, _k: usize) -> bool {
+        true
+    }
+
+    /// Aggregate stats across every `check_bound` call so far:
+    /// durations and solver effort summed, formula sizes and memory
+    /// peaks maxed.
+    fn cumulative_stats(&self) -> RunStats;
+}
+
+/// One-shot convenience over the session API: open a session with the
+/// engine's default budget, check a single bound, drop the session.
+pub fn one_shot(engine: &dyn Engine, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+    engine
+        .start(model, semantics, engine.default_budget())
+        .check_bound(k)
+}
+
+/// The legacy one-shot interface, kept as a thin veneer over
+/// [`Engine`]/[`Session`] for callers that decide a single bound.
+///
+/// Every engine implements this by opening a fresh session with its
+/// configured [`Engine::default_budget`] and checking one bound.
 pub trait BoundedChecker {
     /// Short engine name for tables.
     fn name(&self) -> &'static str;
@@ -218,10 +446,78 @@ mod tests {
 
     #[test]
     fn deadline_computation() {
-        let l = EngineLimits::with_timeout(Duration::from_secs(1));
+        let b = Budget::with_timeout(Duration::from_secs(1));
         let now = Instant::now();
-        let d = l.deadline_from(now).unwrap();
+        let d = b.deadline_from(now).unwrap();
         assert!(d > now);
-        assert!(EngineLimits::none().deadline_from(now).is_none());
+        assert!(Budget::none().deadline_from(now).is_none());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let b = Budget::none();
+        let clone = b.clone();
+        assert!(!clone.cancel.is_cancelled());
+        b.cancel.cancel();
+        assert!(clone.cancel.is_cancelled());
+        assert!(clone.expired(Instant::now()));
+        assert_eq!(clone.unknown_reason(), "cancelled");
+        // A *fresh* budget has its own flag.
+        assert!(!Budget::none().cancel.is_cancelled());
+    }
+
+    #[test]
+    fn budget_lowers_onto_solver_limits() {
+        let b = Budget {
+            timeout: Some(Duration::from_secs(1)),
+            max_formula_bytes: Some(4096),
+            cancel: CancelToken::new(),
+        };
+        let now = Instant::now();
+        let sl = b.sat_limits(now);
+        assert!(sl.deadline.is_some());
+        assert_eq!(sl.max_live_bytes, Some(4096));
+        assert!(sl.cancel.is_some());
+        let ql = b.qbf_limits(now);
+        assert!(ql.deadline.is_some() && ql.cancel.is_some());
+        b.cancel.cancel();
+        assert!(sl
+            .cancel
+            .unwrap()
+            .load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_maxes() {
+        let mut total = RunStats::default();
+        total.absorb(&RunStats {
+            duration: Duration::from_millis(5),
+            encode_lits: 100,
+            peak_formula_bytes: 400,
+            solver_effort: 7,
+            bounds_checked: 1,
+            ..RunStats::default()
+        });
+        total.absorb(&RunStats {
+            duration: Duration::from_millis(3),
+            encode_lits: 250,
+            peak_formula_bytes: 300,
+            solver_effort: 2,
+            bounds_checked: 1,
+            ..RunStats::default()
+        });
+        assert_eq!(total.duration, Duration::from_millis(8));
+        assert_eq!(total.encode_lits, 250);
+        assert_eq!(total.peak_formula_bytes, 400);
+        assert_eq!(total.solver_effort, 9);
+        assert_eq!(total.bounds_checked, 2);
+    }
+
+    #[test]
+    fn unknown_reason_tracks_token() {
+        let b = Budget::none();
+        assert_eq!(b.unknown_reason(), "budget exhausted");
+        b.cancel.cancel();
+        assert_eq!(b.unknown_reason(), "cancelled");
     }
 }

@@ -1,4 +1,5 @@
-//! Incremental unrolling: one solver, growing bound.
+//! Incremental unrolling: one solver, growing bound — the
+//! [`Session`] behind [`UnrollSat`](crate::UnrollSat).
 //!
 //! The classical BMC loop re-encodes the whole unrolled formula at
 //! every bound. With an incremental SAT solver the transition frames
@@ -10,19 +11,22 @@
 //! This is the engine a 2005 bounded model checker would actually run
 //! in its deepening loop;
 //! [`find_shortest_witness`](crate::incremental::find_shortest_witness)
-//! remains the from-scratch reference.
+//! drives it (or any other session) bound by bound.
+
+use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+use sebmc_sat::{SolveResult, Solver};
 
-use crate::engine::{BmcResult, EngineLimits, Semantics};
+use crate::engine::{BmcOutcome, BmcResult, Budget, RunStats, Semantics, Session};
 
 /// An incremental unrolled-BMC session over one model.
 ///
-/// Bounds must be checked in increasing order via
-/// [`IncrementalUnroll::check_bound`]; frames are appended on demand
-/// and never re-encoded.
+/// Frames are appended on demand and never re-encoded; bounds may be
+/// checked in any order and each query reuses every clause (and learnt
+/// clause) from previous queries. The session's [`Budget`] wall clock
+/// starts at construction and covers every `check_bound` call.
 ///
 /// ```
 /// use sebmc::inc_unroll::IncrementalUnroll;
@@ -31,8 +35,8 @@ use crate::engine::{BmcResult, EngineLimits, Semantics};
 ///
 /// let model = shift_register(4);
 /// let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
-/// assert!(session.check_bound(3).is_unreachable());
-/// assert!(session.check_bound(4).is_reachable());
+/// assert!(session.check_bound(3).result.is_unreachable());
+/// assert!(session.check_bound(4).result.is_reachable());
 /// ```
 #[derive(Debug)]
 pub struct IncrementalUnroll {
@@ -46,17 +50,23 @@ pub struct IncrementalUnroll {
     target_act: Vec<Lit>,
     /// Per-frame target literal (for Within witness truncation).
     target_lits: Vec<Lit>,
-    limits: EngineLimits,
+    budget: Budget,
+    started: Instant,
+    /// Problem clauses/literals encoded so far (the formula the session
+    /// holds in memory — grows by one TR copy per frame).
+    encoded_clauses: usize,
+    encoded_lits: usize,
+    total: RunStats,
 }
 
 impl IncrementalUnroll {
-    /// Starts a session for `model` under `semantics`.
+    /// Starts an unbudgeted session for `model` under `semantics`.
     pub fn new(model: &Model, semantics: Semantics) -> Self {
-        Self::with_limits(model, semantics, EngineLimits::none())
+        Self::with_budget(model, semantics, Budget::none())
     }
 
-    /// Starts a session with per-call resource budgets.
-    pub fn with_limits(model: &Model, semantics: Semantics, limits: EngineLimits) -> Self {
+    /// Starts a session whose budget covers all subsequent bounds.
+    pub fn with_budget(model: &Model, semantics: Semantics, budget: Budget) -> Self {
         let mut s = IncrementalUnroll {
             model: model.clone(),
             semantics,
@@ -66,7 +76,11 @@ impl IncrementalUnroll {
             input_lits: Vec::new(),
             target_act: Vec::new(),
             target_lits: Vec::new(),
-            limits,
+            budget,
+            started: Instant::now(),
+            encoded_clauses: 0,
+            encoded_lits: 0,
+            total: RunStats::default(),
         };
         // Frame 0: state variables + I(Z0) + F-at-0 activation.
         let n = s.model.num_state_vars();
@@ -83,6 +97,8 @@ impl IncrementalUnroll {
         s.target_act.push(act0);
         s.target_lits.push(f0);
         cnf.ensure_vars(s.alloc.num_vars());
+        s.encoded_clauses += cnf.num_clauses();
+        s.encoded_lits += cnf.num_literals();
         s.solver.add_cnf(&cnf);
         s
     }
@@ -145,23 +161,49 @@ impl IncrementalUnroll {
         self.target_act.push(act);
         self.target_lits.push(f);
         cnf.ensure_vars(self.alloc.num_vars());
+        self.encoded_clauses += cnf.num_clauses();
+        self.encoded_lits += cnf.num_literals();
         self.solver.add_cnf(&cnf);
     }
 
     /// Checks the given bound, extending the encoding as needed.
-    ///
-    /// Bounds may be queried in any order but each query reuses every
-    /// clause (and learnt clause) from previous queries.
-    pub fn check_bound(&mut self, k: usize) -> BmcResult {
+    pub fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        let call_start = Instant::now();
+        let conflicts_before = self.solver.stats().conflicts;
+        let result = self.check_bound_inner(k);
+        let stats = RunStats {
+            duration: call_start.elapsed(),
+            encode_vars: self.alloc.num_vars(),
+            encode_clauses: self.encoded_clauses,
+            encode_lits: self.encoded_lits,
+            peak_formula_lits: self.solver.stats().peak_live_lits,
+            peak_formula_bytes: self.solver.stats().peak_bytes(),
+            solver_effort: self.solver.stats().conflicts - conflicts_before,
+            bounds_checked: 1,
+        };
+        self.total.absorb(&stats);
+        BmcOutcome { result, stats }
+    }
+
+    fn check_bound_inner(&mut self, k: usize) -> BmcResult {
+        if self.budget.expired(self.started) {
+            return BmcResult::Unknown(self.budget.unknown_reason());
+        }
         while self.state_lits.len() <= k {
+            // Enforce the byte cap (and deadline/cancellation) while
+            // *encoding*, not just at solver safe points — a huge bound
+            // must not blow past the budget before the first solve.
+            if self.budget.expired(self.started)
+                || self
+                    .budget
+                    .max_formula_bytes
+                    .is_some_and(|cap| self.solver.stats().live_bytes() >= cap)
+            {
+                return BmcResult::Unknown(self.budget.unknown_reason());
+            }
             self.extend();
         }
-        let start = std::time::Instant::now();
-        self.solver.set_limits(SatLimits {
-            deadline: self.limits.deadline_from(start),
-            max_live_lits: self.limits.max_formula_lits,
-            ..SatLimits::none()
-        });
+        self.solver.set_limits(self.budget.sat_limits(self.started));
         // Assumptions: F at frame k (exact) or F somewhere ≤ k (within,
         // via an OR over activation literals — expressed by assuming a
         // fresh selector that implies the disjunction).
@@ -204,14 +246,33 @@ impl IncrementalUnroll {
                 BmcResult::Reachable(Some(trace))
             }
             SolveResult::Unsat => BmcResult::Unreachable,
-            SolveResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+            SolveResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
         }
+    }
+}
+
+impl Session for IncrementalUnroll {
+    fn name(&self) -> &'static str {
+        "sat-unroll"
+    }
+
+    fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        IncrementalUnroll::check_bound(self, k)
+    }
+
+    fn cumulative_stats(&self) -> RunStats {
+        self.total.clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::CancelToken;
     use sebmc_model::builders::{counter_with_reset, lfsr, shift_register, traffic_light};
     use sebmc_model::explicit;
 
@@ -220,7 +281,7 @@ mod tests {
         let model = counter_with_reset(3);
         let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
         for k in 0..10 {
-            let got = session.check_bound(k);
+            let got = session.check_bound(k).result;
             let expect = explicit::reachable_in_exactly(&model, k);
             assert_eq!(got.is_reachable(), expect, "bound {k}");
             if let Some(t) = got.witness() {
@@ -235,7 +296,7 @@ mod tests {
         let model = lfsr(4, 6);
         let mut session = IncrementalUnroll::new(&model, Semantics::Within);
         for k in 0..10 {
-            let got = session.check_bound(k);
+            let got = session.check_bound(k).result;
             assert_eq!(
                 got.is_reachable(),
                 explicit::reachable_within(&model, k),
@@ -250,8 +311,10 @@ mod tests {
         let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
         session.check_bound(4);
         let frames_after_4 = session.encoded_frames();
+        let lits_after_4 = session.cumulative_stats().encode_lits;
         session.check_bound(2); // lower bound: no new frames
         assert_eq!(session.encoded_frames(), frames_after_4);
+        assert_eq!(session.cumulative_stats().encode_lits, lits_after_4);
         session.check_bound(8);
         assert_eq!(session.encoded_frames(), 9);
     }
@@ -261,7 +324,7 @@ mod tests {
         let model = traffic_light();
         let mut session = IncrementalUnroll::new(&model, Semantics::Within);
         for k in 0..8 {
-            assert!(session.check_bound(k).is_unreachable(), "bound {k}");
+            assert!(session.check_bound(k).result.is_unreachable(), "bound {k}");
         }
     }
 
@@ -269,9 +332,12 @@ mod tests {
     fn bounds_can_be_revisited() {
         let model = shift_register(4);
         let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
-        assert!(session.check_bound(4).is_reachable());
-        assert!(session.check_bound(3).is_unreachable());
-        assert!(session.check_bound(4).is_reachable(), "re-query works");
+        assert!(session.check_bound(4).result.is_reachable());
+        assert!(session.check_bound(3).result.is_unreachable());
+        assert!(
+            session.check_bound(4).result.is_reachable(),
+            "re-query works"
+        );
     }
 
     #[test]
@@ -283,5 +349,53 @@ mod tests {
         session.check_bound(8);
         let l8 = session.live_lits();
         assert!(l8 > l4, "more frames, more clauses");
+    }
+
+    #[test]
+    fn cumulative_stats_aggregate_across_bounds() {
+        let model = counter_with_reset(3);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        let mut effort = 0;
+        for k in 0..6 {
+            effort += session.check_bound(k).stats.solver_effort;
+        }
+        let total = session.cumulative_stats();
+        assert_eq!(total.bounds_checked, 6);
+        assert_eq!(total.solver_effort, effort);
+        assert!(total.encode_lits > 0);
+    }
+
+    #[test]
+    fn byte_cap_limits_encoding_not_just_solving() {
+        // A huge bound must hit the memory cap while *encoding* frames,
+        // not allocate them all first.
+        let model = counter_with_reset(4);
+        let mut session = IncrementalUnroll::with_budget(
+            &model,
+            Semantics::Exactly,
+            Budget::with_memory_bytes(4096),
+        );
+        let out = session.check_bound(100_000);
+        assert!(out.result.is_unknown(), "got {}", out.result);
+        assert!(
+            session.live_bytes() < 64 * 1024,
+            "encoding stopped near the cap, held {} B",
+            session.live_bytes()
+        );
+    }
+
+    #[test]
+    fn fired_token_stops_the_session() {
+        let model = shift_register(8);
+        let token = CancelToken::new();
+        let mut session = IncrementalUnroll::with_budget(
+            &model,
+            Semantics::Exactly,
+            Budget::none().with_cancel(token.clone()),
+        );
+        assert!(session.check_bound(3).result.is_unreachable());
+        token.cancel();
+        let out = session.check_bound(8);
+        assert_eq!(out.result, BmcResult::Unknown("cancelled".into()));
     }
 }

@@ -1,17 +1,19 @@
-//! Iterative-deepening BMC driver.
+//! Iterative-deepening BMC driver over the session API.
 //!
 //! The paper frames complete model checking as increasing the bound
 //! "iteratively up to the length of the longest simple path". This
-//! driver runs that loop over any [`BoundedChecker`], stopping at the
-//! first witness, a global budget, or the requested maximum bound.
-
-use std::time::{Duration, Instant};
+//! driver opens **one** [`Session`](crate::Session) and runs that loop
+//! over it, so every bound reuses the engine's solver and encoding
+//! state — incremental unrolling keeps its frames and learnt clauses,
+//! jSAT keeps formula (4) and its failed-state cache. It stops at the
+//! first witness, the session budget, or the requested maximum bound.
 
 use sebmc_model::Model;
 
-use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, Semantics};
+use crate::engine::{BmcOutcome, BmcResult, Budget, Engine, RunStats, Semantics};
 
-/// Result of an iterative-deepening run.
+/// Result of an iterative-deepening run. Every variant carries the
+/// session's cumulative statistics across all bounds it checked.
 #[derive(Debug)]
 pub enum DeepeningResult {
     /// A witness was found at the given bound (the minimal one, since
@@ -21,18 +23,25 @@ pub enum DeepeningResult {
         bound: usize,
         /// The engine outcome at that bound.
         outcome: BmcOutcome,
+        /// Cumulative session stats over bounds `0..=bound`.
+        total: RunStats,
     },
     /// Every bound up to `max_bound` is unreachable.
     ExhaustedBounds {
         /// The largest bound checked.
         max_bound: usize,
+        /// Cumulative session stats over all bounds.
+        total: RunStats,
     },
-    /// The engine returned Unknown (budget) at the given bound.
+    /// The engine returned Unknown (budget or cancellation) at the
+    /// given bound.
     GaveUpAt {
         /// The bound at which the engine gave up.
         bound: usize,
         /// Why.
         reason: String,
+        /// Cumulative session stats up to the give-up point.
+        total: RunStats,
     },
 }
 
@@ -44,40 +53,61 @@ impl DeepeningResult {
             _ => None,
         }
     }
+
+    /// The cumulative session stats, whatever the verdict.
+    pub fn total_stats(&self) -> &RunStats {
+        match self {
+            DeepeningResult::FoundAt { total, .. }
+            | DeepeningResult::ExhaustedBounds { total, .. }
+            | DeepeningResult::GaveUpAt { total, .. } => total,
+        }
+    }
 }
 
-/// Runs `engine` at bounds `0..=max_bound` (exact semantics) until a
-/// witness is found, a bound fails with Unknown, or the optional global
-/// timeout expires.
+/// Opens one session of `engine` on `model` under `budget` and checks
+/// bounds `0..=max_bound` (exact semantics) until a witness is found,
+/// a bound fails with Unknown, or the budget runs out.
+///
+/// ```
+/// use sebmc::{find_shortest_witness, Budget, DeepeningResult, UnrollSat};
+/// use sebmc_model::builders::shift_register;
+///
+/// let model = shift_register(4);
+/// let r = find_shortest_witness(&UnrollSat::default(), &model, 10, Budget::none());
+/// assert_eq!(r.found_bound(), Some(4));
+/// assert_eq!(r.total_stats().bounds_checked, 5); // bounds 0..=4
+/// ```
 pub fn find_shortest_witness(
-    engine: &mut dyn BoundedChecker,
+    engine: &dyn Engine,
     model: &Model,
     max_bound: usize,
-    global_timeout: Option<Duration>,
+    budget: Budget,
 ) -> DeepeningResult {
-    let start = Instant::now();
+    let mut session = engine.start(model, Semantics::Exactly, budget);
     for k in 0..=max_bound {
-        if let Some(t) = global_timeout {
-            if start.elapsed() >= t {
-                return DeepeningResult::GaveUpAt {
-                    bound: k,
-                    reason: "global timeout".into(),
-                };
-            }
-        }
-        let outcome = engine.check(model, k, Semantics::Exactly);
+        let outcome = session.check_bound(k);
         match outcome.result {
-            BmcResult::Reachable(_) => return DeepeningResult::FoundAt { bound: k, outcome },
+            BmcResult::Reachable(_) => {
+                return DeepeningResult::FoundAt {
+                    bound: k,
+                    total: session.cumulative_stats(),
+                    outcome,
+                }
+            }
             BmcResult::Unreachable => {}
             BmcResult::Unknown(ref why) => {
                 return DeepeningResult::GaveUpAt {
                     bound: k,
                     reason: why.clone(),
+                    total: session.cumulative_stats(),
                 }
             }
         }
     }
-    DeepeningResult::ExhaustedBounds { max_bound }
+    DeepeningResult::ExhaustedBounds {
+        max_bound,
+        total: session.cumulative_stats(),
+    }
 }
 
 #[cfg(test)]
@@ -87,12 +117,12 @@ mod tests {
     use crate::unroll::UnrollSat;
     use sebmc_model::builders::{shift_register, traffic_light};
     use sebmc_model::explicit;
+    use std::time::Duration;
 
     #[test]
     fn finds_minimal_bound_with_unroll() {
         let m = shift_register(4);
-        let mut e = UnrollSat::default();
-        let r = find_shortest_witness(&mut e, &m, 10, None);
+        let r = find_shortest_witness(&UnrollSat::default(), &m, 10, Budget::none());
         assert_eq!(r.found_bound(), Some(4));
         assert_eq!(explicit::min_steps_to_target(&m, 10), Some(4));
     }
@@ -100,32 +130,48 @@ mod tests {
     #[test]
     fn finds_minimal_bound_with_jsat() {
         let m = shift_register(4);
-        let mut e = JSat::default();
-        let r = find_shortest_witness(&mut e, &m, 10, None);
+        let r = find_shortest_witness(&JSat::default(), &m, 10, Budget::none());
         assert_eq!(r.found_bound(), Some(4));
-        if let DeepeningResult::FoundAt { outcome, .. } = r {
+        if let DeepeningResult::FoundAt { outcome, total, .. } = r {
             let t = outcome.result.witness().expect("jsat gives witnesses");
             assert_eq!(t.len(), 4);
+            assert_eq!(total.bounds_checked, 5);
         }
     }
 
     #[test]
     fn exhausts_bounds_on_unsat_instance() {
         let m = traffic_light();
-        let mut e = UnrollSat::default();
-        let r = find_shortest_witness(&mut e, &m, 6, None);
+        let r = find_shortest_witness(&UnrollSat::default(), &m, 6, Budget::none());
         assert!(matches!(
             r,
-            DeepeningResult::ExhaustedBounds { max_bound: 6 }
+            DeepeningResult::ExhaustedBounds { max_bound: 6, .. }
         ));
         assert_eq!(r.found_bound(), None);
+        assert_eq!(r.total_stats().bounds_checked, 7);
     }
 
     #[test]
     fn global_timeout_stops_early() {
         let m = traffic_light();
-        let mut e = UnrollSat::default();
-        let r = find_shortest_witness(&mut e, &m, 1000, Some(Duration::ZERO));
+        let r = find_shortest_witness(
+            &UnrollSat::default(),
+            &m,
+            1000,
+            Budget::with_timeout(Duration::ZERO),
+        );
         assert!(matches!(r, DeepeningResult::GaveUpAt { .. }));
+    }
+
+    #[test]
+    fn cancellation_stops_the_loop() {
+        let m = traffic_light();
+        let budget = Budget::none();
+        budget.cancel.cancel();
+        let r = find_shortest_witness(&JSat::default(), &m, 1000, budget);
+        match r {
+            DeepeningResult::GaveUpAt { reason, .. } => assert_eq!(reason, "cancelled"),
+            other => panic!("expected GaveUpAt, got {other:?}"),
+        }
     }
 }

@@ -20,9 +20,9 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+use sebmc_sat::{SolveResult, Solver};
 
-use crate::engine::{BoundedChecker, EngineLimits, Semantics};
+use crate::engine::{Budget, Engine, RunStats, Semantics};
 use crate::unroll::UnrollSat;
 
 /// Outcome of a k-induction run.
@@ -63,10 +63,23 @@ impl InductionResult {
     }
 }
 
+/// A k-induction verdict together with the run's cumulative solver
+/// statistics (base-case session totals plus every step-case solve).
+#[derive(Debug)]
+pub struct InductionRun {
+    /// The verdict.
+    pub result: InductionResult,
+    /// Aggregated stats: durations/conflicts summed, formula sizes and
+    /// memory peaks maxed, `bounds_checked` counting base and step
+    /// cases.
+    pub stats: RunStats,
+}
+
 /// Builds the Step(k) formula: a simple path of `k` steps, `¬F` on the
-/// first `k` states, `F` on the last. Returns `true` if satisfiable
-/// (induction fails at this depth).
-fn step_case(model: &Model, k: usize, limits: &EngineLimits, start: Instant) -> SolveResult {
+/// first `k` states, `F` on the last. Returns the solver verdict
+/// (satisfiable means induction fails at this depth) plus this call's
+/// stats.
+fn step_case(model: &Model, k: usize, budget: &Budget, start: Instant) -> (SolveResult, RunStats) {
     let n = model.num_state_vars();
     let m = model.num_inputs();
     let mut alloc = VarAlloc::new();
@@ -128,16 +141,84 @@ fn step_case(model: &Model, k: usize, limits: &EngineLimits, start: Instant) -> 
     }
     cnf.ensure_vars(alloc.num_vars());
 
+    let call_start = Instant::now();
     let mut solver = Solver::new();
-    solver.set_limits(SatLimits {
-        deadline: limits.deadline_from(start),
-        max_live_lits: limits.max_formula_lits,
-        ..SatLimits::none()
-    });
-    if !solver.add_cnf(&cnf) {
-        return SolveResult::Unsat;
+    solver.set_limits(budget.sat_limits(start));
+    let result = if !solver.add_cnf(&cnf) {
+        SolveResult::Unsat
+    } else {
+        solver.solve()
+    };
+    let stats = RunStats {
+        duration: call_start.elapsed(),
+        encode_vars: cnf.num_vars(),
+        encode_clauses: cnf.num_clauses(),
+        encode_lits: cnf.num_literals(),
+        peak_formula_lits: solver.stats().peak_live_lits,
+        peak_formula_bytes: solver.stats().peak_bytes(),
+        solver_effort: solver.stats().conflicts,
+        bounds_checked: 1,
+    };
+    (result, stats)
+}
+
+/// Runs k-induction with increasing depth up to `max_depth`,
+/// returning the verdict together with cumulative run statistics.
+///
+/// The budget's wall clock starts now and covers every base and step
+/// case; its cancel token aborts the run at the next case boundary (or
+/// inside a solver, at the solver's safe points).
+pub fn k_induction_run(model: &Model, max_depth: usize, budget: &Budget) -> InductionRun {
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    // One incremental base-case session shared by every depth: the
+    // deepening base checks are exactly the session workload.
+    let mut base = UnrollSat::default().start(model, Semantics::Within, budget.clone());
+    let finish = |result: InductionResult, mut stats: RunStats| {
+        stats.duration = start.elapsed();
+        InductionRun { result, stats }
+    };
+    for k in 0..=max_depth {
+        if budget.expired(start) {
+            return finish(
+                InductionResult::Unknown {
+                    reason: budget.unknown_reason(),
+                },
+                stats,
+            );
+        }
+        // Base: counterexample within k steps?
+        let out = base.check_bound(k);
+        stats.absorb(&out.stats);
+        match out.result {
+            crate::engine::BmcResult::Reachable(Some(cex)) => {
+                return finish(InductionResult::Falsified { cex }, stats);
+            }
+            crate::engine::BmcResult::Reachable(None) => {
+                unreachable!("UnrollSat always produces witnesses")
+            }
+            crate::engine::BmcResult::Unknown(reason) => {
+                return finish(InductionResult::Unknown { reason }, stats);
+            }
+            crate::engine::BmcResult::Unreachable => {}
+        }
+        // Step: does a simple ¬F…¬F→F path of length k exist?
+        let (step, step_stats) = step_case(model, k, budget, start);
+        stats.absorb(&step_stats);
+        match step {
+            SolveResult::Unsat => return finish(InductionResult::Proved { k }, stats),
+            SolveResult::Sat => {}
+            SolveResult::Unknown => {
+                return finish(
+                    InductionResult::Unknown {
+                        reason: format!("{} in step case", budget.unknown_reason()),
+                    },
+                    stats,
+                );
+            }
+        }
     }
-    solver.solve()
+    finish(InductionResult::Exhausted { max_depth }, stats)
 }
 
 /// Runs k-induction with increasing depth up to `max_depth`.
@@ -145,37 +226,10 @@ fn step_case(model: &Model, k: usize, limits: &EngineLimits, start: Instant) -> 
 /// Returns [`InductionResult::Proved`] as soon as a step case is
 /// unsatisfiable, [`InductionResult::Falsified`] when the base case
 /// finds a counterexample, [`InductionResult::Exhausted`] after
-/// `max_depth` inconclusive rounds.
-pub fn k_induction(model: &Model, max_depth: usize, limits: &EngineLimits) -> InductionResult {
-    let start = Instant::now();
-    for k in 0..=max_depth {
-        // Base: counterexample within k steps?
-        let mut base = UnrollSat::with_limits(limits.clone());
-        let out = base.check(model, k, Semantics::Within);
-        match out.result {
-            crate::engine::BmcResult::Reachable(Some(cex)) => {
-                return InductionResult::Falsified { cex };
-            }
-            crate::engine::BmcResult::Reachable(None) => {
-                unreachable!("UnrollSat always produces witnesses")
-            }
-            crate::engine::BmcResult::Unknown(reason) => {
-                return InductionResult::Unknown { reason };
-            }
-            crate::engine::BmcResult::Unreachable => {}
-        }
-        // Step: does a simple ¬F…¬F→F path of length k exist?
-        match step_case(model, k, limits, start) {
-            SolveResult::Unsat => return InductionResult::Proved { k },
-            SolveResult::Sat => {}
-            SolveResult::Unknown => {
-                return InductionResult::Unknown {
-                    reason: "budget exhausted in step case".into(),
-                }
-            }
-        }
-    }
-    InductionResult::Exhausted { max_depth }
+/// `max_depth` inconclusive rounds. See [`k_induction_run`] for the
+/// variant that also reports cumulative run statistics.
+pub fn k_induction(model: &Model, max_depth: usize, budget: &Budget) -> InductionResult {
+    k_induction_run(model, max_depth, budget).result
 }
 
 #[cfg(test)]
@@ -187,7 +241,7 @@ mod tests {
 
     #[test]
     fn proves_traffic_light_safe() {
-        let r = k_induction(&traffic_light(), 8, &EngineLimits::none());
+        let r = k_induction(&traffic_light(), 8, &Budget::none());
         match r {
             InductionResult::Proved { k } => assert!(k <= 2, "traffic proves shallow, got {k}"),
             other => panic!("expected proof, got {other:?}"),
@@ -200,7 +254,7 @@ mod tests {
         // invariant strengthening; plain k-induction with simple-path
         // constraints needs k = 17 here — the paper's point that "the
         // induction depth [can be] exponential in the size of the model".
-        let r = k_induction(&peterson(), 20, &EngineLimits::none());
+        let r = k_induction(&peterson(), 20, &Budget::none());
         match r {
             InductionResult::Proved { k } => {
                 assert!(k >= 10, "expected a deep induction proof, got {k}")
@@ -212,7 +266,7 @@ mod tests {
     #[test]
     fn falsifies_reachable_targets_with_valid_cex() {
         let m = shift_register(4);
-        let r = k_induction(&m, 10, &EngineLimits::none());
+        let r = k_induction(&m, 10, &Budget::none());
         match r {
             InductionResult::Falsified { cex } => {
                 assert_eq!(cex.len(), 4, "minimal counterexample");
@@ -246,7 +300,7 @@ mod tests {
             b.build().unwrap()
         };
         assert!(!sebmc_model::explicit::reachable_within(&m, 16));
-        let r = k_induction(&m, 16, &EngineLimits::none());
+        let r = k_induction(&m, 16, &Budget::none());
         match r {
             InductionResult::Proved { k } => {
                 assert!(k >= 2, "needs non-trivial depth, proved at {k}");
@@ -261,7 +315,7 @@ mod tests {
         // base finds nothing and induction cannot conclude either way
         // for this shallow horizon... all-ones IS reachable, so with
         // max_depth 3 the result must be Exhausted (cex needs k=4).
-        let r = k_induction(&johnson_counter(4), 3, &EngineLimits::none());
+        let r = k_induction(&johnson_counter(4), 3, &Budget::none());
         assert!(
             matches!(r, InductionResult::Exhausted { max_depth: 3 }),
             "{r:?}"
@@ -273,7 +327,7 @@ mod tests {
         let r = k_induction(
             &counter_with_enable(6),
             20,
-            &EngineLimits::with_timeout(std::time::Duration::from_nanos(1)),
+            &Budget::with_timeout(std::time::Duration::from_nanos(1)),
         );
         assert!(matches!(r, InductionResult::Unknown { .. }), "{r:?}");
     }
@@ -282,7 +336,7 @@ mod tests {
     fn deep_counter_proof() {
         // counter_with_enable(3) target is 7, reachable — falsified.
         let m = counter_with_enable(3);
-        let r = k_induction(&m, 10, &EngineLimits::none());
+        let r = k_induction(&m, 10, &Budget::none());
         assert!(r.is_falsified());
     }
 }

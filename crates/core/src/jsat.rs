@@ -26,15 +26,23 @@
 //! failed-state cache ("state σ cannot reach F in r steps") and the
 //! periodic `simplify()` garbage collection of retired blocking
 //! clauses.
+//!
+//! As a [`Session`], jSAT keeps formula (4), the solver's learnt
+//! clauses *and* the failed-state cache alive across bounds — cached
+//! "cannot reach F in r steps" facts are bound-independent, so a
+//! deepening loop re-enters the search with everything it refuted at
+//! smaller bounds already pruned.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
+use sebmc_sat::{SolveResult, Solver};
 
-use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+use crate::engine::{
+    BmcOutcome, BmcResult, BoundedChecker, Budget, Engine, RunStats, Semantics, Session,
+};
 
 /// Tuning knobs of the jSAT procedure (ablated in experiment E5).
 #[derive(Clone, Debug)]
@@ -62,7 +70,7 @@ impl Default for JSatConfig {
     }
 }
 
-/// Search statistics of a jSAT run.
+/// Search statistics of a jSAT run (cumulative over a session).
 #[derive(Clone, Debug, Default)]
 pub struct JSatStats {
     /// Incremental SAT calls made.
@@ -95,7 +103,9 @@ fn state_key(state: &[bool]) -> Vec<u64> {
 }
 
 /// Failed-state memory: exact mode records (state, remaining) pairs;
-/// within mode records the largest remaining budget that failed.
+/// within mode records the largest remaining budget that failed. Both
+/// kinds of fact are independent of the bound being checked, so the
+/// cache survives across a session's bounds.
 #[derive(Debug, Default)]
 struct FailedCache {
     exact: HashSet<(Vec<u64>, u32)>,
@@ -161,39 +171,73 @@ struct Frame {
 /// ```
 #[derive(Debug, Default)]
 pub struct JSat {
-    /// Resource budgets applied per check.
-    pub limits: EngineLimits,
+    /// Default budget for one-shot [`BoundedChecker::check`] calls.
+    pub budget: Budget,
     /// Algorithm configuration.
     pub config: JSatConfig,
     stats: JSatStats,
 }
 
 impl JSat {
-    /// Creates the engine with the given budgets and default config.
-    pub fn with_limits(limits: EngineLimits) -> Self {
+    /// Creates the engine with the given default budget.
+    pub fn with_budget(budget: Budget) -> Self {
         JSat {
-            limits,
+            budget,
             ..JSat::default()
         }
     }
 
     /// Creates the engine with explicit configuration.
-    pub fn with_config(limits: EngineLimits, config: JSatConfig) -> Self {
+    pub fn with_config(budget: Budget, config: JSatConfig) -> Self {
         JSat {
-            limits,
+            budget,
             config,
             stats: JSatStats::default(),
         }
     }
 
-    /// Statistics of the most recent check.
+    /// Statistics of the most recent one-shot check.
     pub fn jsat_stats(&self) -> &JSatStats {
         &self.stats
     }
 }
 
+impl Engine for JSat {
+    fn name(&self) -> &'static str {
+        "jsat"
+    }
+
+    fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
+        Box::new(JSatSession::new(
+            model,
+            semantics,
+            self.config.clone(),
+            budget,
+        ))
+    }
+
+    fn default_budget(&self) -> Budget {
+        self.budget.clone()
+    }
+}
+
+impl BoundedChecker for JSat {
+    fn name(&self) -> &'static str {
+        Engine::name(self)
+    }
+
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+        let mut session =
+            JSatSession::new(model, semantics, self.config.clone(), self.budget.clone());
+        let out = session.check_bound(k);
+        self.stats = session.search_stats().clone();
+        out
+    }
+}
+
 /// The static formula (4) loaded into the incremental solver, plus the
 /// variable maps jSAT drives it through.
+#[derive(Debug)]
 struct Formula4 {
     solver: Solver,
     u_lits: Vec<Lit>,
@@ -205,7 +249,10 @@ struct Formula4 {
     act_target_v: Lit,
     /// Activates `F(U)` (for the k = 0 degenerate case).
     act_target_u: Lit,
-    /// Guards the blocking clauses of refuted *initial* states.
+    /// Guards the blocking clauses of refuted *initial* states. A
+    /// bound's refuted-initial blocks are only valid for that bound, so
+    /// each `check_bound` retires the old guard and allocates a fresh
+    /// one.
     act_init_block: Lit,
     /// Size of the static formula, for the run statistics.
     base_vars: usize,
@@ -213,7 +260,7 @@ struct Formula4 {
     base_lits: usize,
 }
 
-fn build_formula4(model: &Model, limits: &EngineLimits, start: Instant) -> Formula4 {
+fn build_formula4(model: &Model) -> Formula4 {
     let n = model.num_state_vars();
     let m = model.num_inputs();
     let mut alloc = VarAlloc::new();
@@ -266,11 +313,6 @@ fn build_formula4(model: &Model, limits: &EngineLimits, start: Instant) -> Formu
     cnf.ensure_vars(alloc.num_vars());
 
     let mut solver = Solver::new();
-    solver.set_limits(SatLimits {
-        deadline: limits.deadline_from(start),
-        max_live_lits: limits.max_formula_lits,
-        ..SatLimits::none()
-    });
     solver.add_cnf(&cnf);
     Formula4 {
         base_vars: cnf.num_vars(),
@@ -318,88 +360,152 @@ impl Formula4 {
     }
 }
 
-impl BoundedChecker for JSat {
-    fn name(&self) -> &'static str {
-        "jsat"
+/// An open jSAT session: formula (4), the incremental solver with its
+/// learnt clauses, and the failed-state cache, all persisting across
+/// [`JSatSession::check_bound`] calls.
+#[derive(Debug)]
+pub struct JSatSession {
+    model: Model,
+    semantics: Semantics,
+    config: JSatConfig,
+    budget: Budget,
+    started: Instant,
+    f4: Formula4,
+    alloc: VarAlloc,
+    cache: FailedCache,
+    stats: JSatStats,
+    total: RunStats,
+}
+
+impl JSatSession {
+    /// Opens a session on `model`; the budget's wall clock starts now.
+    pub fn new(model: &Model, semantics: Semantics, config: JSatConfig, budget: Budget) -> Self {
+        let f4 = build_formula4(model);
+        let alloc = VarAlloc::starting_at(f4.solver.num_vars());
+        JSatSession {
+            model: model.clone(),
+            semantics,
+            config,
+            budget,
+            started: Instant::now(),
+            f4,
+            alloc,
+            cache: FailedCache::default(),
+            stats: JSatStats::default(),
+            total: RunStats::default(),
+        }
     }
 
-    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
-        let start = Instant::now();
-        self.stats = JSatStats::default();
-        let mut f4 = build_formula4(model, &self.limits, start);
-        let mut stats = RunStats {
-            encode_vars: f4.base_vars,
-            encode_clauses: f4.base_clauses,
-            encode_lits: f4.base_lits,
-            ..RunStats::default()
+    /// Cumulative jSAT search statistics across all bounds checked.
+    pub fn search_stats(&self) -> &JSatStats {
+        &self.stats
+    }
+
+    /// Decides bound `k`, reusing the formula, learnt clauses and
+    /// failed-state cache from earlier bounds.
+    pub fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        let call_start = Instant::now();
+        let conflicts_before = self.f4.solver.stats().conflicts;
+        let result = if self.budget.expired(self.started) {
+            BmcResult::Unknown(self.budget.unknown_reason())
+        } else {
+            self.f4
+                .solver
+                .set_limits(self.budget.sat_limits(self.started));
+            let mut frames: Vec<Frame> = Vec::new();
+            let result = self.search(k, &mut frames);
+            // Retire the blocking clauses of whatever frames were still
+            // on the stack when the search exited (witness found or
+            // budget/cancellation abort) so they don't linger into the
+            // session's next bound.
+            for f in frames {
+                self.f4.solver.add_clause([!f.act]);
+            }
+            result
         };
-        let result = self.search(model, k, semantics, &mut f4);
-        stats.duration = start.elapsed();
-        stats.peak_formula_lits = f4.solver.stats().peak_live_lits;
-        stats.peak_formula_bytes = f4.solver.stats().peak_bytes();
-        stats.solver_effort = f4.solver.stats().conflicts;
+        let stats = RunStats {
+            duration: call_start.elapsed(),
+            encode_vars: self.f4.base_vars,
+            encode_clauses: self.f4.base_clauses,
+            encode_lits: self.f4.base_lits,
+            peak_formula_lits: self.f4.solver.stats().peak_live_lits,
+            peak_formula_bytes: self.f4.solver.stats().peak_bytes(),
+            solver_effort: self.f4.solver.stats().conflicts - conflicts_before,
+            bounds_checked: 1,
+        };
+        self.total.absorb(&stats);
         if let BmcResult::Reachable(Some(ref t)) = result {
-            debug_assert_eq!(model.check_trace(t), Ok(()));
+            debug_assert_eq!(self.model.check_trace(t), Ok(()));
         }
         BmcOutcome { result, stats }
     }
-}
 
-impl JSat {
-    fn search(
-        &mut self,
-        model: &Model,
-        k: usize,
-        semantics: Semantics,
-        f4: &mut Formula4,
-    ) -> BmcResult {
+    fn search(&mut self, k: usize, frames: &mut Vec<Frame>) -> BmcResult {
         // Degenerate bound: is some initial state a target state?
         if k == 0 {
             self.stats.sat_calls += 1;
-            return match f4.solver.solve_with(&[f4.act_init, f4.act_target_u]) {
+            return match self
+                .f4
+                .solver
+                .solve_with(&[self.f4.act_init, self.f4.act_target_u])
+            {
                 SolveResult::Sat => {
-                    let s0 = f4.read_state(&f4.u_lits);
+                    let s0 = self.f4.read_state(&self.f4.u_lits);
                     BmcResult::Reachable(Some(Trace {
                         states: vec![s0],
                         inputs: vec![],
                     }))
                 }
                 SolveResult::Unsat => BmcResult::Unreachable,
-                SolveResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+                SolveResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
             };
         }
 
-        let mut cache = FailedCache::default();
-        let mut frames: Vec<Frame> = Vec::new();
-        let mut alloc = VarAlloc::starting_at(f4.solver.num_vars());
+        // Refuted-initial-state blocks from earlier bounds don't apply
+        // at this bound: retire the old guard, start a fresh one.
+        let retired = self.f4.act_init_block;
+        self.f4.solver.add_clause([!retired]);
+        self.f4.act_init_block = self.alloc.fresh_lit();
+        self.f4.solver.ensure_vars(self.alloc.num_vars());
+
         let mut pops_since_simplify = 0u64;
 
         loop {
-            if !f4.solver.is_ok() {
+            if !self.f4.solver.is_ok() {
                 // Top-level inconsistency can only mean the instance is
                 // globally unsatisfiable (e.g. unsatisfiable constraints).
                 return BmcResult::Unreachable;
             }
+            if self.budget.expired(self.started) {
+                return BmcResult::Unknown(self.budget.unknown_reason());
+            }
             if frames.is_empty() {
                 // Select a (new) initial state.
                 self.stats.sat_calls += 1;
-                match f4.solver.solve_with(&[f4.act_init, f4.act_init_block]) {
+                match self
+                    .f4
+                    .solver
+                    .solve_with(&[self.f4.act_init, self.f4.act_init_block])
+                {
                     SolveResult::Sat => {
-                        let s0 = f4.read_state(&f4.u_lits);
+                        let s0 = self.f4.read_state(&self.f4.u_lits);
                         // Block it as an initial choice for when we return.
-                        f4.block_state(f4.act_init_block, &f4.u_lits.clone(), &s0);
-                        if semantics == Semantics::Within && model.eval_target(&s0) {
+                        let guard = self.f4.act_init_block;
+                        self.f4.block_state(guard, &self.f4.u_lits.clone(), &s0);
+                        if self.semantics == Semantics::Within && self.model.eval_target(&s0) {
                             return BmcResult::Reachable(Some(Trace {
                                 states: vec![s0],
                                 inputs: vec![],
                             }));
                         }
-                        if self.config.use_failed_cache && cache.is_hopeless(semantics, &s0, k) {
+                        if self.config.use_failed_cache
+                            && self.cache.is_hopeless(self.semantics, &s0, k)
+                        {
                             self.stats.cache_hits += 1;
                             continue;
                         }
-                        let act = alloc.fresh_lit();
-                        f4.solver.ensure_vars(alloc.num_vars());
+                        let act = self.alloc.fresh_lit();
+                        self.f4.solver.ensure_vars(self.alloc.num_vars());
                         frames.push(Frame {
                             state: s0,
                             inputs_from_pred: Vec::new(),
@@ -408,7 +514,9 @@ impl JSat {
                         self.stats.max_depth = self.stats.max_depth.max(frames.len());
                     }
                     SolveResult::Unsat => return BmcResult::Unreachable,
-                    SolveResult::Unknown => return BmcResult::Unknown("budget exhausted".into()),
+                    SolveResult::Unknown => {
+                        return BmcResult::Unknown(self.budget.unknown_reason())
+                    }
                 }
                 continue;
             }
@@ -418,23 +526,24 @@ impl JSat {
             let frontier_act = frames.last().expect("non-empty").act;
             // Ask for a successor: U = σ_depth, this frame's blocking
             // clauses active, F(V) required at the final step.
-            let mut assumptions = f4.assume_u(&frontier_state);
+            let mut assumptions = self.f4.assume_u(&frontier_state);
             assumptions.push(frontier_act);
             if depth + 1 == k {
-                assumptions.push(f4.act_target_v);
+                assumptions.push(self.f4.act_target_v);
             }
             self.stats.sat_calls += 1;
-            match f4.solver.solve_with(&assumptions) {
+            match self.f4.solver.solve_with(&assumptions) {
                 SolveResult::Sat => {
                     self.stats.successors += 1;
-                    let succ = f4.read_state(&f4.v_lits);
-                    let step_inputs = f4.read_inputs();
+                    let succ = self.f4.read_state(&self.f4.v_lits);
+                    let step_inputs = self.f4.read_inputs();
                     // Never offer this successor again at this frame.
-                    f4.block_state(frontier_act, &f4.v_lits.clone(), &succ);
+                    self.f4
+                        .block_state(frontier_act, &self.f4.v_lits.clone(), &succ);
                     let reached_target = if depth + 1 == k {
                         true // act_target_v was assumed
                     } else {
-                        semantics == Semantics::Within && model.eval_target(&succ)
+                        self.semantics == Semantics::Within && self.model.eval_target(&succ)
                     };
                     if reached_target {
                         let mut states: Vec<Vec<bool>> =
@@ -450,13 +559,13 @@ impl JSat {
                     }
                     let remaining = k - (depth + 1);
                     if self.config.use_failed_cache
-                        && cache.is_hopeless(semantics, &succ, remaining)
+                        && self.cache.is_hopeless(self.semantics, &succ, remaining)
                     {
                         self.stats.cache_hits += 1;
                         continue;
                     }
-                    let act = alloc.fresh_lit();
-                    f4.solver.ensure_vars(alloc.num_vars());
+                    let act = self.alloc.fresh_lit();
+                    self.f4.solver.ensure_vars(self.alloc.num_vars());
                     frames.push(Frame {
                         state: succ,
                         inputs_from_pred: step_inputs,
@@ -469,27 +578,45 @@ impl JSat {
                     let popped = frames.pop().expect("non-empty");
                     self.stats.backtracks += 1;
                     if self.config.use_failed_cache {
-                        if cache.len() >= self.config.max_cache_entries {
-                            cache.clear();
+                        if self.cache.len() >= self.config.max_cache_entries {
+                            self.cache.clear();
                         }
-                        cache.record(semantics, &popped.state, k - depth);
+                        self.cache.record(self.semantics, &popped.state, k - depth);
                     }
                     // Retire the frame's blocking clauses and
                     // periodically reclaim their memory.
-                    f4.solver.add_clause([!popped.act]);
+                    self.f4.solver.add_clause([!popped.act]);
                     pops_since_simplify += 1;
                     if pops_since_simplify >= self.config.simplify_interval {
-                        let before = f4.solver.clause_db_resident_bytes();
-                        f4.solver.simplify();
-                        let after = f4.solver.clause_db_resident_bytes();
+                        let before = self.f4.solver.clause_db_resident_bytes();
+                        self.f4.solver.simplify();
+                        let after = self.f4.solver.clause_db_resident_bytes();
                         self.stats.simplify_runs += 1;
                         self.stats.reclaimed_bytes += before.saturating_sub(after) as u64;
                         pops_since_simplify = 0;
                     }
                 }
-                SolveResult::Unknown => return BmcResult::Unknown("budget exhausted".into()),
+                SolveResult::Unknown => return BmcResult::Unknown(self.budget.unknown_reason()),
             }
         }
+    }
+}
+
+impl Session for JSatSession {
+    fn name(&self) -> &'static str {
+        "jsat"
+    }
+
+    fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        JSatSession::check_bound(self, k)
+    }
+
+    fn cumulative_stats(&self) -> RunStats {
+        self.total.clone()
     }
 }
 
@@ -564,12 +691,53 @@ mod tests {
         check_all_bounds(&token_ring(4), 6, Semantics::Within);
     }
 
+    /// The same sweep through one persistent session: the formula,
+    /// learnt clauses and cache survive between bounds, and the
+    /// verdicts must still match the oracle at every bound.
+    #[test]
+    fn session_sweep_matches_oracle() {
+        for semantics in [Semantics::Exactly, Semantics::Within] {
+            let m = counter_with_reset(3);
+            let mut session =
+                JSatSession::new(&m, semantics, JSatConfig::default(), Budget::none());
+            for k in 0..=9 {
+                let got = session.check_bound(k);
+                let expect = match semantics {
+                    Semantics::Exactly => explicit::reachable_in_exactly(&m, k),
+                    Semantics::Within => explicit::reachable_within(&m, k),
+                };
+                assert_eq!(got.result.is_reachable(), expect, "bound {k} ({semantics})");
+                if let Some(t) = got.result.witness() {
+                    assert_eq!(m.check_trace(t), Ok(()));
+                }
+            }
+            assert_eq!(session.cumulative_stats().bounds_checked, 10);
+        }
+    }
+
+    /// Revisiting bounds in arbitrary order must stay sound even though
+    /// refuted-initial-state blocks are retired per bound.
+    #[test]
+    fn session_bounds_any_order() {
+        let m = lfsr(4, 6);
+        let mut session = JSatSession::new(
+            &m,
+            Semantics::Exactly,
+            JSatConfig::default(),
+            Budget::none(),
+        );
+        assert!(session.check_bound(6).result.is_reachable());
+        assert!(session.check_bound(5).result.is_unreachable());
+        assert!(session.check_bound(6).result.is_reachable(), "re-query");
+        assert!(session.check_bound(7).result.is_unreachable());
+    }
+
     #[test]
     fn cache_ablation_agrees() {
         let m = counter_with_reset(3);
         let mut with = JSat::default();
         let mut without = JSat::with_config(
-            EngineLimits::none(),
+            Budget::none(),
             JSatConfig {
                 use_failed_cache: false,
                 ..JSatConfig::default()
@@ -593,7 +761,7 @@ mod tests {
         with.check(&m, 6, Semantics::Exactly);
         let calls_with = with.jsat_stats().sat_calls;
         let mut without = JSat::with_config(
-            EngineLimits::none(),
+            Budget::none(),
             JSatConfig {
                 use_failed_cache: false,
                 ..JSatConfig::default()
@@ -607,12 +775,39 @@ mod tests {
         );
     }
 
+    /// Deepening 0..=k in one session must not need more SAT calls
+    /// than fresh one-shot runs: the cache carries refutations across
+    /// bounds.
+    #[test]
+    fn session_reuse_prunes_on_unsat_sweep() {
+        let m = counter_with_reset(3);
+        let max_k = 6; // all UNSAT below 7
+        let mut session = JSatSession::new(
+            &m,
+            Semantics::Exactly,
+            JSatConfig::default(),
+            Budget::none(),
+        );
+        for k in 0..=max_k {
+            assert!(session.check_bound(k).result.is_unreachable());
+        }
+        let session_calls = session.search_stats().sat_calls;
+        let mut oneshot_calls = 0;
+        for k in 0..=max_k {
+            let mut e = JSat::default();
+            assert!(e.check(&m, k, Semantics::Exactly).result.is_unreachable());
+            oneshot_calls += e.jsat_stats().sat_calls;
+        }
+        assert!(
+            session_calls <= oneshot_calls,
+            "session sweep used {session_calls} SAT calls vs {oneshot_calls} one-shot"
+        );
+    }
+
     #[test]
     fn timeout_gives_unknown() {
         let m = sebmc_model::builders::random_fsm(20, 2, 11);
-        let mut e = JSat::with_limits(EngineLimits::with_timeout(std::time::Duration::from_nanos(
-            1,
-        )));
+        let mut e = JSat::with_budget(Budget::with_timeout(std::time::Duration::from_nanos(1)));
         assert!(e.check(&m, 10, Semantics::Exactly).result.is_unknown());
     }
 
@@ -625,7 +820,7 @@ mod tests {
     fn retired_blocking_clauses_are_physically_reclaimed() {
         let m = counter_with_reset(8);
         let mut e = JSat::with_config(
-            EngineLimits::none(),
+            Budget::none(),
             JSatConfig {
                 // No failed-state cache: maximal path enumeration and
                 // therefore maximal blocking-clause churn. Simplify

@@ -14,24 +14,29 @@
 //! | (3) iterative squaring | [`squaring`] | [`QbfSquaring`] | log₂ k iterations, growing #∀ |
 //! | (4) jSAT | [`jsat`] | [`JSat`] | constant formula |
 //!
-//! All engines implement [`BoundedChecker`] and accept the paper's
-//! per-instance resource budgets through [`EngineLimits`]. Engines
-//! that find reachable targets produce replayable witness
+//! All engines implement [`Engine`]: [`Engine::start`] opens a
+//! [`Session`] bound to one model, [`Semantics`] and [`Budget`] (the
+//! paper's per-instance 300 s / 1 GB protocol, byte-accurate, plus a
+//! shared [`CancelToken`]), and [`Session::check_bound`] decides a
+//! *sequence* of bounds while engine state — solvers, learnt clauses,
+//! caches — persists between them. The legacy one-shot
+//! [`BoundedChecker`] remains as a thin veneer. Engines that find
+//! reachable targets produce replayable witness
 //! [`Trace`](sebmc_model::Trace)s (except the QBF back-ends, which
 //! decide validity only — as in 2005).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use sebmc::{BoundedChecker, JSat, Semantics, UnrollSat};
+//! use sebmc::{Budget, Engine, JSat, Semantics, UnrollSat};
 //! use sebmc_model::builders::counter_with_reset;
 //!
 //! let model = counter_with_reset(3); // 3-bit counter, target 7
-//! let mut jsat = JSat::default();
-//! let mut unroll = UnrollSat::default();
+//! let mut jsat = JSat::default().start(&model, Semantics::Exactly, Budget::none());
+//! let mut unroll = UnrollSat::default().start(&model, Semantics::Exactly, Budget::none());
 //! for k in 0..9 {
-//!     let a = jsat.check(&model, k, Semantics::Exactly).result;
-//!     let b = unroll.check(&model, k, Semantics::Exactly).result;
+//!     let a = jsat.check_bound(k).result;
+//!     let b = unroll.check_bound(k).result;
 //!     assert!(a.agrees_with(&b));
 //! }
 //! ```
@@ -49,12 +54,15 @@ pub mod qbf_enc;
 pub mod squaring;
 pub mod unroll;
 
-pub use engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+pub use engine::{
+    one_shot, BmcOutcome, BmcResult, BoundedChecker, Budget, CancelToken, Engine, RunStats,
+    Semantics, Session,
+};
 pub use inc_unroll::IncrementalUnroll;
 pub use incremental::{find_shortest_witness, DeepeningResult};
-pub use induction::{k_induction, InductionResult};
-pub use jsat::{JSat, JSatConfig, JSatStats};
+pub use induction::{k_induction, k_induction_run, InductionResult, InductionRun};
+pub use jsat::{JSat, JSatConfig, JSatSession, JSatStats};
 pub use portfolio::{first_decided, run_portfolio, PortfolioEntry};
-pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear};
-pub use squaring::{encode_qbf_squaring, QbfSquaring};
+pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear, QbfLinearSession};
+pub use squaring::{encode_qbf_squaring, QbfSquaring, QbfSquaringSession};
 pub use unroll::{encode_unrolled, UnrollSat, UnrolledCnf};

@@ -1,44 +1,110 @@
-//! Parallel engine portfolio.
+//! Parallel engine portfolio with first-winner cancellation.
 //!
-//! Runs several bounded checkers on the same instance in parallel OS
-//! threads (each with its own budgets) and reports every outcome. The
-//! harness uses it to cross-check engines; callers wanting a single
-//! verdict take the first decided one.
+//! Runs several engines on the same instance in parallel OS threads.
+//! All sessions race on one child [`CancelToken`](crate::CancelToken):
+//! the moment any engine reaches a decided verdict it fires that
+//! token, and the losers abort at their next safe point instead of
+//! burning the rest of their budget — so the harness returns in
+//! roughly the fastest engine's time. The caller's own token (in the
+//! passed [`Budget`]) is only read, never fired, so the budget stays
+//! reusable; an external cancellation still propagates into the race.
+//! A panicking engine is caught and surfaced as
+//! [`BmcResult::Unknown`] rather than taking the whole portfolio
+//! down.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 use sebmc_model::Model;
 
-use crate::engine::{BmcOutcome, BoundedChecker, Semantics};
+use crate::engine::{BmcOutcome, BmcResult, Budget, Engine, RunStats, Semantics};
 
 /// The outcome of one engine inside a portfolio run.
 #[derive(Debug)]
 pub struct PortfolioEntry {
     /// Engine name.
     pub engine: &'static str,
-    /// The engine's outcome.
+    /// The engine's outcome. Cancelled losers report
+    /// `Unknown("cancelled")`; a panicking engine reports
+    /// `Unknown("engine panicked: …")`.
     pub outcome: BmcOutcome,
+}
+
+/// Renders a panic payload (the argument of `panic!`) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 /// Runs every engine on `(model, k, semantics)` concurrently and
 /// returns their outcomes in input order.
 ///
-/// # Panics
-///
-/// Panics if an engine thread panics.
+/// The race runs on a **child** token: the first engine to decide
+/// fires it, cancelling the rest, while the caller's own
+/// [`CancelToken`](crate::CancelToken) is only ever *read* (a bridge
+/// propagates an external cancellation into the race), never fired —
+/// so the passed `budget` stays usable for subsequent runs. Engines
+/// that panic are reported as Unknown instead of propagating the
+/// panic.
 pub fn run_portfolio(
     model: &Model,
     k: usize,
     semantics: Semantics,
-    engines: Vec<Box<dyn BoundedChecker + Send>>,
+    engines: Vec<Box<dyn Engine + Send>>,
+    budget: Budget,
 ) -> Vec<PortfolioEntry> {
+    let caller = budget.cancel_token();
+    let race = crate::engine::CancelToken::new();
     thread::scope(|s| {
+        // Bridge: an external cancellation of the caller's budget must
+        // still stop the race. Polled coarsely; the bridge exits as
+        // soon as the race token fires (which the scope guarantees
+        // below).
+        {
+            let race = race.clone();
+            let caller = caller.clone();
+            s.spawn(move || {
+                while !race.is_cancelled() {
+                    if caller.is_cancelled() {
+                        race.cancel();
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            });
+        }
         let handles: Vec<_> = engines
             .into_iter()
-            .map(|mut engine| {
+            .map(|engine| {
+                let budget = budget.clone().with_cancel(race.clone());
+                let race = race.clone();
                 s.spawn(move || {
-                    let name = engine.name();
-                    let outcome = engine.check(model, k, semantics);
+                    let name = Engine::name(engine.as_ref());
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        engine.start(model, semantics, budget).check_bound(k)
+                    }));
+                    let outcome = match run {
+                        Ok(outcome) => {
+                            if !outcome.result.is_unknown() {
+                                // Decided: the rest of the portfolio can
+                                // stop working on this instance.
+                                race.cancel();
+                            }
+                            outcome
+                        }
+                        Err(payload) => BmcOutcome {
+                            result: BmcResult::Unknown(format!(
+                                "engine panicked: {}",
+                                panic_message(payload.as_ref())
+                            )),
+                            stats: RunStats::default(),
+                        },
+                    };
                     PortfolioEntry {
                         engine: name,
                         outcome,
@@ -46,10 +112,28 @@ pub fn run_portfolio(
                 })
             })
             .collect();
-        handles
+        let entries = handles
             .into_iter()
-            .map(|h| h.join().expect("portfolio engine panicked"))
-            .collect()
+            .map(|h| match h.join() {
+                Ok(entry) => entry,
+                // The closure catches engine panics; a join error can
+                // only come from a panic inside our own bookkeeping.
+                Err(payload) => PortfolioEntry {
+                    engine: "unknown",
+                    outcome: BmcOutcome {
+                        result: BmcResult::Unknown(format!(
+                            "engine panicked: {}",
+                            panic_message(payload.as_ref())
+                        )),
+                        stats: RunStats::default(),
+                    },
+                },
+            })
+            .collect();
+        // Release the bridge thread (idempotent if a winner already
+        // fired the race token).
+        race.cancel();
+        entries
     })
 }
 
@@ -62,49 +146,195 @@ pub fn first_decided(entries: &[PortfolioEntry]) -> Option<&PortfolioEntry> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineLimits;
+    use crate::engine::{Budget, Session};
     use crate::jsat::JSat;
     use crate::qbf_enc::{QbfBackend, QbfLinear};
     use crate::unroll::UnrollSat;
     use sebmc_model::builders::token_ring;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn portfolio_runs_all_engines_and_agrees() {
         let m = token_ring(3);
-        let engines: Vec<Box<dyn BoundedChecker + Send>> = vec![
+        let engines: Vec<Box<dyn Engine + Send>> = vec![
             Box::new(UnrollSat::default()),
             Box::new(JSat::default()),
             Box::new(QbfLinear::new(QbfBackend::Qdpll)),
         ];
-        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines);
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, Budget::none());
         assert_eq!(entries.len(), 3);
         for e in &entries {
             assert!(
-                e.outcome.result.is_reachable(),
+                e.outcome.result.is_reachable() || e.outcome.result.is_unknown(),
                 "{} disagrees: {}",
                 e.engine,
                 e.outcome.result
             );
         }
         let winner = first_decided(&entries).expect("someone decides");
-        assert!(!winner.outcome.result.is_unknown());
+        assert!(winner.outcome.result.is_reachable());
     }
 
     #[test]
     fn first_decided_skips_unknowns() {
-        let m = sebmc_model::builders::random_fsm(16, 2, 9);
-        let engines: Vec<Box<dyn BoundedChecker + Send>> = vec![
-            // Hopeless budget: always Unknown.
-            Box::new(QbfLinear::with_limits(
-                QbfBackend::Qdpll,
-                EngineLimits::with_timeout(Duration::from_nanos(1)),
-            )),
-            Box::new(UnrollSat::default()),
-        ];
-        let entries = run_portfolio(&m, 3, Semantics::Within, engines);
+        // The sleeper is listed first, gets cancelled by the winner,
+        // and must be skipped by `first_decided`.
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(SlowEngine), Box::new(UnrollSat::default())];
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, Budget::none());
         assert!(entries[0].outcome.result.is_unknown());
         let w = first_decided(&entries).expect("unroll decides");
+        assert_eq!(w.engine, "sat-unroll");
+    }
+
+    /// A deliberately slow engine: sleeps in short slices, polling the
+    /// cancel token, for up to 10 s before answering Unreachable.
+    struct SlowEngine;
+    struct SlowSession {
+        budget: Budget,
+        started: Instant,
+    }
+
+    impl Engine for SlowEngine {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn start(&self, _model: &Model, _semantics: Semantics, budget: Budget) -> Box<dyn Session> {
+            Box::new(SlowSession {
+                budget,
+                started: Instant::now(),
+            })
+        }
+    }
+
+    impl Session for SlowSession {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn semantics(&self) -> Semantics {
+            Semantics::Exactly
+        }
+        fn check_bound(&mut self, _k: usize) -> BmcOutcome {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < deadline {
+                if self.budget.expired(self.started) {
+                    return BmcOutcome::unknown(self.budget.unknown_reason(), RunStats::default());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            BmcOutcome {
+                result: BmcResult::Unreachable,
+                stats: RunStats::default(),
+            }
+        }
+        fn cumulative_stats(&self) -> RunStats {
+            RunStats::default()
+        }
+    }
+
+    /// The acceptance check: with one fast decider and one 10 s
+    /// sleeper, the portfolio must return in roughly the fast engine's
+    /// time because the winner cancels the sleeper.
+    #[test]
+    fn winner_cancels_the_losers() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(UnrollSat::default()), Box::new(SlowEngine)];
+        let start = Instant::now();
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, Budget::none());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "portfolio took {elapsed:?}, cancellation failed"
+        );
+        assert!(entries[0].outcome.result.is_reachable());
+        assert_eq!(
+            entries[1].outcome.result,
+            BmcResult::Unknown("cancelled".into())
+        );
+    }
+
+    /// The race must run on a child token: the caller's budget (and
+    /// its clones) stay un-fired and reusable after a decided run.
+    #[test]
+    fn portfolio_does_not_poison_the_callers_budget() {
+        let m = token_ring(3);
+        let budget = Budget::none();
+        for round in 0..2 {
+            let engines: Vec<Box<dyn Engine + Send>> =
+                vec![Box::new(UnrollSat::default()), Box::new(JSat::default())];
+            let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, budget.clone());
+            assert!(
+                first_decided(&entries).is_some(),
+                "round {round}: a decided verdict expected"
+            );
+            assert!(
+                !budget.cancel.is_cancelled(),
+                "round {round}: the caller's token must never be fired by the portfolio"
+            );
+        }
+    }
+
+    /// Firing the caller's token externally must still stop the whole
+    /// portfolio (via the bridge into the race token).
+    #[test]
+    fn external_cancellation_stops_the_portfolio() {
+        let m = token_ring(3);
+        let budget = Budget::none();
+        let token = budget.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let engines: Vec<Box<dyn Engine + Send>> = vec![Box::new(SlowEngine), Box::new(SlowEngine)];
+        let start = Instant::now();
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, budget);
+        let elapsed = start.elapsed();
+        canceller.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "external cancel took {elapsed:?} to stop the portfolio"
+        );
+        for e in &entries {
+            assert!(e.outcome.result.is_unknown(), "{}", e.engine);
+        }
+    }
+
+    /// A panicking engine must surface as Unknown, not crash the run.
+    struct PanicEngine;
+    impl Engine for PanicEngine {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn start(
+            &self,
+            _model: &Model,
+            _semantics: Semantics,
+            _budget: Budget,
+        ) -> Box<dyn Session> {
+            panic!("intentional test panic");
+        }
+    }
+
+    #[test]
+    fn engine_panic_is_contained() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(PanicEngine), Box::new(UnrollSat::default())];
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, Budget::none());
+        match &entries[0].outcome.result {
+            BmcResult::Unknown(reason) => {
+                assert!(
+                    reason.starts_with("engine panicked:"),
+                    "unexpected reason: {reason}"
+                );
+                assert!(reason.contains("intentional test panic"));
+            }
+            other => panic!("expected Unknown, got {other}"),
+        }
+        assert!(entries[1].outcome.result.is_reachable());
+        let w = first_decided(&entries).expect("unroll still decides");
         assert_eq!(w.engine, "sat-unroll");
     }
 }

@@ -17,11 +17,11 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Aig, AigRef, Cnf, Lit, Var, VarAlloc};
 use sebmc_model::Model;
-use sebmc_qbf::{
-    ExpansionLimits, ExpansionSolver, QbfFormula, QbfLimits, QbfResult, QdpllSolver, Quantifier,
-};
+use sebmc_qbf::{ExpansionLimits, ExpansionSolver, QbfFormula, QbfResult, QdpllSolver, Quantifier};
 
-use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+use crate::engine::{
+    BmcOutcome, BmcResult, BoundedChecker, Budget, Engine, RunStats, Semantics, Session,
+};
 
 /// Which general-purpose QBF solver an engine uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -156,31 +156,30 @@ pub fn encode_qbf_linear(model: &Model, k: usize) -> QbfEncoding {
     QbfEncoding { formula, z_lits }
 }
 
-/// Runs a QBF backend with the engine limits; returns the verdict, the
-/// solver effort and its peak formula size.
+/// Runs a QBF backend under a session budget (deadline measured from
+/// `start`, byte cap lowered to a matrix-literal cap at 4 bytes per
+/// literal, cancellation polled at the solver's safe points); returns
+/// the verdict, the solver effort and its peak formula size.
 pub(crate) fn solve_qbf(
     backend: QbfBackend,
     formula: &QbfFormula,
-    limits: &EngineLimits,
+    budget: &Budget,
     start: Instant,
 ) -> (QbfResult, u64, usize) {
     match backend {
         QbfBackend::Qdpll => {
-            let mut solver = QdpllSolver::with_limits(QbfLimits {
-                deadline: limits.deadline_from(start),
-                max_decisions: None,
-            });
+            let mut solver = QdpllSolver::with_limits(budget.qbf_limits(start));
             let r = solver.solve(formula);
             let effort = solver.stats().decisions;
             (r, effort, formula.matrix().num_literals())
         }
         QbfBackend::Expansion => {
             let mut solver = ExpansionSolver::with_limits(ExpansionLimits {
-                max_matrix_literals: limits.max_formula_lits.unwrap_or(10_000_000),
-                base: QbfLimits {
-                    deadline: limits.deadline_from(start),
-                    max_decisions: None,
-                },
+                max_matrix_literals: budget
+                    .max_formula_bytes
+                    .map(|b| b / std::mem::size_of::<Lit>())
+                    .unwrap_or(10_000_000),
+                base: budget.qbf_limits(start),
             });
             let r = solver.solve(formula);
             let effort = solver.stats().expanded_universals;
@@ -209,8 +208,8 @@ pub(crate) fn solve_qbf(
 pub struct QbfLinear {
     /// Which QBF solver to run.
     pub backend: QbfBackend,
-    /// Resource budgets applied per check.
-    pub limits: EngineLimits,
+    /// Default budget for one-shot [`BoundedChecker::check`] calls.
+    pub budget: Budget,
 }
 
 impl QbfLinear {
@@ -218,17 +217,50 @@ impl QbfLinear {
     pub fn new(backend: QbfBackend) -> Self {
         QbfLinear {
             backend,
-            limits: EngineLimits::none(),
+            budget: Budget::none(),
         }
     }
 
-    /// Creates the engine with the given budgets.
-    pub fn with_limits(backend: QbfBackend, limits: EngineLimits) -> Self {
-        QbfLinear { backend, limits }
+    /// Creates the engine with the given default budget.
+    pub fn with_budget(backend: QbfBackend, budget: Budget) -> Self {
+        QbfLinear { backend, budget }
     }
 }
 
-impl BoundedChecker for QbfLinear {
+/// An open formulation-(2) session. The QBF encoding is monolithic per
+/// bound, so the reusable state is the (possibly self-loop-transformed)
+/// model, the budget clock and the cumulative statistics.
+#[derive(Debug)]
+pub struct QbfLinearSession {
+    backend: QbfBackend,
+    semantics: Semantics,
+    /// Already self-loop-transformed under `Within` semantics — the
+    /// transform runs once per session, not once per bound.
+    model: Model,
+    budget: Budget,
+    started: Instant,
+    total: RunStats,
+}
+
+impl QbfLinearSession {
+    /// Opens a session; applies the self-loop transform now if needed.
+    pub fn new(backend: QbfBackend, model: &Model, semantics: Semantics, budget: Budget) -> Self {
+        let model = match semantics {
+            Semantics::Exactly => model.clone(),
+            Semantics::Within => model.with_self_loops(),
+        };
+        QbfLinearSession {
+            backend,
+            semantics,
+            model,
+            budget,
+            started: Instant::now(),
+            total: RunStats::default(),
+        }
+    }
+}
+
+impl Session for QbfLinearSession {
     fn name(&self) -> &'static str {
         match self.backend {
             QbfBackend::Qdpll => "qbf-linear-qdpll",
@@ -236,34 +268,77 @@ impl BoundedChecker for QbfLinear {
         }
     }
 
-    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
-        let start = Instant::now();
-        let work;
-        let model = match semantics {
-            Semantics::Exactly => model,
-            Semantics::Within => {
-                work = model.with_self_loops();
-                &work
-            }
-        };
-        let enc = encode_qbf_linear(model, k);
+    fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        let call_start = Instant::now();
+        if self.budget.expired(self.started) {
+            let stats = RunStats {
+                duration: call_start.elapsed(),
+                bounds_checked: 1,
+                ..RunStats::default()
+            };
+            self.total.absorb(&stats);
+            return BmcOutcome::unknown(self.budget.unknown_reason(), stats);
+        }
+        let enc = encode_qbf_linear(&self.model, k);
         let mut stats = RunStats {
             encode_vars: enc.formula.matrix().num_vars(),
             encode_clauses: enc.formula.matrix().num_clauses(),
             encode_lits: enc.formula.matrix().num_literals(),
+            bounds_checked: 1,
             ..RunStats::default()
         };
-        let (r, effort, peak) = solve_qbf(self.backend, &enc.formula, &self.limits, start);
-        stats.duration = start.elapsed();
+        let (r, effort, peak) = solve_qbf(self.backend, &enc.formula, &self.budget, self.started);
+        stats.duration = call_start.elapsed();
         stats.solver_effort = effort;
         stats.peak_formula_lits = peak;
         stats.peak_formula_bytes = peak * std::mem::size_of::<sebmc_logic::Lit>();
         let result = match r {
             QbfResult::True => BmcResult::Reachable(None),
             QbfResult::False => BmcResult::Unreachable,
-            QbfResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+            QbfResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
         };
+        self.total.absorb(&stats);
         BmcOutcome { result, stats }
+    }
+
+    fn cumulative_stats(&self) -> RunStats {
+        self.total.clone()
+    }
+}
+
+impl Engine for QbfLinear {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            QbfBackend::Qdpll => "qbf-linear-qdpll",
+            QbfBackend::Expansion => "qbf-linear-expansion",
+        }
+    }
+
+    fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
+        Box::new(QbfLinearSession::new(
+            self.backend,
+            model,
+            semantics,
+            budget,
+        ))
+    }
+
+    fn default_budget(&self) -> Budget {
+        self.budget.clone()
+    }
+}
+
+impl BoundedChecker for QbfLinear {
+    fn name(&self) -> &'static str {
+        Engine::name(self)
+    }
+
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+        crate::engine::one_shot(self, model, k, semantics)
     }
 }
 
@@ -352,10 +427,22 @@ mod tests {
     #[test]
     fn tight_timeout_gives_unknown() {
         let m = sebmc_model::builders::random_fsm(10, 2, 3);
-        let mut e = QbfLinear::with_limits(
+        let mut e = QbfLinear::with_budget(
             QbfBackend::Qdpll,
-            EngineLimits::with_timeout(std::time::Duration::from_nanos(1)),
+            Budget::with_timeout(std::time::Duration::from_nanos(1)),
         );
         assert!(e.check(&m, 8, Semantics::Exactly).result.is_unknown());
+    }
+
+    #[test]
+    fn session_accumulates_and_caches_self_loops() {
+        let m = lfsr(3, 4);
+        let mut s =
+            QbfLinearSession::new(QbfBackend::Expansion, &m, Semantics::Within, Budget::none());
+        assert!(s.check_bound(3).result.is_unreachable());
+        assert!(s.check_bound(5).result.is_reachable());
+        let total = s.cumulative_stats();
+        assert_eq!(total.bounds_checked, 2);
+        assert!(total.encode_lits > 0);
     }
 }

@@ -19,7 +19,9 @@ use sebmc_logic::{tseitin, Aig, AigRef, Cnf, Lit, Var, VarAlloc};
 use sebmc_model::Model;
 use sebmc_qbf::{QbfFormula, QbfResult, Quantifier};
 
-use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+use crate::engine::{
+    BmcOutcome, BmcResult, BoundedChecker, Budget, Engine, RunStats, Semantics, Session,
+};
 use crate::qbf_enc::{import_map, import_tr, solve_qbf, QbfBackend, QbfEncoding};
 
 /// Encodes "a target state is reachable in exactly `k` steps" by
@@ -163,8 +165,8 @@ pub fn encode_qbf_squaring(model: &Model, k: usize) -> QbfEncoding {
 pub struct QbfSquaring {
     /// Which QBF solver to run.
     pub backend: QbfBackend,
-    /// Resource budgets applied per check.
-    pub limits: EngineLimits,
+    /// Default budget for one-shot [`BoundedChecker::check`] calls.
+    pub budget: Budget,
 }
 
 impl QbfSquaring {
@@ -172,19 +174,53 @@ impl QbfSquaring {
     pub fn new(backend: QbfBackend) -> Self {
         QbfSquaring {
             backend,
-            limits: EngineLimits::none(),
+            budget: Budget::none(),
         }
     }
 
-    /// Creates the engine with the given budgets.
-    pub fn with_limits(backend: QbfBackend, limits: EngineLimits) -> Self {
-        QbfSquaring { backend, limits }
+    /// Creates the engine with the given default budget.
+    pub fn with_budget(backend: QbfBackend, budget: Budget) -> Self {
+        QbfSquaring { backend, budget }
+    }
+}
+
+/// An open formulation-(3) session. Like the linear QBF session, the
+/// encoding is rebuilt per bound; the session keeps the (possibly
+/// self-loop-transformed) model, the budget clock and the cumulative
+/// statistics.
+#[derive(Debug)]
+pub struct QbfSquaringSession {
+    backend: QbfBackend,
+    semantics: Semantics,
+    /// Already self-loop-transformed under `Within` semantics.
+    model: Model,
+    budget: Budget,
+    started: Instant,
+    total: RunStats,
+}
+
+impl QbfSquaringSession {
+    /// Opens a session; applies the self-loop transform now if needed.
+    pub fn new(backend: QbfBackend, model: &Model, semantics: Semantics, budget: Budget) -> Self {
+        let model = match semantics {
+            Semantics::Exactly => model.clone(),
+            Semantics::Within => model.with_self_loops(),
+        };
+        QbfSquaringSession {
+            backend,
+            semantics,
+            model,
+            budget,
+            started: Instant::now(),
+            total: RunStats::default(),
+        }
     }
 
     /// Bound-0 degenerate case: is some initial state a target state?
-    fn check_zero(&self, model: &Model, start: Instant) -> BmcOutcome {
+    fn check_zero(&self) -> (BmcResult, RunStats) {
         // Encode I(Z)∧F(Z) as a purely existential QBF and reuse the
         // same backend, keeping the engine self-contained.
+        let model = &self.model;
         let n = model.num_state_vars();
         let mut g = Aig::new();
         let z = g.inputs(n);
@@ -199,28 +235,26 @@ impl QbfSquaring {
         cnf.add_unit(root);
         cnf.ensure_vars(alloc.num_vars());
         let formula = QbfFormula::new(cnf);
-        let (r, effort, peak) = solve_qbf(self.backend, &formula, &self.limits, start);
+        let (r, effort, peak) = solve_qbf(self.backend, &formula, &self.budget, self.started);
         let result = match r {
             QbfResult::True => BmcResult::Reachable(None),
             QbfResult::False => BmcResult::Unreachable,
-            QbfResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
+            QbfResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
         };
-        BmcOutcome {
-            result,
-            stats: RunStats {
-                duration: start.elapsed(),
-                encode_vars: formula.matrix().num_vars(),
-                encode_clauses: formula.matrix().num_clauses(),
-                encode_lits: formula.matrix().num_literals(),
-                peak_formula_lits: peak,
-                peak_formula_bytes: peak * std::mem::size_of::<sebmc_logic::Lit>(),
-                solver_effort: effort,
-            },
-        }
+        let stats = RunStats {
+            encode_vars: formula.matrix().num_vars(),
+            encode_clauses: formula.matrix().num_clauses(),
+            encode_lits: formula.matrix().num_literals(),
+            peak_formula_lits: peak,
+            peak_formula_bytes: peak * std::mem::size_of::<sebmc_logic::Lit>(),
+            solver_effort: effort,
+            ..RunStats::default()
+        };
+        (result, stats)
     }
 }
 
-impl BoundedChecker for QbfSquaring {
+impl Session for QbfSquaringSession {
     fn name(&self) -> &'static str {
         match self.backend {
             QbfBackend::Qdpll => "qbf-squaring-qdpll",
@@ -228,58 +262,90 @@ impl BoundedChecker for QbfSquaring {
         }
     }
 
-    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
-        let start = Instant::now();
-        let (work, bound) = match semantics {
-            Semantics::Exactly => {
-                if k == 0 {
-                    return self.check_zero(model, start);
-                }
-                if !k.is_power_of_two() {
-                    return BmcOutcome::unknown(
-                        format!("iterative squaring checks only power-of-two bounds, got {k}"),
-                        RunStats {
-                            duration: start.elapsed(),
-                            ..RunStats::default()
-                        },
-                    );
-                }
-                (model.clone(), k)
-            }
-            Semantics::Within => {
-                if k == 0 {
-                    return self.check_zero(model, start);
-                }
-                if !k.is_power_of_two() {
-                    return BmcOutcome::unknown(
-                        format!("iterative squaring checks only power-of-two bounds, got {k}"),
-                        RunStats {
-                            duration: start.elapsed(),
-                            ..RunStats::default()
-                        },
-                    );
-                }
-                (model.with_self_loops(), k)
-            }
+    fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    fn supports_bound(&self, k: usize) -> bool {
+        k == 0 || k.is_power_of_two()
+    }
+
+    fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        let call_start = Instant::now();
+        let (result, mut stats) = if self.budget.expired(self.started) {
+            (
+                BmcResult::Unknown(self.budget.unknown_reason()),
+                RunStats::default(),
+            )
+        } else if k == 0 {
+            self.check_zero()
+        } else if !k.is_power_of_two() {
+            (
+                BmcResult::Unknown(format!(
+                    "iterative squaring checks only power-of-two bounds, got {k}"
+                )),
+                RunStats::default(),
+            )
+        } else {
+            let enc = encode_qbf_squaring(&self.model, k);
+            let mut stats = RunStats {
+                encode_vars: enc.formula.matrix().num_vars(),
+                encode_clauses: enc.formula.matrix().num_clauses(),
+                encode_lits: enc.formula.matrix().num_literals(),
+                ..RunStats::default()
+            };
+            let (r, effort, peak) =
+                solve_qbf(self.backend, &enc.formula, &self.budget, self.started);
+            stats.solver_effort = effort;
+            stats.peak_formula_lits = peak;
+            stats.peak_formula_bytes = peak * std::mem::size_of::<sebmc_logic::Lit>();
+            let result = match r {
+                QbfResult::True => BmcResult::Reachable(None),
+                QbfResult::False => BmcResult::Unreachable,
+                QbfResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
+            };
+            (result, stats)
         };
-        let enc = encode_qbf_squaring(&work, bound);
-        let mut stats = RunStats {
-            encode_vars: enc.formula.matrix().num_vars(),
-            encode_clauses: enc.formula.matrix().num_clauses(),
-            encode_lits: enc.formula.matrix().num_literals(),
-            ..RunStats::default()
-        };
-        let (r, effort, peak) = solve_qbf(self.backend, &enc.formula, &self.limits, start);
-        stats.duration = start.elapsed();
-        stats.solver_effort = effort;
-        stats.peak_formula_lits = peak;
-        stats.peak_formula_bytes = peak * std::mem::size_of::<sebmc_logic::Lit>();
-        let result = match r {
-            QbfResult::True => BmcResult::Reachable(None),
-            QbfResult::False => BmcResult::Unreachable,
-            QbfResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
-        };
+        stats.duration = call_start.elapsed();
+        stats.bounds_checked = 1;
+        self.total.absorb(&stats);
         BmcOutcome { result, stats }
+    }
+
+    fn cumulative_stats(&self) -> RunStats {
+        self.total.clone()
+    }
+}
+
+impl Engine for QbfSquaring {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            QbfBackend::Qdpll => "qbf-squaring-qdpll",
+            QbfBackend::Expansion => "qbf-squaring-expansion",
+        }
+    }
+
+    fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
+        Box::new(QbfSquaringSession::new(
+            self.backend,
+            model,
+            semantics,
+            budget,
+        ))
+    }
+
+    fn default_budget(&self) -> Budget {
+        self.budget.clone()
+    }
+}
+
+impl BoundedChecker for QbfSquaring {
+    fn name(&self) -> &'static str {
+        Engine::name(self)
+    }
+
+    fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
+        crate::engine::one_shot(self, model, k, semantics)
     }
 }
 

@@ -8,13 +8,11 @@
 //! cone, exactly like a 2005 bounded model checker), and [`UnrollSat`]
 //! solves it with the CDCL solver.
 
-use std::time::Instant;
-
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_sat::{Limits as SatLimits, SolveResult, Solver};
 
-use crate::engine::{BmcOutcome, BmcResult, BoundedChecker, EngineLimits, RunStats, Semantics};
+use crate::engine::{BmcOutcome, BoundedChecker, Budget, Engine, Semantics, Session};
+use crate::inc_unroll::IncrementalUnroll;
 
 /// The unrolled CNF together with the variable maps needed to decode
 /// witnesses.
@@ -149,7 +147,13 @@ pub fn encode_unrolled(model: &Model, k: usize, semantics: Semantics) -> Unrolle
 }
 
 /// Formulation (1) engine: unrolled CNF solved with CDCL — the paper's
-/// classical-BMC baseline.
+/// classical-BMC baseline, incrementally unrolled.
+///
+/// [`Engine::start`] opens an [`IncrementalUnroll`] session: one CDCL
+/// solver whose frames are appended as the bound grows, with per-bound
+/// target activation literals, so a deepening loop never re-encodes.
+/// The monolithic formulation-(1) formula remains available through
+/// [`encode_unrolled`] for the paper's formula-size experiments.
 ///
 /// ```
 /// use sebmc::{BoundedChecker, Semantics, UnrollSat};
@@ -162,59 +166,39 @@ pub fn encode_unrolled(model: &Model, k: usize, semantics: Semantics) -> Unrolle
 /// ```
 #[derive(Debug, Default)]
 pub struct UnrollSat {
-    /// Resource budgets applied per check.
-    pub limits: EngineLimits,
+    /// Default budget for one-shot [`BoundedChecker::check`] calls (the
+    /// session path takes an explicit [`Budget`]).
+    pub budget: Budget,
 }
 
 impl UnrollSat {
-    /// Creates the engine with the given budgets.
-    pub fn with_limits(limits: EngineLimits) -> Self {
-        UnrollSat { limits }
+    /// Creates the engine with the given default budget.
+    pub fn with_budget(budget: Budget) -> Self {
+        UnrollSat { budget }
+    }
+}
+
+impl Engine for UnrollSat {
+    fn name(&self) -> &'static str {
+        "sat-unroll"
+    }
+
+    fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
+        Box::new(IncrementalUnroll::with_budget(model, semantics, budget))
+    }
+
+    fn default_budget(&self) -> Budget {
+        self.budget.clone()
     }
 }
 
 impl BoundedChecker for UnrollSat {
     fn name(&self) -> &'static str {
-        "sat-unroll"
+        Engine::name(self)
     }
 
     fn check(&mut self, model: &Model, k: usize, semantics: Semantics) -> BmcOutcome {
-        let start = Instant::now();
-        let enc = encode_unrolled(model, k, semantics);
-        let mut stats = RunStats {
-            encode_vars: enc.cnf.num_vars(),
-            encode_clauses: enc.cnf.num_clauses(),
-            encode_lits: enc.cnf.num_literals(),
-            ..RunStats::default()
-        };
-
-        let mut solver = Solver::new();
-        solver.set_limits(SatLimits {
-            deadline: self.limits.deadline_from(start),
-            max_live_lits: self.limits.max_formula_lits,
-            ..SatLimits::none()
-        });
-        let consistent = solver.add_cnf(&enc.cnf);
-        let result = if !consistent {
-            BmcResult::Unreachable
-        } else {
-            match solver.solve() {
-                SolveResult::Sat => {
-                    let trace = enc.decode_trace(model, semantics, |l| {
-                        solver.lit_value_model(l).unwrap_or(false)
-                    });
-                    debug_assert_eq!(model.check_trace(&trace), Ok(()));
-                    BmcResult::Reachable(Some(trace))
-                }
-                SolveResult::Unsat => BmcResult::Unreachable,
-                SolveResult::Unknown => BmcResult::Unknown("budget exhausted".into()),
-            }
-        };
-        stats.duration = start.elapsed();
-        stats.peak_formula_lits = solver.stats().peak_live_lits;
-        stats.peak_formula_bytes = solver.stats().peak_bytes();
-        stats.solver_effort = solver.stats().conflicts;
-        BmcOutcome { result, stats }
+        crate::engine::one_shot(self, model, k, semantics)
     }
 }
 
@@ -258,7 +242,17 @@ mod tests {
 
         let out = e.check(&m, 7, Semantics::Within);
         let trace = out.result.witness().expect("witness").clone();
-        assert_eq!(trace.len(), 5, "within-witness truncated at first hit");
+        assert!(trace.len() <= 7, "within-witness no longer than the bound");
+        assert!(
+            m.eval_target(trace.states.last().expect("non-empty")),
+            "within-witness ends at the target"
+        );
+        assert!(
+            trace.states[..trace.states.len() - 1]
+                .iter()
+                .all(|s| !m.eval_target(s)),
+            "within-witness truncated at the first hit"
+        );
         assert_eq!(m.check_trace(&trace), Ok(()));
     }
 
@@ -310,9 +304,8 @@ mod tests {
         // A SAT instance that needs real decisions (input choices), so
         // level-0 propagation cannot decide it before the deadline hits.
         let m = shift_register(16);
-        let mut e = UnrollSat::with_limits(EngineLimits::with_timeout(
-            std::time::Duration::from_nanos(1),
-        ));
+        let mut e =
+            UnrollSat::with_budget(Budget::with_timeout(std::time::Duration::from_nanos(1)));
         let out = e.check(&m, 16, Semantics::Exactly);
         assert!(out.result.is_unknown(), "got {}", out.result);
     }

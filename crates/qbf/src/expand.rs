@@ -161,6 +161,7 @@ impl ExpansionSolver {
         let mut sat = Solver::new();
         sat.set_limits(SatLimits {
             deadline: self.limits.base.deadline,
+            cancel: self.limits.base.cancel.clone(),
             ..SatLimits::none()
         });
         if !sat.add_cnf(&matrix) {
@@ -206,6 +207,11 @@ impl ExpansionSolver {
     }
 
     fn deadline_passed(&self) -> bool {
+        if let Some(ref c) = self.limits.base.cancel {
+            if c.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
         self.limits
             .base
             .deadline

@@ -46,6 +46,10 @@ pub struct QbfLimits {
     pub max_decisions: Option<u64>,
     /// Wall-clock deadline.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, polled at the same cadence as the
+    /// deadline; a stored `true` aborts the solve with
+    /// [`QbfResult::Unknown`].
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl QbfLimits {
@@ -356,6 +360,11 @@ impl QdpllSolver {
     fn budget_exhausted(&self) -> bool {
         if let Some(md) = self.limits.max_decisions {
             if self.stats.decisions >= md {
+                return true;
+            }
+        }
+        if let Some(ref c) = self.limits.cancel {
+            if c.load(std::sync::atomic::Ordering::Relaxed) {
                 return true;
             }
         }

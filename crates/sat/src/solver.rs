@@ -99,6 +99,14 @@ pub struct Limits {
     /// exceeding it aborts the solve with `Unknown`, reproducing the
     /// paper's 1 GB memory limit.
     pub max_live_lits: Option<usize>,
+    /// Maximum live clause-database bytes (exact arena accounting,
+    /// clause headers included); exceeding it aborts the solve with
+    /// `Unknown`. This is the byte-based successor of `max_live_lits`.
+    pub max_live_bytes: Option<usize>,
+    /// Cooperative cancellation flag, polled at the same safe points as
+    /// the deadline (every 64 conflicts and before each decision). When
+    /// another thread stores `true`, the solve aborts with `Unknown`.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Limits {
@@ -1040,6 +1048,16 @@ impl Solver {
                 return true;
             }
         }
+        if let Some(mb) = self.limits.max_live_bytes {
+            if self.stats.live_bytes() >= mb {
+                return true;
+            }
+        }
+        if let Some(ref c) = self.limits.cancel {
+            if c.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
         if let Some(d) = self.limits.deadline {
             if Instant::now() >= d {
                 return true;
@@ -1571,6 +1589,42 @@ mod tests {
         });
         // Learning quickly exceeds the cap.
         assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn byte_limit_yields_unknown() {
+        let (mut s, _) = pigeonhole(8, 7);
+        let base = s.stats().live_bytes();
+        s.set_limits(Limits {
+            max_live_bytes: Some(base + 32),
+            ..Limits::none()
+        });
+        // Learnt clauses quickly exceed the byte cap.
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_limits(Limits::none());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cancel_flag_aborts_solve() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (mut s, _) = pigeonhole(8, 7);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_limits(Limits {
+            cancel: Some(Arc::clone(&flag)),
+            ..Limits::none()
+        });
+        // Un-fired flag: the solve completes normally.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Fired flag: a fresh (hard) solve aborts with Unknown.
+        let (mut s2, _) = pigeonhole(9, 8);
+        flag.store(true, Ordering::Relaxed);
+        s2.set_limits(Limits {
+            cancel: Some(flag),
+            ..Limits::none()
+        });
+        assert_eq!(s2.solve(), SolveResult::Unknown);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 use sebmc_repro::aiger;
-use sebmc_repro::bmc::{find_shortest_witness, DeepeningResult, JSat};
+use sebmc_repro::bmc::{find_shortest_witness, Budget, DeepeningResult, JSat};
 use sebmc_repro::model::builders::round_robin_arbiter;
 
 fn main() {
@@ -46,12 +46,19 @@ fn main() {
     assert_eq!(parsed_bin, parsed_ascii);
     let back = aiger::aiger_to_model(&parsed_bin, "arbiter-from-aiger").expect("convert");
 
-    println!("running iterative-deepening BMC (jSAT) on the re-imported circuit…");
-    let mut engine = JSat::default();
-    match find_shortest_witness(&mut engine, &back, 16, None) {
-        DeepeningResult::FoundAt { bound, outcome } => {
+    println!("running iterative-deepening BMC (one jSAT session) on the re-imported circuit…");
+    match find_shortest_witness(&JSat::default(), &back, 16, Budget::none()) {
+        DeepeningResult::FoundAt {
+            bound,
+            outcome,
+            total,
+        } => {
             let trace = outcome.result.witness().expect("jsat yields witnesses");
             println!("  grant to the last client first reachable at bound {bound}");
+            println!(
+                "  session totals: {} bounds, {} solver conflicts, peak {} B",
+                total.bounds_checked, total.solver_effort, total.peak_formula_bytes
+            );
             println!("  witness (packed states): {:?}", trace.packed_states());
             back.check_trace(trace).expect("witness replays");
             println!("  witness replayed through the simulator: OK");

@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use sebmc_repro::bmc::{
-    BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
+    BoundedChecker, Budget, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
 };
 use sebmc_repro::model::builders::counter_with_reset;
 
@@ -27,16 +27,17 @@ fn main() {
     );
 
     // The paper's per-instance budget, scaled down from 300 s.
-    let budget = EngineLimits {
+    let budget = Budget {
         timeout: Some(Duration::from_secs(5)),
-        max_formula_lits: Some(10_000_000),
+        max_formula_bytes: Some(40_000_000),
+        ..Budget::default()
     };
 
     let mut engines: Vec<Box<dyn BoundedChecker>> = vec![
-        Box::new(UnrollSat::with_limits(budget.clone())),
-        Box::new(JSat::with_limits(budget.clone())),
-        Box::new(QbfLinear::with_limits(QbfBackend::Qdpll, budget.clone())),
-        Box::new(QbfSquaring::with_limits(QbfBackend::Expansion, budget)),
+        Box::new(UnrollSat::with_budget(budget.clone())),
+        Box::new(JSat::with_budget(budget.clone())),
+        Box::new(QbfLinear::with_budget(QbfBackend::Qdpll, budget.clone())),
+        Box::new(QbfSquaring::with_budget(QbfBackend::Expansion, budget)),
     ];
 
     for k in [8usize, 15, 16] {

@@ -12,7 +12,7 @@
 //! cargo run --release --example verify_mutex
 //! ```
 
-use sebmc_repro::bmc::{BoundedChecker, JSat, Semantics, UnrollSat};
+use sebmc_repro::bmc::{Budget, Engine, JSat, Semantics, UnrollSat};
 use sebmc_repro::model::{builders::peterson, Model, ModelBuilder};
 
 /// A broken "mutex": both processes may enter whenever they like.
@@ -35,12 +35,15 @@ fn main() {
 
     println!("== Peterson's protocol: target = both processes in the critical section ==");
     let model = peterson();
-    let mut jsat = JSat::default();
-    let mut unroll = UnrollSat::default();
+    // One session per engine for the whole horizon: formula (4) plus
+    // the failed-state cache persist for jSAT, frames and learnt
+    // clauses persist for the incremental unroller.
+    let mut jsat = JSat::default().start(&model, Semantics::Exactly, Budget::none());
+    let mut unroll = UnrollSat::default().start(&model, Semantics::Exactly, Budget::none());
     let mut all_safe = true;
     for k in 0..=horizon {
-        let a = jsat.check(&model, k, Semantics::Exactly);
-        let b = unroll.check(&model, k, Semantics::Exactly);
+        let a = jsat.check_bound(k);
+        let b = unroll.check_bound(k);
         assert!(
             a.result.agrees_with(&b.result),
             "engines disagree at bound {k}"
@@ -50,18 +53,24 @@ fn main() {
             println!("  bound {k:>2}: VIOLATION");
         } else {
             println!(
-                "  bound {k:>2}: safe (jsat: {} SAT calls, unroll: {} conflicts)",
+                "  bound {k:>2}: safe (jsat: {} conflicts, unroll: {} conflicts)",
                 a.stats.solver_effort, b.stats.solver_effort
             );
         }
     }
     assert!(all_safe);
-    println!("  mutual exclusion holds for every bound up to {horizon}.\n");
+    let (jt, ut) = (jsat.cumulative_stats(), unroll.cumulative_stats());
+    println!(
+        "  mutual exclusion holds for every bound up to {horizon} \
+         (session totals: jsat {} conflicts / peak {} B, unroll {} conflicts / peak {} B).\n",
+        jt.solver_effort, jt.peak_formula_bytes, ut.solver_effort, ut.peak_formula_bytes
+    );
 
     println!("== Broken variant: no handshake at all ==");
     let broken = broken_mutex();
+    let mut jsat = JSat::default().start(&broken, Semantics::Within, Budget::none());
     for k in 0..=4 {
-        let out = jsat.check(&broken, k, Semantics::Within);
+        let out = jsat.check_bound(k);
         if let Some(trace) = out.result.witness() {
             println!("  bound {k}: violated, witness of length {}:", trace.len());
             for (i, s) in trace.states.iter().enumerate() {

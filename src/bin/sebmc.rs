@@ -6,10 +6,23 @@
 //!
 //! ```text
 //! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
-//!       [--bound K] [--within] [--timeout-ms N] [--mem-mb N] [--quiet]
+//!       [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N]
+//!       [--json] [--quiet]
 //! ```
 //!
-//! Output follows the HWMCC witness convention:
+//! * `--bound K` — the bound to check (with `--deepen`: the largest).
+//! * `--deepen` — open **one** engine session and check bounds
+//!   `0..=K`, reusing solver state between bounds, reporting the first
+//!   reachable bound (ignored for `k-induction`, which deepens by
+//!   construction).
+//! * `--timeout-ms N` / `--mem-mb N` — the session budget: wall clock
+//!   and a byte-based cap on the solver's clause database (`N` MiB).
+//!   Malformed numbers exit 2 instead of silently running unlimited.
+//! * `--json` — print one JSON object (verdict, bound, engine, run
+//!   stats including `peak_formula_bytes`) on stdout instead of the
+//!   HWMCC text output.
+//!
+//! Output (without `--json`) follows the HWMCC witness convention:
 //! * `1` — the bad state is reachable, followed by `b0`, the initial
 //!   latch values, one input-vector line per step, and `.`;
 //! * `0` — not reachable up to the bound (or proven safe for every
@@ -17,15 +30,15 @@
 //! * `2` — unknown (budget exhausted / unsupported bound).
 //!
 //! Exit code: 10 for reachable, 20 for unreachable/safe, 0 for unknown
-//! (matching common model-checker conventions).
+//! (matching common model-checker conventions), 2 for usage errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use sebmc_repro::aiger;
 use sebmc_repro::bmc::{
-    k_induction, BmcResult, BoundedChecker, EngineLimits, InductionResult, JSat, QbfBackend,
-    QbfLinear, QbfSquaring, Semantics, UnrollSat,
+    k_induction_run, BmcOutcome, BmcResult, Budget, Engine, InductionResult, JSat, QbfBackend,
+    QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
 };
 use sebmc_repro::model::{Model, Trace};
 
@@ -33,8 +46,10 @@ struct Options {
     path: String,
     engine: String,
     bound: usize,
+    deepen: bool,
     semantics: Semantics,
-    limits: EngineLimits,
+    budget: Budget,
+    json: bool,
     quiet: bool,
 }
 
@@ -42,9 +57,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: sebmc <circuit.aag|circuit.aig> \
          [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction] \
-         [--bound K] [--within] [--timeout-ms N] [--mem-mb N] [--quiet]"
+         [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N] \
+         [--json] [--quiet]"
     );
     std::process::exit(2);
+}
+
+/// Parses the value of `--{flag}` as an integer; malformed or missing
+/// values are a usage error (exit 2), never a silent "unlimited".
+fn parse_num(flag: &str, value: Option<String>) -> u64 {
+    let v = value.unwrap_or_else(|| {
+        eprintln!("sebmc: --{flag} expects a value");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("sebmc: --{flag} expects a non-negative integer, got '{v}'");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -52,22 +81,21 @@ fn parse_args() -> Options {
     let mut path = None;
     let mut engine = "jsat".to_string();
     let mut bound = 20usize;
+    let mut deepen = false;
     let mut semantics = Semantics::Exactly;
     let mut timeout_ms = None;
     let mut mem_mb = None;
+    let mut json = false;
     let mut quiet = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--engine" => engine = args.next().unwrap_or_else(|| usage()),
-            "--bound" => {
-                bound = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--bound" => bound = parse_num("bound", args.next()) as usize,
+            "--deepen" => deepen = true,
             "--within" => semantics = Semantics::Within,
-            "--timeout-ms" => timeout_ms = args.next().and_then(|v| v.parse().ok()),
-            "--mem-mb" => mem_mb = args.next().and_then(|v| v.parse().ok()),
+            "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", args.next())),
+            "--mem-mb" => mem_mb = Some(parse_num("mem-mb", args.next())),
+            "--json" => json = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
@@ -78,11 +106,16 @@ fn parse_args() -> Options {
         path: path.unwrap_or_else(|| usage()),
         engine,
         bound,
+        deepen,
         semantics,
-        limits: EngineLimits {
+        budget: Budget {
             timeout: timeout_ms.map(Duration::from_millis),
-            max_formula_lits: mem_mb.map(|mb: usize| mb * 1024 * 1024 / 4),
+            // Byte-based cap against the solver's exact clause-arena
+            // accounting (headers included).
+            max_formula_bytes: mem_mb.map(|mb| mb as usize * 1024 * 1024),
+            ..Budget::default()
         },
+        json,
         quiet,
     }
 }
@@ -103,6 +136,156 @@ fn print_witness(model: &Model, trace: &Trace) {
     }
     println!(".");
     debug_assert_eq!(model.check_trace(trace), Ok(()));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object for machine consumers: verdict, bound, engine and
+/// the full `RunStats` (cumulative over the session for `--deepen`).
+fn print_json(
+    engine: &str,
+    semantics: Semantics,
+    verdict: &str,
+    reason: Option<&str>,
+    bound: Option<usize>,
+    stats: &RunStats,
+) {
+    let bound_s = bound.map_or("null".into(), |b| b.to_string());
+    let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
+    println!(
+        "{{\"verdict\":\"{}\",\"reason\":{},\"bound\":{},\"engine\":\"{}\",\"semantics\":\"{}\",\
+         \"stats\":{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
+         \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
+         \"solver_effort\":{},\"bounds_checked\":{}}}}}",
+        json_escape(verdict),
+        reason_s,
+        bound_s,
+        json_escape(engine),
+        semantics,
+        stats.duration.as_millis(),
+        stats.encode_vars,
+        stats.encode_clauses,
+        stats.encode_lits,
+        stats.peak_formula_lits,
+        stats.peak_formula_bytes,
+        stats.solver_effort,
+        stats.bounds_checked,
+    );
+}
+
+fn exit_for(result: &BmcResult) -> ExitCode {
+    match result {
+        BmcResult::Reachable(_) => ExitCode::from(10),
+        BmcResult::Unreachable => ExitCode::from(20),
+        BmcResult::Unknown(_) => ExitCode::SUCCESS,
+    }
+}
+
+/// Reports one engine outcome in the selected output format.
+fn report(
+    opts: &Options,
+    model: &Model,
+    bound: usize,
+    out: &BmcOutcome,
+    total: &RunStats,
+) -> ExitCode {
+    if !opts.quiet {
+        eprintln!(
+            "sebmc: {} in {:?} (formula {} lits, peak {} B, effort {})",
+            out.result,
+            total.duration,
+            total.encode_lits,
+            total.peak_formula_bytes,
+            total.solver_effort
+        );
+    }
+    if opts.json {
+        let (verdict, reason) = match &out.result {
+            BmcResult::Reachable(_) => ("reachable", None),
+            BmcResult::Unreachable => ("unreachable", None),
+            BmcResult::Unknown(why) => ("unknown", Some(why.as_str())),
+        };
+        let decided_bound = match &out.result {
+            BmcResult::Unknown(_) => None,
+            _ => Some(bound),
+        };
+        print_json(
+            &opts.engine,
+            opts.semantics,
+            verdict,
+            reason,
+            decided_bound,
+            total,
+        );
+        return exit_for(&out.result);
+    }
+    match &out.result {
+        BmcResult::Reachable(Some(trace)) => print_witness(model, trace),
+        BmcResult::Reachable(None) => println!("1"),
+        BmcResult::Unreachable => println!("0"),
+        BmcResult::Unknown(_) => println!("2"),
+    }
+    exit_for(&out.result)
+}
+
+fn run_k_induction(opts: &Options, model: &Model) -> ExitCode {
+    let run = k_induction_run(model, opts.bound, &opts.budget);
+    let stats = run.stats;
+    let (result, detail): (BmcResult, String) = match run.result {
+        InductionResult::Falsified { cex } => {
+            let len = cex.len();
+            if opts.json {
+                print_json(
+                    "k-induction",
+                    opts.semantics,
+                    "reachable",
+                    None,
+                    Some(len),
+                    &stats,
+                );
+            } else {
+                print_witness(model, &cex);
+            }
+            return ExitCode::from(10);
+        }
+        InductionResult::Proved { k } => (
+            BmcResult::Unreachable,
+            format!("proved safe at induction depth {k}"),
+        ),
+        InductionResult::Exhausted { max_depth } => (
+            BmcResult::Unknown(format!("inconclusive up to depth {max_depth}")),
+            format!("inconclusive up to depth {max_depth}"),
+        ),
+        InductionResult::Unknown { reason } => (BmcResult::Unknown(reason.clone()), reason),
+    };
+    if !opts.quiet {
+        eprintln!("sebmc: {detail}");
+    }
+    if opts.json {
+        let (verdict, reason) = match &result {
+            BmcResult::Unreachable => ("unreachable", Some(detail.as_str())),
+            _ => ("unknown", Some(detail.as_str())),
+        };
+        print_json("k-induction", opts.semantics, verdict, reason, None, &stats);
+    } else {
+        match &result {
+            BmcResult::Unreachable => println!("0"),
+            _ => println!("2"),
+        }
+    }
+    exit_for(&result)
 }
 
 fn main() -> ExitCode {
@@ -130,90 +313,81 @@ fn main() -> ExitCode {
     };
     if !opts.quiet {
         eprintln!(
-            "sebmc: '{}' — {} latches, {} inputs, {} ANDs; engine {}, bound {} ({})",
+            "sebmc: '{}' — {} latches, {} inputs, {} ANDs; engine {}, bound {}{} ({})",
             opts.path,
             model.num_state_vars(),
             model.num_inputs(),
             file.ands.len(),
             opts.engine,
             opts.bound,
+            if opts.deepen { " (deepening)" } else { "" },
             opts.semantics
         );
     }
 
     if opts.engine == "k-induction" {
-        return match k_induction(&model, opts.bound, &opts.limits) {
-            InductionResult::Falsified { cex } => {
-                print_witness(&model, &cex);
-                ExitCode::from(10)
-            }
-            InductionResult::Proved { k } => {
-                if !opts.quiet {
-                    eprintln!("sebmc: proved safe at induction depth {k}");
-                }
-                println!("0");
-                ExitCode::from(20)
-            }
-            InductionResult::Exhausted { max_depth } => {
-                if !opts.quiet {
-                    eprintln!("sebmc: inconclusive up to depth {max_depth}");
-                }
-                println!("2");
-                ExitCode::SUCCESS
-            }
-            InductionResult::Unknown { reason } => {
-                if !opts.quiet {
-                    eprintln!("sebmc: {reason}");
-                }
-                println!("2");
-                ExitCode::SUCCESS
-            }
-        };
+        return run_k_induction(&opts, &model);
     }
 
-    let mut engine: Box<dyn BoundedChecker> = match opts.engine.as_str() {
-        "jsat" => Box::new(JSat::with_limits(opts.limits.clone())),
-        "unroll" => Box::new(UnrollSat::with_limits(opts.limits.clone())),
-        "qbf-linear" => Box::new(QbfLinear::with_limits(
-            QbfBackend::Qdpll,
-            opts.limits.clone(),
-        )),
-        "qbf-squaring" => Box::new(QbfSquaring::with_limits(
-            QbfBackend::Expansion,
-            opts.limits.clone(),
-        )),
+    let engine: Box<dyn Engine> = match opts.engine.as_str() {
+        "jsat" => Box::new(JSat::default()),
+        "unroll" => Box::new(UnrollSat::default()),
+        "qbf-linear" => Box::new(QbfLinear::new(QbfBackend::Qdpll)),
+        "qbf-squaring" => Box::new(QbfSquaring::new(QbfBackend::Expansion)),
         other => {
             eprintln!("sebmc: unknown engine '{other}'");
             return ExitCode::from(2);
         }
     };
-    let out = engine.check(&model, opts.bound, opts.semantics);
-    if !opts.quiet {
-        eprintln!(
-            "sebmc: {} in {:?} (formula {} lits, peak {} lits, effort {})",
-            out.result,
-            out.stats.duration,
-            out.stats.encode_lits,
-            out.stats.peak_formula_lits,
-            out.stats.solver_effort
-        );
-    }
-    match out.result {
-        BmcResult::Reachable(Some(trace)) => {
-            print_witness(&model, &trace);
-            ExitCode::from(10)
+
+    if opts.deepen {
+        // One session, bounds 0..=K: solver state persists per bound.
+        let mut session = engine.start(&model, opts.semantics, opts.budget.clone());
+        let mut skipped = 0usize;
+        for k in 0..=opts.bound {
+            // An unsupported bound (iterative squaring only checks
+            // powers of two) is not a budget failure: keep deepening
+            // at the bounds the engine does support.
+            if !session.supports_bound(k) {
+                skipped += 1;
+                continue;
+            }
+            let out = session.check_bound(k);
+            match out.result {
+                BmcResult::Unreachable => continue,
+                _ => {
+                    let total = session.cumulative_stats();
+                    if !opts.quiet && out.result.is_reachable() {
+                        eprintln!("sebmc: first reachable at bound {k}");
+                    }
+                    return report(&opts, &model, k, &out, &total);
+                }
+            }
         }
-        BmcResult::Reachable(None) => {
-            println!("1");
-            ExitCode::from(10)
+        let total = session.cumulative_stats();
+        // Skipped (unsupported) bounds were not decided, so a clean
+        // sweep with skips is Unknown, not Unreachable.
+        let result = if skipped > 0 {
+            BmcResult::Unknown(format!(
+                "unreachable at every supported bound 0..={}, \
+                 but {skipped} unsupported bounds were skipped",
+                opts.bound
+            ))
+        } else {
+            BmcResult::Unreachable
+        };
+        if !opts.quiet {
+            eprintln!("sebmc: {result} (deepened 0..={})", opts.bound);
         }
-        BmcResult::Unreachable => {
-            println!("0");
-            ExitCode::from(20)
-        }
-        BmcResult::Unknown(_) => {
-            println!("2");
-            ExitCode::SUCCESS
-        }
+        let out = BmcOutcome {
+            result,
+            stats: total.clone(),
+        };
+        report(&opts, &model, opts.bound, &out, &total)
+    } else {
+        let mut session = engine.start(&model, opts.semantics, opts.budget.clone());
+        let out = session.check_bound(opts.bound);
+        let total = session.cumulative_stats();
+        report(&opts, &model, opts.bound, &out, &total)
     }
 }

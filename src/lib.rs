@@ -12,18 +12,22 @@
 //! * [`aiger`] — AIGER (`.aag`/`.aig`) reader and writer.
 //! * [`model`] — symbolic transition systems and the benchmark suite.
 //! * [`bmc`] — the paper's contribution: the three bounded-reachability
-//!   encodings and the special-purpose jSAT decision procedure.
+//!   encodings and the special-purpose jSAT decision procedure, behind
+//!   a session-based incremental engine API
+//!   ([`Engine`](bmc::Engine)/[`Session`](bmc::Session)/[`Budget`](bmc::Budget)).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use sebmc_repro::bmc::{BoundedChecker, JSat, Semantics};
+//! use sebmc_repro::bmc::{Budget, Engine, JSat, Semantics};
 //! use sebmc_repro::model::builders::counter_with_reset;
 //!
 //! let model = counter_with_reset(4);
-//! let mut engine = JSat::default();
-//! let outcome = engine.check(&model, 15, Semantics::Exactly);
-//! assert!(outcome.result.is_reachable());
+//! // One session: formula (4) and the failed-state cache persist
+//! // across bounds.
+//! let mut session = JSat::default().start(&model, Semantics::Exactly, Budget::none());
+//! assert!(session.check_bound(14).result.is_unreachable());
+//! assert!(session.check_bound(15).result.is_reachable());
 //! ```
 
 pub use sebmc as bmc;

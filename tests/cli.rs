@@ -129,6 +129,141 @@ fn malformed_input_is_rejected_cleanly() {
 }
 
 #[test]
+fn malformed_numeric_flags_exit_2() {
+    let model = shift_register(3);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("badnum", &aiger::to_ascii_string(&file));
+    for (flag, value) in [
+        ("--timeout-ms", "abc"),
+        ("--mem-mb", "abc"),
+        ("--bound", "-3"),
+        ("--timeout-ms", "1.5"),
+    ] {
+        let out = cli()
+            .args([path.to_str().unwrap(), flag, value])
+            .output()
+            .expect("run");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {value} must be a usage error, not silently unlimited"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(flag.trim_start_matches("--")), "{stderr}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn json_output_is_one_object_with_stats() {
+    let model = shift_register(3);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("json", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "3",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout.trim();
+    assert_eq!(stdout.trim_matches('\n').lines().count(), 1, "one object");
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for key in [
+        "\"verdict\":\"reachable\"",
+        "\"bound\":3",
+        "\"engine\":\"unroll\"",
+        "\"peak_formula_bytes\":",
+        "\"solver_effort\":",
+        "\"bounds_checked\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn deepen_finds_minimal_bound() {
+    let model = shift_register(4);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("deepen", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "10",
+            "--deepen",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(10), "reachable exit code");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("first reachable at bound 4"),
+        "deepening reports the minimal bound: {stderr}"
+    );
+    // The witness has exactly 4 input steps.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "1");
+    assert_eq!(lines.len(), 3 + 4 + 1);
+
+    // Deepen + JSON: cumulative stats count all bounds 0..=4.
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "10",
+            "--deepen",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"bound\":4"), "{stdout}");
+    assert!(stdout.contains("\"bounds_checked\":5"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn deepen_unreachable_reports_exhaustion() {
+    let model = traffic_light();
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("deepen-unsat", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "jsat",
+            "--bound",
+            "5",
+            "--deepen",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(20), "safe exit code");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"verdict\":\"unreachable\""), "{stdout}");
+    assert!(stdout.contains("\"bounds_checked\":6"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn within_semantics_flag() {
     // lfsr needle at exactly 6: within-8 reachable, exactly-8 not.
     let model = sebmc_repro::model::builders::lfsr(4, 6);

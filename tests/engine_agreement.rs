@@ -6,7 +6,7 @@
 //! must produce traces that replay through the concrete simulator.
 
 use sebmc_repro::bmc::{
-    BoundedChecker, EngineLimits, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
+    BoundedChecker, Budget, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
 };
 use sebmc_repro::model::{explicit, suite13_small, Model};
 use std::time::Duration;
@@ -92,20 +92,21 @@ fn jsat_matches_oracle_within() {
 /// must match the oracle.
 #[test]
 fn qbf_linear_qdpll_sound_under_budget() {
-    let mut e = QbfLinear::with_limits(
+    let mut e = QbfLinear::with_budget(
         QbfBackend::Qdpll,
-        EngineLimits::with_timeout(Duration::from_millis(300)),
+        Budget::with_timeout(Duration::from_millis(300)),
     );
     assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=3, true);
 }
 
 #[test]
 fn qbf_linear_expansion_sound_under_budget() {
-    let mut e = QbfLinear::with_limits(
+    let mut e = QbfLinear::with_budget(
         QbfBackend::Expansion,
-        EngineLimits {
+        Budget {
             timeout: Some(Duration::from_millis(300)),
-            max_formula_lits: Some(2_000_000),
+            max_formula_bytes: Some(8_000_000),
+            ..Budget::default()
         },
     );
     assert_engine_matches_oracle(&mut e, Semantics::Exactly, 0..=3, true);
@@ -113,11 +114,12 @@ fn qbf_linear_expansion_sound_under_budget() {
 
 #[test]
 fn qbf_squaring_sound_under_budget() {
-    let mut e = QbfSquaring::with_limits(
+    let mut e = QbfSquaring::with_budget(
         QbfBackend::Expansion,
-        EngineLimits {
+        Budget {
             timeout: Some(Duration::from_millis(300)),
-            max_formula_lits: Some(2_000_000),
+            max_formula_bytes: Some(8_000_000),
+            ..Budget::default()
         },
     );
     for k in [1usize, 2, 4] {

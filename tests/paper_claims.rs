@@ -3,7 +3,7 @@
 //! The full-scale runs live in `crates/bench` (see EXPERIMENTS.md).
 
 use sebmc_repro::bmc::{
-    encode_qbf_linear, encode_qbf_squaring, encode_unrolled, BoundedChecker, EngineLimits, JSat,
+    encode_qbf_linear, encode_qbf_squaring, encode_unrolled, BoundedChecker, Budget, JSat,
     QbfBackend, QbfLinear, Semantics, UnrollSat,
 };
 use sebmc_repro::model::{builders, suite13_small};
@@ -111,13 +111,14 @@ fn universal_counts_match_paper() {
 /// and both beat the general-purpose QBF solver by a wide margin.
 #[test]
 fn solver_ordering_matches_paper_shape() {
-    let budget = EngineLimits {
+    let budget = Budget {
         timeout: Some(Duration::from_millis(150)),
-        max_formula_lits: Some(2_000_000),
+        max_formula_bytes: Some(8_000_000),
+        ..Budget::default()
     };
-    let mut sat = UnrollSat::with_limits(budget.clone());
-    let mut jsat = JSat::with_limits(budget.clone());
-    let mut qbf = QbfLinear::with_limits(QbfBackend::Qdpll, budget);
+    let mut sat = UnrollSat::with_budget(budget.clone());
+    let mut jsat = JSat::with_budget(budget.clone());
+    let mut qbf = QbfLinear::with_budget(QbfBackend::Qdpll, budget);
 
     let (mut sat_solved, mut jsat_solved, mut qbf_solved, mut total) = (0, 0, 0, 0);
     for model in suite13_small() {
