@@ -47,6 +47,32 @@ fn chain_instance(chains: usize, len: usize) -> (Solver, Vec<Lit>) {
     (s, heads)
 }
 
+/// A watch-churn instance: wide clauses over shuffled variables whose
+/// watchers must migrate between lists throughout every cascade — the
+/// worst case for the watch layout's push/relocate path, as opposed to
+/// the chain instances' scan-dominated walks.
+fn churn_instance(vars: usize, width: usize) -> (Solver, Vec<Lit>) {
+    use sebmc_logic::rng::SplitMix64;
+    let mut rng = SplitMix64::new(0xc4a2_a11e);
+    let mut s = Solver::new();
+    let v: Vec<Lit> = (0..vars).map(|_| s.new_var().positive()).collect();
+    // An implication spine forces the full assignment…
+    for w in v.windows(2) {
+        s.add_clause([!w[0], w[1]]);
+    }
+    // …and wide satisfied-late clauses keep watchers migrating: every
+    // literal is the negation of a spine variable except one far-ahead
+    // positive, so each cascade falsifies watch after watch.
+    for _ in 0..vars * 2 {
+        let mut c: Vec<Lit> = (0..width - 1)
+            .map(|_| !v[rng.below(vars * 3 / 4)])
+            .collect();
+        c.push(v[vars - 1 - rng.below(vars / 8)]);
+        s.add_clause(c);
+    }
+    (s, vec![v[0]])
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let (mut s, heads) = chain_instance(300, 100);
@@ -64,6 +90,11 @@ fn main() {
         props_per_iter,
         props_per_iter as f64 * 1e3 / sample.median_ns as f64
     );
+    println!(
+        "  clause arena {} B, watch storage {} B (resident)",
+        s.clause_db_resident_bytes(),
+        s.watch_db_resident_bytes()
+    );
 
     // A denser variant: shorter chains, more ternary traffic per var.
     let (mut s2, heads2) = chain_instance(1000, 20);
@@ -72,7 +103,20 @@ fn main() {
         s2.solve_with(&heads2)
     });
 
+    // The watch-layout stressor: wide clauses, constant watcher
+    // migration between lists.
+    let (mut s3, heads3) = churn_instance(4000, 8);
+    assert_eq!(s3.solve_with(&heads3), SolveResult::Sat);
+    let sample3 = run("propagation/watch_churn_4k_w8", 5, 30, || {
+        s3.solve_with(&heads3)
+    });
+    println!(
+        "  clause arena {} B, watch storage {} B (resident)",
+        s3.clause_db_resident_bytes(),
+        s3.watch_db_resident_bytes()
+    );
+
     if json {
-        print_json(&[sample, sample2]);
+        print_json(&[sample, sample2, sample3]);
     }
 }

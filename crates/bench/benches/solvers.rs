@@ -43,6 +43,23 @@ fn main() {
         let mut e = JSat::default();
         e.check(&model, 6, Semantics::Exactly)
     });
+    // Memory split of the SAT-backed engines on the UNSAT instance:
+    // clause arena vs watch-structure bytes (both exact).
+    for (name, out) in [
+        ("sat_unroll", {
+            let mut e = UnrollSat::default();
+            e.check(&model, 6, Semantics::Exactly)
+        }),
+        ("jsat", {
+            let mut e = JSat::default();
+            e.check(&model, 6, Semantics::Exactly)
+        }),
+    ] {
+        println!(
+            "  {name}: peak clause-db {} B, peak watch storage {} B",
+            out.stats.peak_formula_bytes, out.stats.peak_watch_bytes
+        );
+    }
 
     // The E1 harness spends most wall time on QBF timeouts; verify the
     // budget check itself is cheap.

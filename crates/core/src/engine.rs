@@ -282,6 +282,12 @@ pub struct RunStats {
     /// engines report `peak_formula_lits × 4` since their matrices are
     /// plain literal arrays.
     pub peak_formula_bytes: usize,
+    /// Peak bytes held by the solver's *access structures* — the flat
+    /// watch-list storage plus its per-literal range table — reported
+    /// alongside `peak_formula_bytes` so the paper's memory accounting
+    /// covers the whole clause database, not just the clauses. 0 for
+    /// QBF engines (their matrices carry no watch structures).
+    pub peak_watch_bytes: usize,
     /// Back-end solver conflicts (SAT) or decisions (QBF).
     pub solver_effort: u64,
     /// `check_bound` calls folded into this record (1 for a one-shot
@@ -301,6 +307,7 @@ impl RunStats {
         self.encode_lits = self.encode_lits.max(other.encode_lits);
         self.peak_formula_lits = self.peak_formula_lits.max(other.peak_formula_lits);
         self.peak_formula_bytes = self.peak_formula_bytes.max(other.peak_formula_bytes);
+        self.peak_watch_bytes = self.peak_watch_bytes.max(other.peak_watch_bytes);
         self.solver_effort += other.solver_effort;
         self.bounds_checked += other.bounds_checked;
     }

@@ -178,6 +178,7 @@ impl IncrementalUnroll {
             encode_lits: self.encoded_lits,
             peak_formula_lits: self.solver.stats().peak_live_lits,
             peak_formula_bytes: self.solver.stats().peak_bytes(),
+            peak_watch_bytes: self.solver.stats().peak_watch_bytes,
             solver_effort: self.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
         };
@@ -363,6 +364,10 @@ mod tests {
         assert_eq!(total.bounds_checked, 6);
         assert_eq!(total.solver_effort, effort);
         assert!(total.encode_lits > 0);
+        assert!(
+            total.peak_watch_bytes > 0,
+            "watch-storage bytes join the session accounting"
+        );
     }
 
     #[test]

@@ -430,6 +430,7 @@ impl JSatSession {
             encode_lits: self.f4.base_lits,
             peak_formula_lits: self.f4.solver.stats().peak_live_lits,
             peak_formula_bytes: self.f4.solver.stats().peak_bytes(),
+            peak_watch_bytes: self.f4.solver.stats().peak_watch_bytes,
             solver_effort: self.f4.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
         };
@@ -843,6 +844,10 @@ mod tests {
             st.backtracks
         );
         assert!(out.stats.peak_formula_bytes > 0, "exact bytes reported");
+        assert!(
+            out.stats.peak_watch_bytes > 0,
+            "watch-storage bytes reported alongside arena bytes"
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! ```text
 //! word 0          header: [ len : 29 | forwarded : 1 | freed : 1 | learnt : 1 ]
 //! word 1          f32 activity bits        (learnt clauses only)
-//! word 1(+1)..    literal codes, `len` of them
+//! word 2          LBD ("glue"): distinct decision levels at learn time
+//!                                          (learnt clauses only)
+//! word 1(+2)..    literal codes, `len` of them
 //! ```
 //!
 //! ## Garbage and compaction
@@ -42,6 +44,8 @@ const LEARNT: u32 = 1;
 const FREED: u32 = 1 << 1;
 const FORWARDED: u32 = 1 << 2;
 const LEN_SHIFT: u32 = 3;
+/// Extra header words of a learnt record (activity + LBD).
+const LEARNT_EXTRA: usize = 2;
 /// Maximum literals per clause imposed by the 29-bit length field.
 pub const MAX_CLAUSE_LEN: usize = (1 << (32 - LEN_SHIFT)) - 1;
 
@@ -74,14 +78,15 @@ impl ClauseArena {
         // tag bit 31: past this, a long-clause CRef would masquerade as
         // a binary watcher and corrupt propagation silently.
         assert!(
-            self.data.len() < (1 << 31) as usize - lits.len() - 2,
+            self.data.len() < (1 << 31) as usize - lits.len() - 1 - LEARNT_EXTRA,
             "clause arena exceeds the 2^31-word CRef limit"
         );
         let cref = CRef(self.data.len() as u32);
         let header = ((lits.len() as u32) << LEN_SHIFT) | u32::from(learnt);
         self.data.push(header);
         if learnt {
-            self.data.push(0f32.to_bits());
+            self.data.push(0f32.to_bits()); // activity
+            self.data.push(0); // LBD, set by the solver right after learning
         }
         self.data.extend(lits.iter().map(|l| l.code() as u32));
         cref
@@ -118,7 +123,7 @@ impl ClauseArena {
     /// Word index of the clause's first literal.
     #[inline]
     fn lit_base(&self, c: CRef) -> usize {
-        c.0 as usize + 1 + (self.header(c) & LEARNT) as usize
+        c.0 as usize + 1 + (self.header(c) & LEARNT) as usize * LEARNT_EXTRA
     }
 
     /// The `i`-th literal of the clause.
@@ -135,6 +140,17 @@ impl ClauseArena {
         self.data[base..base + self.len(c)]
             .iter()
             .map(|&w| Lit::from_code(w as usize))
+    }
+
+    /// The clause's literals as one mutable slice of raw literal
+    /// codes — the propagation hot path decodes the record header once
+    /// and then swaps/reads through this slice instead of re-deriving
+    /// the literal base per access.
+    #[inline]
+    pub(crate) fn lits_raw_mut(&mut self, c: CRef) -> &mut [u32] {
+        let base = self.lit_base(c);
+        let len = self.len(c);
+        &mut self.data[base..base + len]
     }
 
     /// Overwrites the `i`-th literal.
@@ -169,9 +185,28 @@ impl ClauseArena {
         self.data[c.0 as usize + 1] = act.to_bits();
     }
 
+    /// LBD ("glue") of a learnt clause: the number of distinct decision
+    /// levels among its literals when it was learnt (or last updated by
+    /// the solver). 0 for problem clauses.
+    #[inline]
+    pub fn lbd(&self, c: CRef) -> u32 {
+        if self.is_learnt(c) {
+            self.data[c.0 as usize + 2]
+        } else {
+            0
+        }
+    }
+
+    /// Sets the LBD of a learnt clause.
+    #[inline]
+    pub fn set_lbd(&mut self, c: CRef, lbd: u32) {
+        debug_assert!(self.is_learnt(c));
+        self.data[c.0 as usize + 2] = lbd;
+    }
+
     /// Total words a record with `len` literals occupies.
     fn record_words(len: usize, learnt: bool) -> usize {
-        1 + usize::from(learnt) + len
+        1 + if learnt { LEARNT_EXTRA } else { 0 } + len
     }
 
     /// Words currently occupied by this clause's record.
@@ -265,9 +300,9 @@ mod tests {
         assert!(a.is_learnt(c2));
         assert_eq!(a.lit(c1, 1), Lit::from_code(3));
         assert_eq!(a.lits(c2).collect::<Vec<_>>(), lits(&[2, 7]));
-        // 1+3 words for c1, 1+1+2 for c2.
-        assert_eq!(a.resident_words(), 8);
-        assert_eq!(a.live_words(), 8);
+        // 1+3 words for c1, 1+2+2 for c2 (activity + LBD words).
+        assert_eq!(a.resident_words(), 9);
+        assert_eq!(a.live_words(), 9);
     }
 
     #[test]
@@ -279,6 +314,22 @@ mod tests {
         assert_eq!(a.activity(c), 3.25);
         let p = a.alloc(&lits(&[4, 6]), false);
         assert_eq!(a.activity(p), 0.0);
+    }
+
+    #[test]
+    fn lbd_round_trips_only_for_learnt() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&lits(&[0, 2, 4]), true);
+        assert_eq!(a.lbd(c), 0);
+        a.set_lbd(c, 3);
+        assert_eq!(a.lbd(c), 3);
+        // The LBD word does not clobber the activity word or literals.
+        a.set_activity(c, 1.5);
+        assert_eq!(a.lbd(c), 3);
+        assert_eq!(a.activity(c), 1.5);
+        assert_eq!(a.lits(c).collect::<Vec<_>>(), lits(&[0, 2, 4]));
+        let p = a.alloc(&lits(&[4, 6]), false);
+        assert_eq!(a.lbd(p), 0);
     }
 
     #[test]
@@ -304,6 +355,11 @@ mod tests {
         assert!(a.is_freed(c2));
         assert_eq!(a.wasted_words(), 2 + 3);
         assert_eq!(a.live_words(), a.resident_words() - 5);
+        // A freed learnt record books its extra header words too.
+        let c3 = a.alloc(&lits(&[5, 7]), true);
+        let before = a.wasted_words();
+        a.free(c3);
+        assert_eq!(a.wasted_words(), before + 1 + 2 + 2);
     }
 
     #[test]
@@ -314,6 +370,7 @@ mod tests {
         let c3 = a.alloc(&lits(&[5, 7]), false);
         a.free(c1);
         a.set_activity(c2, 1.5);
+        a.set_lbd(c2, 2);
 
         let mut to = ClauseArena::with_capacity(a.live_words());
         let n2 = a.reloc(c2, &mut to);
@@ -323,10 +380,11 @@ mod tests {
 
         assert_eq!(to.lits(n2).collect::<Vec<_>>(), lits(&[1, 3]));
         assert_eq!(to.activity(n2), 1.5);
+        assert_eq!(to.lbd(n2), 2, "the LBD word survives relocation");
         assert!(to.is_learnt(n2));
         assert_eq!(to.lits(n3).collect::<Vec<_>>(), lits(&[5, 7]));
-        // c1's 4 words are gone: only c2 (4) + c3 (3) words remain.
-        assert_eq!(to.resident_words(), 7);
+        // c1's 4 words are gone: only c2 (5) + c3 (3) words remain.
+        assert_eq!(to.resident_words(), 8);
         assert_eq!(to.wasted_words(), 0);
     }
 
@@ -334,8 +392,8 @@ mod tests {
     fn byte_accounting_includes_headers() {
         let mut a = ClauseArena::new();
         a.alloc(&lits(&[0, 2]), false); // 3 words
-        a.alloc(&lits(&[1, 3]), true); // 4 words
-        assert_eq!(a.resident_bytes(), 7 * 4);
-        assert_eq!(a.live_bytes(), 7 * 4);
+        a.alloc(&lits(&[1, 3]), true); // 5 words (header + activity + LBD)
+        assert_eq!(a.resident_bytes(), 8 * 4);
+        assert_eq!(a.live_bytes(), 8 * 4);
     }
 }

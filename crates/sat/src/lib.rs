@@ -35,6 +35,7 @@
 
 pub mod arena;
 mod heap;
+mod occlists;
 mod solver;
 
 pub use arena::{CRef, ClauseArena};

@@ -17,41 +17,75 @@
 //!   satisfied clauses, which is what lets jSAT retract blocking
 //!   clauses and keep its memory proportional to the path length.
 //!
-//! # Clause storage: the arena
+//! # Clause storage: the arena and the flat watch lists
 //!
 //! All clauses live in a single flat [`ClauseArena`] (see
 //! [`crate::arena`] for the record layout) and are referred to by
-//! [`CRef`] word offsets. Three kinds of root references exist, and
-//! the solver maintains these invariants for each:
+//! [`CRef`] word offsets. Learnt records carry two extra header words:
+//! an activity (VSIDS-style) and an **LBD** ("glue") word — the number
+//! of distinct decision levels among the clause's literals at learn
+//! time, refreshed downwards whenever the clause re-appears as a
+//! conflict. Watchers live in a second flat structure, the
+//! [`OccLists`](crate::occlists): one `Vec` of watchers segmented by
+//! per-literal `(start, len)` ranges, so a propagation cascade walks
+//! contiguous memory instead of chasing one heap `Vec` per literal,
+//! and watch storage is byte-accounted and compactable exactly like
+//! the arena.
+//!
+//! Three kinds of root references exist, and the solver maintains
+//! these invariants for each:
 //!
 //! * **clause lists** (`clauses` for problem clauses, `learnt_refs`
 //!   for learnt ones) hold every live clause exactly once and *never*
 //!   hold a freed clause — `free` is always paired with removal from
 //!   the owning list;
-//! * **watcher lists** hold exactly two watchers per live clause of
+//! * **watch lists** hold exactly two watchers per live clause of
 //!   length ≥ 2 (for clauses of length 2 the watcher carries the other
 //!   literal inline and is tagged binary, so propagation never touches
-//!   the arena for them); a clause is detached before it is freed,
-//!   except in `simplify()` which rebuilds every watcher list from
-//!   scratch;
+//!   the arena for them). Deletion is **lazy**: freeing a clause
+//!   outside `simplify()` smudges its two watch lists (a dirty bit)
+//!   instead of scanning them, and a dirty list may contain watchers
+//!   of freed clauses until its next `clean()` — which runs when
+//!   propagation next looks the list up, and unconditionally for all
+//!   dirty lists before arena compaction. `simplify()` still rebuilds
+//!   every list from scratch;
 //! * **reason references** (`VarData::reason`) exist only for
 //!   currently-assigned non-decision variables on the trail; clauses
 //!   locked as reasons are never freed (`reduce_db` checks
-//!   `is_locked`, and `simplify` runs at level 0 where reasons have
-//!   been cleared).
+//!   `is_locked` — on *both* watched slots, since the binary fast
+//!   path implies the watcher's blocker, which may sit at slot 0 or
+//!   1 — `free_clause` debug-asserts it, and `simplify` runs at
+//!   level 0 where reasons have been cleared).
+//!
+//! # Learnt-clause management
+//!
+//! `reduce_db` drops the weaker (activity-ordered) half of the learnt
+//! database, sparing binary clauses, clauses locked as reasons, and
+//! **glue clauses** (LBD ≤ [`GLUE_PROTECT`]), which empirically encode
+//! the search's backbone. `simplify()` additionally runs one bounded
+//! pass of on-the-fly subsumption over flat occurrence ranges: a
+//! clause C deletes any clause it subsumes (a learnt C only deletes
+//! learnt clauses, so the problem formula never depends on a clause
+//! that reduction may later remove) and self-subsuming resolution
+//! strips single literals (strengthening), which can cascade into new
+//! units.
 //!
 //! # Compacting garbage collection
 //!
 //! `free`/`shrink` only *book* garbage; the words are reclaimed by
-//! [`Solver::garbage_collect`], which copies live records into a fresh
-//! arena (in clause-list order, restoring allocation locality) and
-//! rewrites all three root-reference kinds through the arena's
-//! forwarding pointers. Collection triggers automatically whenever the
-//! wasted share of the arena exceeds [`GC_WASTE_FRACTION`] at a safe
-//! point: after `simplify()` (jSAT's blocking-clause retirement) and
-//! after `reduce_db()` (learnt-clause pruning). This is what turns the
-//! seed's tombstone leak into physically-flat memory: retired clauses
-//! now shrink the resident clause database, not just a counter.
+//! [`Solver::garbage_collect`], which first cleans every dirty watch
+//! list (so no freed record's forwarding pointer is ever requested),
+//! then copies live records into a fresh arena (in clause-list order,
+//! restoring allocation locality) and rewrites all three
+//! root-reference kinds through the arena's forwarding pointers.
+//! Collection triggers automatically whenever the wasted share of the
+//! arena exceeds [`GC_WASTE_FRACTION`] at a safe point: after
+//! `simplify()` (jSAT's blocking-clause retirement) and after
+//! `reduce_db()` (learnt-clause pruning). The watch storage compacts
+//! at the same safe points once enough segments have been abandoned
+//! by list growth. This is what turns the seed's tombstone leak into
+//! physically-flat memory: retired clauses now shrink the resident
+//! clause database, not just a counter.
 
 use std::time::Instant;
 
@@ -59,6 +93,7 @@ use sebmc_logic::{Cnf, Lit, Var};
 
 use crate::arena::{CRef, ClauseArena};
 use crate::heap::ActivityHeap;
+use crate::occlists::{OccLists, Watcher};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -95,13 +130,11 @@ pub struct Limits {
     pub max_propagations: Option<u64>,
     /// Wall-clock deadline.
     pub deadline: Option<Instant>,
-    /// Maximum live literals in the clause database (memory proxy);
-    /// exceeding it aborts the solve with `Unknown`, reproducing the
-    /// paper's 1 GB memory limit.
-    pub max_live_lits: Option<usize>,
     /// Maximum live clause-database bytes (exact arena accounting,
     /// clause headers included); exceeding it aborts the solve with
-    /// `Unknown`. This is the byte-based successor of `max_live_lits`.
+    /// `Unknown`, reproducing the paper's 1 GB memory limit. (The
+    /// legacy `max_live_lits` literal-count proxy is gone: bytes are
+    /// the one memory cap, so two limits can never silently disagree.)
     pub max_live_bytes: Option<usize>,
     /// Cooperative cancellation flag, polled at the same safe points as
     /// the deadline (every 64 conflicts and before each decision). When
@@ -131,6 +164,12 @@ pub struct Stats {
     pub learnts: u64,
     /// Clauses removed by reduction or simplification.
     pub removed_clauses: u64,
+    /// Clauses deleted because another clause subsumes them
+    /// (on-the-fly subsumption during `simplify`).
+    pub subsumed_clauses: u64,
+    /// Literals removed by self-subsuming strengthening during
+    /// `simplify`.
+    pub strengthened_lits: u64,
     /// Arena compactions performed.
     pub gc_runs: u64,
     /// Current live literal count across all clauses (memory proxy).
@@ -142,6 +181,12 @@ pub struct Stats {
     pub live_words: usize,
     /// Peak of [`Stats::live_words`] ever observed.
     pub peak_live_words: usize,
+    /// Current resident bytes of the watch structures: the flat
+    /// watcher storage (live, spare, and not-yet-compacted slots) plus
+    /// the per-literal range table.
+    pub watch_resident_bytes: usize,
+    /// Peak of [`Stats::watch_resident_bytes`] ever observed.
+    pub peak_watch_bytes: usize,
 }
 
 impl Stats {
@@ -165,50 +210,6 @@ enum Value {
     Unassigned,
 }
 
-/// One entry of a watch list.
-///
-/// `cref_tag` is the clause's [`CRef`] with [`BIN_TAG`] set when the
-/// clause is binary. For binary clauses `blocker` *is* the other
-/// literal, so propagation decides keep/enqueue/conflict without ever
-/// dereferencing the arena; for longer clauses `blocker` is a cached
-/// literal whose truth lets the common already-satisfied case skip the
-/// arena too.
-#[derive(Copy, Clone, Debug)]
-struct Watcher {
-    cref_tag: u32,
-    blocker: Lit,
-}
-
-const BIN_TAG: u32 = 1 << 31;
-
-impl Watcher {
-    #[inline]
-    fn long(cref: CRef, blocker: Lit) -> Self {
-        Watcher {
-            cref_tag: cref.0,
-            blocker,
-        }
-    }
-
-    #[inline]
-    fn binary(cref: CRef, other: Lit) -> Self {
-        Watcher {
-            cref_tag: cref.0 | BIN_TAG,
-            blocker: other,
-        }
-    }
-
-    #[inline]
-    fn is_binary(self) -> bool {
-        self.cref_tag & BIN_TAG != 0
-    }
-
-    #[inline]
-    fn cref(self) -> CRef {
-        CRef(self.cref_tag & !BIN_TAG)
-    }
-}
-
 #[derive(Copy, Clone, Debug)]
 struct VarData {
     reason: Option<CRef>,
@@ -223,6 +224,16 @@ const CLA_RESCALE_LIMIT: f32 = 1e20;
 /// Fraction of the arena that may be garbage before a safe point
 /// triggers compaction.
 const GC_WASTE_FRACTION: f64 = 0.20;
+/// Learnt clauses with LBD at or below this are never removed by
+/// `reduce_db` ("glue clauses").
+const GLUE_PROTECT: u32 = 2;
+/// Longest clause considered as a *subsumer* during the `simplify`
+/// subsumption pass (longer clauses rarely subsume anything and make
+/// the pass quadratic).
+const SUBSUME_MAX_CLAUSE: usize = 30;
+/// Occurrence lists longer than this are not scanned for subsumption
+/// candidates (keeps the pass near-linear on pathological formulae).
+const SUBSUME_OCC_LIMIT: usize = 400;
 
 /// An incremental CDCL SAT solver.
 ///
@@ -243,7 +254,10 @@ pub struct Solver {
     arena: ClauseArena,
     clauses: Vec<CRef>,
     learnt_refs: Vec<CRef>,
-    watches: Vec<Vec<Watcher>>,
+    watches: OccLists,
+    /// Assignment table indexed by *literal code* (two entries per
+    /// variable): `lit_value` is a single load with no polarity
+    /// fixup, which is what the propagation loop does most.
     assigns: Vec<Value>,
     vardata: Vec<VarData>,
     trail: Vec<Lit>,
@@ -261,6 +275,10 @@ pub struct Solver {
     limits: Limits,
     stats: Stats,
     max_learnts: f64,
+    /// Stamp array indexed by decision level, used to count distinct
+    /// levels (LBD) without clearing between clauses.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
 }
 
 impl Default for Solver {
@@ -276,7 +294,7 @@ impl Solver {
             arena: ClauseArena::new(),
             clauses: Vec::new(),
             learnt_refs: Vec::new(),
-            watches: Vec::new(),
+            watches: OccLists::new(),
             assigns: Vec::new(),
             vardata: Vec::new(),
             trail: Vec::new(),
@@ -294,12 +312,15 @@ impl Solver {
             limits: Limits::none(),
             stats: Stats::default(),
             max_learnts: 4000.0,
+            lbd_stamp: vec![0],
+            lbd_counter: 0,
         }
     }
 
     /// Creates a fresh solver variable.
     pub fn new_var(&mut self) -> Var {
-        let v = Var::new(self.assigns.len() as u32);
+        let v = Var::new((self.assigns.len() / 2) as u32);
+        self.assigns.push(Value::Unassigned);
         self.assigns.push(Value::Unassigned);
         self.vardata.push(VarData {
             reason: None,
@@ -308,8 +329,9 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.push_lit();
+        self.watches.push_lit();
+        self.lbd_stamp.push(0);
         self.heap.insert(v, &self.activity);
         v
     }
@@ -323,7 +345,7 @@ impl Solver {
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
-        self.assigns.len()
+        self.assigns.len() / 2
     }
 
     /// Number of live problem clauses.
@@ -357,6 +379,22 @@ impl Solver {
     /// Live clause-database size in bytes (headers included).
     pub fn clause_db_live_bytes(&self) -> usize {
         self.arena.live_bytes()
+    }
+
+    /// Resident bytes of the watch structures: the flat watcher
+    /// storage plus the per-literal range table. The access-structure
+    /// counterpart of [`Solver::clause_db_resident_bytes`].
+    pub fn watch_db_resident_bytes(&self) -> usize {
+        self.watches.resident_bytes()
+    }
+
+    /// Sets the learnt-clause count that triggers the next database
+    /// reduction (default 4000; the threshold grows 15% per
+    /// reduction). Exposed for tests and tuning — reduction always
+    /// spares binary clauses, glue clauses (LBD ≤ 2), and clauses
+    /// locked as reasons.
+    pub fn set_max_learnts(&mut self, cap: f64) {
+        self.max_learnts = cap;
     }
 
     /// Adds a clause; returns `false` if the solver became inconsistent
@@ -443,6 +481,12 @@ impl Solver {
             );
         }
         self.cancel_until(0);
+        // Solve entry is a safe point: reclaim watch segments
+        // abandoned by list growth (cleans dirty lists first) so the
+        // search starts on tightly-packed storage.
+        let arena = &self.arena;
+        self.watches.clean_all(|w| arena.is_freed(w.cref()));
+        self.watches.maybe_compact();
         let mut curr_restarts = 0u64;
         let result = loop {
             let budget = luby(2.0, curr_restarts) * RESTART_FIRST as f64;
@@ -480,10 +524,16 @@ impl Solver {
     }
 
     /// Level-0 simplification: removes clauses satisfied at the top
-    /// level and strips falsified literals, physically reclaiming
-    /// memory (the arena is compacted when enough garbage has
-    /// accumulated). Returns `false` if the formula became
-    /// inconsistent.
+    /// level, strips falsified literals, and runs one bounded pass of
+    /// on-the-fly subsumption/strengthening over flat occurrence
+    /// ranges, physically reclaiming memory (the arena is compacted
+    /// when enough garbage has accumulated). Returns `false` if the
+    /// formula became inconsistent.
+    ///
+    /// Even when an empty clause is derived mid-pass, every clause
+    /// list still owns exactly its live clauses and the statistics
+    /// stay synced with the arena — the solver is dead (`!ok`) but
+    /// internally consistent.
     ///
     /// This is the operation jSAT uses to retract deactivated blocking
     /// clauses (see crate `sebmc`, module `jsat`).
@@ -500,18 +550,23 @@ impl Solver {
         for &l in &self.trail {
             self.vardata[l.var().index()].reason = None;
         }
-        // Rebuild every watch list from scratch after filtering.
-        for w in &mut self.watches {
-            w.clear();
-        }
+        // Every watch list is rebuilt from scratch at the end; until
+        // then the kept clauses are detached.
+        self.watches.clear_all();
         let mut enqueue: Vec<Lit> = Vec::new();
+        let mut kept_problem: Vec<CRef> = Vec::new();
+        let mut kept_learnt: Vec<CRef> = Vec::new();
         for which in [false, true] {
-            let mut refs = std::mem::take(if which {
+            let refs = std::mem::take(if which {
                 &mut self.learnt_refs
             } else {
                 &mut self.clauses
             });
-            let mut kept = Vec::with_capacity(refs.len());
+            let kept = if which {
+                &mut kept_learnt
+            } else {
+                &mut kept_problem
+            };
             for &cref in &refs {
                 let satisfied = self
                     .arena
@@ -539,29 +594,37 @@ impl Solver {
                 }
                 match kept_lits {
                     0 => {
+                        // The formula is unsatisfiable at level 0.
+                        // Keep processing so both clause lists end up
+                        // owning exactly their live clauses and the
+                        // stats stay synced with the arena (the old
+                        // early return leaked every already-kept and
+                        // not-yet-visited clause from its list).
                         self.ok = false;
-                        // Restore list ownership before bailing out.
-                        refs.clear();
-                        return false;
+                        self.free_clause(cref);
                     }
                     1 => {
                         enqueue.push(self.arena.lit(cref, 0));
                         self.free_clause(cref);
                     }
-                    _ => {
-                        self.attach_clause(cref);
-                        kept.push(cref);
-                    }
+                    _ => kept.push(cref),
                 }
             }
-            refs.clear();
-            if which {
-                self.learnt_refs = kept;
-            } else {
-                self.clauses = kept;
-            }
         }
+        if self.ok {
+            self.subsume_pass(&mut kept_problem, &mut kept_learnt, &mut enqueue);
+        }
+        // Re-attach the survivors and restore list ownership (also on
+        // the `!ok` path, so invariants hold for the dead solver).
+        for &cref in kept_problem.iter().chain(&kept_learnt) {
+            self.attach_clause(cref);
+        }
+        self.clauses = kept_problem;
+        self.learnt_refs = kept_learnt;
         self.sync_word_stats();
+        if !self.ok {
+            return false;
+        }
         for l in enqueue {
             match lit_value(&self.assigns, l) {
                 Value::True => {}
@@ -581,10 +644,148 @@ impl Solver {
         self.ok
     }
 
-    /// Compacts the clause arena now: copies every live clause into a
-    /// fresh arena and rewrites clause lists, watcher lists, and reason
-    /// references. Resident memory drops by exactly the booked garbage.
+    /// One bounded pass of subsumption and self-subsuming resolution
+    /// over the detached survivors of `simplify`, driven by flat
+    /// `(start, len)` occurrence ranges over every literal.
+    ///
+    /// For each subsumer candidate C (problem clauses first, so a
+    /// problem clause wins ties against a learnt duplicate) the pass
+    /// scans the occurrence range of C's rarest literal. A candidate D
+    /// with all of C's literals is subsumed and freed — unless C is
+    /// learnt and D is not: the problem formula must never depend on a
+    /// clause that `reduce_db` may later drop. A candidate matching
+    /// all but one literal, with that literal flipped, is strengthened
+    /// by resolving on it (always sound: the resolvent both implies
+    /// and is implied by the formula). Strengthening down to one
+    /// literal turns into a pending unit.
+    fn subsume_pass(
+        &mut self,
+        problem: &mut Vec<CRef>,
+        learnt: &mut Vec<CRef>,
+        enqueue: &mut Vec<Lit>,
+    ) {
+        let num_codes = 2 * self.num_vars();
+        let all: Vec<(CRef, bool)> = problem
+            .iter()
+            .map(|&c| (c, false))
+            .chain(learnt.iter().map(|&c| (c, true)))
+            .collect();
+        // Counting pass, then (start, len) ranges into one flat CRef
+        // vector — the same layout discipline as the watch lists.
+        let mut counts = vec![0u32; num_codes];
+        for &(c, _) in &all {
+            for l in self.arena.lits(c) {
+                counts[l.code()] += 1;
+            }
+        }
+        let mut starts = vec![0u32; num_codes + 1];
+        for i in 0..num_codes {
+            starts[i + 1] = starts[i] + counts[i];
+        }
+        let mut occ = vec![CRef(0); starts[num_codes] as usize];
+        let mut fill: Vec<u32> = starts[..num_codes].to_vec();
+        for &(c, _) in &all {
+            for l in self.arena.lits(c) {
+                occ[fill[l.code()] as usize] = c;
+                fill[l.code()] += 1;
+            }
+        }
+        // Literal-code marks, stamped per subsumer so the array never
+        // needs clearing.
+        let mut mark = vec![0u32; num_codes];
+        let mut stamp = 0u32;
+        for &(c, c_is_learnt) in &all {
+            if self.arena.is_freed(c) {
+                continue;
+            }
+            let clen = self.arena.len(c);
+            if clen > SUBSUME_MAX_CLAUSE {
+                continue;
+            }
+            let min_lit = self
+                .arena
+                .lits(c)
+                .min_by_key(|l| counts[l.code()])
+                .expect("kept clauses are non-empty");
+            if counts[min_lit.code()] as usize > SUBSUME_OCC_LIMIT {
+                continue;
+            }
+            stamp += 1;
+            for l in self.arena.lits(c) {
+                mark[l.code()] = stamp;
+            }
+            // Subsumption candidates all contain C's rarest literal;
+            // strengthening candidates instead contain the *negation*
+            // of the literal being resolved away, so each of C's
+            // literals contributes one flipped occurrence range.
+            let occ_range = |l: Lit| starts[l.code()] as usize..starts[l.code() + 1] as usize;
+            let scans = std::iter::once(occ_range(min_lit)).chain(
+                self.arena
+                    .lits(c)
+                    .map(|l| occ_range(!l))
+                    .collect::<Vec<_>>(),
+            );
+            for range in scans {
+                if range.len() > SUBSUME_OCC_LIMIT {
+                    continue;
+                }
+                for k in range {
+                    let d = occ[k];
+                    if d == c || self.arena.is_freed(d) || self.arena.is_freed(c) {
+                        continue;
+                    }
+                    let dlen = self.arena.len(d);
+                    if dlen < clen {
+                        continue;
+                    }
+                    // Count D's literals against C's marks: `matched`
+                    // hits and at most one flipped hit decide the
+                    // outcome.
+                    let mut matched = 0usize;
+                    let mut flipped = 0usize;
+                    let mut flipped_idx = 0usize;
+                    for idx in 0..dlen {
+                        let dl = self.arena.lit(d, idx);
+                        if mark[dl.code()] == stamp {
+                            matched += 1;
+                        } else if mark[(!dl).code()] == stamp {
+                            flipped += 1;
+                            flipped_idx = idx;
+                        }
+                    }
+                    if matched == clen {
+                        if c_is_learnt && !self.arena.is_learnt(d) {
+                            continue;
+                        }
+                        self.free_clause(d);
+                        self.stats.subsumed_clauses += 1;
+                    } else if matched + 1 == clen && flipped == 1 {
+                        // Self-subsuming resolution: drop the flipped
+                        // literal from D.
+                        self.arena.swap_lits(d, flipped_idx, dlen - 1);
+                        self.arena.shrink(d, dlen - 1);
+                        self.stats.live_lits -= 1;
+                        self.stats.strengthened_lits += 1;
+                        if dlen - 1 == 1 {
+                            enqueue.push(self.arena.lit(d, 0));
+                            self.free_clause(d);
+                        }
+                    }
+                }
+            }
+        }
+        problem.retain(|&c| !self.arena.is_freed(c));
+        learnt.retain(|&c| !self.arena.is_freed(c));
+    }
+
+    /// Compacts the clause arena now: cleans every dirty watch list
+    /// (freed records have no forwarding pointer to follow), then
+    /// copies every live clause into a fresh arena and rewrites clause
+    /// lists, watch lists, and reason references. Resident memory
+    /// drops by exactly the booked garbage.
     pub fn garbage_collect(&mut self) {
+        let arena = &self.arena;
+        self.watches.clean_all(|w| arena.is_freed(w.cref()));
         if self.arena.wasted_words() == 0 {
             return;
         }
@@ -595,16 +796,15 @@ impl Solver {
         for c in self.learnt_refs.iter_mut() {
             *c = self.arena.reloc(*c, &mut to);
         }
-        for list in self.watches.iter_mut() {
-            for w in list.iter_mut() {
-                let new = self.arena.reloc(w.cref(), &mut to);
-                *w = if w.is_binary() {
-                    Watcher::binary(new, w.blocker)
-                } else {
-                    Watcher::long(new, w.blocker)
-                };
-            }
-        }
+        let arena = &mut self.arena;
+        self.watches.for_each_watcher_mut(|w| {
+            let new = arena.reloc(w.cref(), &mut to);
+            *w = if w.is_binary() {
+                Watcher::binary(new, w.blocker)
+            } else {
+                Watcher::long(new, w.blocker)
+            };
+        });
         for i in 0..self.trail.len() {
             let v = self.trail[i].var();
             if let Some(r) = self.vardata[v.index()].reason {
@@ -618,17 +818,30 @@ impl Solver {
 
     // ----- internal machinery -------------------------------------------------
 
+    /// Arena GC plus watch-storage compaction, each behind its own
+    /// waste threshold. This is the shared safe point of `simplify`
+    /// and `reduce_db`.
     fn maybe_garbage_collect(&mut self) {
         let resident = self.arena.resident_words();
         if resident > 0 && self.arena.wasted_words() as f64 >= resident as f64 * GC_WASTE_FRACTION {
             self.garbage_collect();
         }
+        let arena = &self.arena;
+        self.watches.clean_all(|w| arena.is_freed(w.cref()));
+        self.watches.maybe_compact();
+        self.sync_word_stats();
     }
 
-    /// Refreshes the word-level memory statistics from the arena.
+    /// Refreshes the word-level memory statistics from the arena and
+    /// the watch storage.
     fn sync_word_stats(&mut self) {
         self.stats.live_words = self.arena.live_words();
         self.stats.peak_live_words = self.stats.peak_live_words.max(self.stats.live_words);
+        self.stats.watch_resident_bytes = self.watches.resident_bytes();
+        self.stats.peak_watch_bytes = self
+            .stats
+            .peak_watch_bytes
+            .max(self.stats.watch_resident_bytes);
     }
 
     fn decision_level(&self) -> usize {
@@ -650,8 +863,8 @@ impl Solver {
         } else {
             self.clauses.push(cref);
         }
-        self.sync_word_stats();
         self.attach_clause(cref);
+        self.sync_word_stats();
         cref
     }
 
@@ -659,30 +872,37 @@ impl Solver {
         let w0 = self.arena.lit(cref, 0);
         let w1 = self.arena.lit(cref, 1);
         if self.arena.len(cref) == 2 {
-            self.watches[(!w0).code()].push(Watcher::binary(cref, w1));
-            self.watches[(!w1).code()].push(Watcher::binary(cref, w0));
+            self.watches.push((!w0).code(), Watcher::binary(cref, w1));
+            self.watches.push((!w1).code(), Watcher::binary(cref, w0));
         } else {
-            self.watches[(!w0).code()].push(Watcher::long(cref, w1));
-            self.watches[(!w1).code()].push(Watcher::long(cref, w0));
+            self.watches.push((!w0).code(), Watcher::long(cref, w1));
+            self.watches.push((!w1).code(), Watcher::long(cref, w0));
         }
     }
 
-    fn detach_clause(&mut self, cref: CRef) {
+    /// Lazy detach: marks the clause's two watch lists dirty instead
+    /// of scanning them. The stale watchers are dropped by the next
+    /// `clean()` of each list — triggered by propagation's lookup or
+    /// by the GC safe points — keyed on the arena's freed bit, so this
+    /// must be followed by `free_clause` before the lists are next
+    /// used.
+    fn detach_clause_lazy(&mut self, cref: CRef) {
         let w0 = self.arena.lit(cref, 0);
         let w1 = self.arena.lit(cref, 1);
-        for w in [w0, w1] {
-            let list = &mut self.watches[(!w).code()];
-            if let Some(pos) = list.iter().position(|x| x.cref() == cref) {
-                list.swap_remove(pos);
-            }
-        }
+        self.watches.smudge((!w0).code());
+        self.watches.smudge((!w1).code());
     }
 
     /// Books the clause as garbage and updates the statistics. The
-    /// caller is responsible for the watcher lists (either
-    /// `detach_clause` first, or a wholesale rebuild as in `simplify`)
-    /// and for removing the reference from its owning clause list.
+    /// caller is responsible for the watch lists (either
+    /// `detach_clause_lazy` first, or a wholesale rebuild as in
+    /// `simplify`) and for removing the reference from its owning
+    /// clause list.
     fn free_clause(&mut self, cref: CRef) {
+        debug_assert!(
+            !self.is_locked(cref),
+            "freeing a clause that is the reason of a trail literal"
+        );
         self.stats.live_lits -= self.arena.len(cref);
         self.stats.removed_clauses += 1;
         if self.arena.is_learnt(cref) {
@@ -694,17 +914,14 @@ impl Solver {
 
     #[inline]
     fn unchecked_enqueue(&mut self, p: Lit, reason: Option<CRef>) {
-        debug_assert_eq!(lit_value(&self.assigns, p), Value::Unassigned);
-        self.assigns[p.var().index()] = if p.is_positive() {
-            Value::True
-        } else {
-            Value::False
-        };
-        self.vardata[p.var().index()] = VarData {
+        enqueue_raw(
+            &mut self.assigns,
+            &mut self.vardata,
+            &mut self.trail,
+            self.trail_lim.len() as u32,
+            p,
             reason,
-            level: self.decision_level() as u32,
-        };
-        self.trail.push(p);
+        );
     }
 
     /// Unit propagation; returns the conflicting clause reference, if
@@ -714,99 +931,199 @@ impl Solver {
     /// watcher's blocker *is* the other literal, so satisfied/unit/
     /// conflict are decided from the assignment table alone. Long
     /// clauses take the classic MiniSat path over the flat arena.
+    ///
+    /// The watched list is one contiguous segment of the flat
+    /// [`OccLists`] storage, looked up through `lookup_clean` so a
+    /// dirty list sheds its freed-clause watchers before the walk
+    /// (nothing stale is ever enqueued as a reason). The walk borrows
+    /// the segment as a plain slice and runs in two stages: while no
+    /// watch has left the list, the scan performs no survivor copies
+    /// at all (in the attach order binary watchers cluster at the
+    /// segment front and never move, so clean lists finish without a
+    /// single watcher store or length write-back); the first moved
+    /// watch pushes into its new list — briefly unpinning the segment
+    /// borrow, a bounds check and nothing more — and drops into the
+    /// classic compacting walk. Long clauses are handled through one
+    /// raw-literal slice per clause, so the record header is decoded
+    /// once, not per literal visited.
     fn propagate(&mut self) -> Option<CRef> {
         let mut conflict = None;
-        while self.qhead < self.trail.len() {
+        'queue: while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            let false_lit = !p;
-            // Take the list to sidestep aliasing with pushes into
-            // *other* watch lists; the allocation survives and is
-            // swapped back below, so there is no per-literal churn.
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let false_code = (!p).code() as u32;
+            let arena = &self.arena;
+            let (start, len) = self
+                .watches
+                .lookup_clean(p.code(), |w| arena.is_freed(w.cref()));
+            // Disjoint field borrows: the segment slice pins `watches`
+            // during each walk stretch, enqueues go through the raw
+            // parts.
+            let Solver {
+                arena,
+                watches,
+                assigns,
+                vardata,
+                trail,
+                trail_lim,
+                ..
+            } = self;
+            let level = trail_lim.len() as u32;
             let mut i = 0;
-            let mut j = 0;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
-                i += 1;
-                // Cheapest exit: the cached blocker is already true.
-                if lit_value(&self.assigns, w.blocker) == Value::True {
-                    ws[j] = w;
-                    j += 1;
-                    continue;
-                }
-                if w.is_binary() {
-                    // The blocker is the whole rest of the clause.
-                    ws[j] = w;
-                    j += 1;
-                    match lit_value(&self.assigns, w.blocker) {
-                        Value::Unassigned => {
-                            self.unchecked_enqueue(w.blocker, Some(w.cref()));
-                        }
-                        Value::False => {
-                            conflict = Some(w.cref());
-                            while i < ws.len() {
-                                ws[j] = ws[i];
-                                j += 1;
-                                i += 1;
-                            }
-                            self.qhead = self.trail.len();
-                            break 'watchers;
-                        }
-                        Value::True => unreachable!("handled by the blocker test"),
+            // Stage A: the list is still intact — no compaction, no
+            // stores except in-place blocker refreshes.
+            let first_move = {
+                let ws = watches.segment_mut(start, len);
+                let mut first_move = None;
+                while i < len {
+                    let w = ws[i];
+                    let blocker_val = lit_value(assigns, w.blocker);
+                    // Cheapest exit: the blocker is already true.
+                    if blocker_val == Value::True {
+                        i += 1;
+                        continue;
                     }
-                    continue;
-                }
-                let cref = w.cref();
-                // Make sure the false literal is at slot 1.
-                if self.arena.lit(cref, 0) == false_lit {
-                    self.arena.swap_lits(cref, 0, 1);
-                }
-                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
-                let first = self.arena.lit(cref, 0);
-                let keep = Watcher::long(cref, first);
-                if first != w.blocker && lit_value(&self.assigns, first) == Value::True {
-                    ws[j] = keep;
-                    j += 1;
-                    continue;
-                }
-                // Look for a replacement watch.
-                let len = self.arena.len(cref);
-                let mut moved = false;
-                for k in 2..len {
-                    let lk = self.arena.lit(cref, k);
-                    if lit_value(&self.assigns, lk) != Value::False {
-                        self.arena.swap_lits(cref, 1, k);
-                        self.watches[(!lk).code()].push(keep);
-                        moved = true;
+                    if w.is_binary() {
+                        // The blocker is the whole rest of the clause.
+                        if blocker_val == Value::Unassigned {
+                            enqueue_raw(assigns, vardata, trail, level, w.blocker, Some(w.cref()));
+                            i += 1;
+                            continue;
+                        }
+                        self.qhead = trail.len();
+                        conflict = Some(w.cref());
+                        break 'queue;
+                    }
+                    let cref = w.cref();
+                    // One raw slice per clause: the header is decoded
+                    // here and never re-read during the scan.
+                    let lits = arena.lits_raw_mut(cref);
+                    // Make sure the false literal is at slot 1.
+                    if lits[0] == false_code {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_code);
+                    let first = Lit::from_code(lits[0] as usize);
+                    let keep = Watcher::long(cref, first);
+                    if first != w.blocker && lit_value(assigns, first) == Value::True {
+                        ws[i] = keep;
+                        i += 1;
+                        continue;
+                    }
+                    // Look for a replacement watch.
+                    let mut found = None;
+                    for k in 2..lits.len() {
+                        let lk = Lit::from_code(lits[k] as usize);
+                        if lit_value(assigns, lk) != Value::False {
+                            lits.swap(1, k);
+                            found = Some((!lk).code());
+                            break;
+                        }
+                    }
+                    if let Some(code) = found {
+                        first_move = Some((code, keep));
                         break;
                     }
-                }
-                if moved {
-                    continue;
-                }
-                // No replacement: the clause is unit or conflicting.
-                ws[j] = keep;
-                j += 1;
-                if lit_value(&self.assigns, first) == Value::False {
-                    conflict = Some(cref);
-                    while i < ws.len() {
-                        ws[j] = ws[i];
-                        j += 1;
-                        i += 1;
+                    // No replacement: the clause is unit or conflicting.
+                    ws[i] = keep;
+                    i += 1;
+                    if lit_value(assigns, first) == Value::False {
+                        self.qhead = trail.len();
+                        conflict = Some(cref);
+                        break 'queue;
                     }
-                    self.qhead = self.trail.len();
-                    break 'watchers;
+                    enqueue_raw(assigns, vardata, trail, level, first, Some(cref));
                 }
-                self.unchecked_enqueue(first, Some(cref));
+                first_move
+            };
+            let Some((code, keep)) = first_move else {
+                continue; // clean walk: the list is untouched
+            };
+            watches.push(code, keep);
+            // Stage B: slot `i` just vacated — compact as we go. Every
+            // further move unpins, pushes, and re-pins the segment.
+            let mut j = i;
+            i += 1;
+            'moves: loop {
+                let ws = watches.segment_mut(start, len);
+                let pending;
+                'watchers: loop {
+                    if i >= len {
+                        break 'moves;
+                    }
+                    let w = ws[i];
+                    i += 1;
+                    let blocker_val = lit_value(assigns, w.blocker);
+                    if blocker_val == Value::True {
+                        ws[j] = w;
+                        j += 1;
+                        continue;
+                    }
+                    if w.is_binary() {
+                        ws[j] = w;
+                        j += 1;
+                        if blocker_val == Value::Unassigned {
+                            enqueue_raw(assigns, vardata, trail, level, w.blocker, Some(w.cref()));
+                        } else {
+                            conflict = Some(w.cref());
+                            ws.copy_within(i..len, j);
+                            j += len - i;
+                            break 'moves;
+                        }
+                        continue;
+                    }
+                    let cref = w.cref();
+                    let lits = arena.lits_raw_mut(cref);
+                    if lits[0] == false_code {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_code);
+                    let first = Lit::from_code(lits[0] as usize);
+                    let keep = Watcher::long(cref, first);
+                    if first != w.blocker && lit_value(assigns, first) == Value::True {
+                        ws[j] = keep;
+                        j += 1;
+                        continue;
+                    }
+                    let mut found = None;
+                    for k in 2..lits.len() {
+                        let lk = Lit::from_code(lits[k] as usize);
+                        if lit_value(assigns, lk) != Value::False {
+                            lits.swap(1, k);
+                            found = Some((!lk).code());
+                            break;
+                        }
+                    }
+                    if let Some(code) = found {
+                        pending = (code, keep);
+                        break 'watchers;
+                    }
+                    ws[j] = keep;
+                    j += 1;
+                    if lit_value(assigns, first) == Value::False {
+                        conflict = Some(cref);
+                        ws.copy_within(i..len, j);
+                        j += len - i;
+                        break 'moves;
+                    }
+                    enqueue_raw(assigns, vardata, trail, level, first, Some(cref));
+                }
+                let (code, keep) = pending;
+                watches.push(code, keep);
             }
-            ws.truncate(j);
-            self.watches[p.code()] = ws;
+            self.watches.truncate(p.code(), j);
             if conflict.is_some() {
+                self.qhead = self.trail.len();
                 break;
             }
         }
+        // Moving watches may have grown the flat storage.
+        self.stats.watch_resident_bytes = self.watches.resident_bytes();
+        self.stats.peak_watch_bytes = self
+            .stats
+            .peak_watch_bytes
+            .max(self.stats.watch_resident_bytes);
         conflict
     }
 
@@ -824,6 +1141,13 @@ impl Solver {
         loop {
             if self.arena.is_learnt(confl) {
                 self.bump_clause(confl);
+                // A learnt clause back in a conflict: refresh its LBD
+                // downwards (Glucose-style) so `reduce_db`'s glue
+                // protection tracks how the clause behaves *now*.
+                let glue = self.clause_lbd(confl);
+                if glue > 0 && glue < self.arena.lbd(confl) {
+                    self.arena.set_lbd(confl, glue);
+                }
             }
             for idx in 0..self.arena.len(confl) {
                 let q = self.arena.lit(confl, idx);
@@ -905,6 +1229,38 @@ impl Solver {
         (learnt, bt_level)
     }
 
+    /// Number of distinct non-zero decision levels among `lits` — the
+    /// LBD ("glue") of a clause about to be learnt. Uses a stamped
+    /// level array, so no clearing between calls.
+    fn lits_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut glue = 0u32;
+        for l in lits {
+            let lvl = self.vardata[l.var().index()].level as usize;
+            if lvl > 0 && self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
+    /// Recomputes the LBD of a (fully assigned) clause in the arena.
+    fn clause_lbd(&mut self, cref: CRef) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut glue = 0u32;
+        for idx in 0..self.arena.len(cref) {
+            let lvl = self.vardata[self.arena.lit(cref, idx).var().index()].level as usize;
+            if lvl > 0 && self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
     fn bump_var(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
         if self.activity[v.index()] > RESCALE_LIMIT {
@@ -938,7 +1294,8 @@ impl Solver {
         for i in (target..self.trail.len()).rev() {
             let l = self.trail[i];
             let v = l.var();
-            self.assigns[v.index()] = Value::Unassigned;
+            self.assigns[l.code()] = Value::Unassigned;
+            self.assigns[(!l).code()] = Value::Unassigned;
             self.phase[v.index()] = l.is_positive();
             if !self.heap.contains(v) {
                 self.heap.insert(v, &self.activity);
@@ -951,7 +1308,7 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.heap.pop_max(&self.activity) {
-            if self.assigns[v.index()] == Value::Unassigned {
+            if self.assigns[v.positive().code()] == Value::Unassigned {
                 return Some(v);
             }
         }
@@ -961,8 +1318,8 @@ impl Solver {
     fn extract_model(&mut self) {
         self.model = self
             .assigns
-            .iter()
-            .map(|&a| match a {
+            .chunks_exact(2)
+            .map(|pair| match pair[0] {
                 Value::True => Some(true),
                 Value::False => Some(false),
                 Value::Unassigned => None,
@@ -1003,7 +1360,10 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         // Sort learnt clauses by activity, ascending; drop the weaker
-        // half, sparing binary and locked clauses.
+        // half, sparing binary clauses, glue clauses (LBD ≤
+        // GLUE_PROTECT), and locked clauses. Removal is lazy: the
+        // freed clauses' watchers linger in smudged lists until the
+        // next clean.
         let mut refs = std::mem::take(&mut self.learnt_refs);
         refs.sort_by(|&a, &b| {
             let ca = self.arena.activity(a);
@@ -1013,9 +1373,10 @@ impl Solver {
         let half = refs.len() / 2;
         let mut kept = Vec::with_capacity(refs.len());
         for (i, &r) in refs.iter().enumerate() {
-            let removable = self.arena.len(r) > 2 && !self.is_locked(r);
+            let removable =
+                self.arena.len(r) > 2 && self.arena.lbd(r) > GLUE_PROTECT && !self.is_locked(r);
             if i < half && removable {
-                self.detach_clause(r);
+                self.detach_clause_lazy(r);
                 self.free_clause(r);
             } else {
                 kept.push(r);
@@ -1026,10 +1387,22 @@ impl Solver {
         self.maybe_garbage_collect();
     }
 
+    /// Whether the clause is the reason of a literal on the trail.
+    ///
+    /// The implied literal of a long reason clause always sits at slot
+    /// 0 (`propagate` swaps it there before enqueueing), but the
+    /// binary fast path enqueues the *watcher's blocker* without ever
+    /// touching the arena — and the blocker may be either arena slot.
+    /// Checking only slot 0 therefore missed locked binary reasons, a
+    /// latent use-after-free for any reduction policy that can touch
+    /// binary clauses.
     fn is_locked(&self, cref: CRef) -> bool {
-        let l0 = self.arena.lit(cref, 0);
-        self.vardata[l0.var().index()].reason == Some(cref)
-            && lit_value(&self.assigns, l0) == Value::True
+        let slots = self.arena.len(cref).min(2);
+        (0..slots).any(|i| {
+            let l = self.arena.lit(cref, i);
+            self.vardata[l.var().index()].reason == Some(cref)
+                && lit_value(&self.assigns, l) == Value::True
+        })
     }
 
     fn budget_exhausted(&self) -> bool {
@@ -1040,11 +1413,6 @@ impl Solver {
         }
         if let Some(mp) = self.limits.max_propagations {
             if self.stats.propagations >= mp {
-                return true;
-            }
-        }
-        if let Some(ml) = self.limits.max_live_lits {
-            if self.stats.live_lits >= ml {
                 return true;
             }
         }
@@ -1077,12 +1445,16 @@ impl Solver {
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                // Glue is a property of the pre-backjump assignment:
+                // compute it before `cancel_until` resets the levels.
+                let glue = self.lits_lbd(&learnt);
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let asserting = learnt[0];
                     let cref = self.alloc_clause(&learnt, true);
+                    self.arena.set_lbd(cref, glue);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
@@ -1146,25 +1518,28 @@ enum SearchOutcome {
     Restart,
 }
 
+/// Assigns `p` and records its reason/level — the raw parts of
+/// `unchecked_enqueue`, usable while other solver fields are borrowed
+/// (propagation walks a watch segment as a slice).
+#[inline]
+fn enqueue_raw(
+    assigns: &mut [Value],
+    vardata: &mut [VarData],
+    trail: &mut Vec<Lit>,
+    level: u32,
+    p: Lit,
+    reason: Option<CRef>,
+) {
+    debug_assert_eq!(lit_value(assigns, p), Value::Unassigned);
+    assigns[p.code()] = Value::True;
+    assigns[(!p).code()] = Value::False;
+    vardata[p.var().index()] = VarData { reason, level };
+    trail.push(p);
+}
+
 #[inline]
 fn lit_value(assigns: &[Value], l: Lit) -> Value {
-    match assigns[l.var().index()] {
-        Value::Unassigned => Value::Unassigned,
-        Value::True => {
-            if l.is_positive() {
-                Value::True
-            } else {
-                Value::False
-            }
-        }
-        Value::False => {
-            if l.is_positive() {
-                Value::False
-            } else {
-                Value::True
-            }
-        }
-    }
+    assigns[l.code()]
 }
 
 /// The Luby restart sequence: `luby(y, i)` is `y^k` where `k` follows
@@ -1580,18 +1955,6 @@ mod tests {
     }
 
     #[test]
-    fn memory_limit_yields_unknown() {
-        let (mut s, _) = pigeonhole(8, 7);
-        let base = s.stats().live_lits;
-        s.set_limits(Limits {
-            max_live_lits: Some(base + 8),
-            ..Limits::none()
-        });
-        // Learning quickly exceeds the cap.
-        assert_eq!(s.solve(), SolveResult::Unknown);
-    }
-
-    #[test]
     fn byte_limit_yields_unknown() {
         let (mut s, _) = pigeonhole(8, 7);
         let base = s.stats().live_bytes();
@@ -1634,6 +1997,187 @@ mod tests {
         assert!(s.add_cnf(&cnf));
         assert_eq!(s.num_vars(), 3);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// Regression (ISSUE 3): the binary fast path enqueues the
+    /// watcher's *blocker*, which may live at arena slot 1, but
+    /// `is_locked` used to inspect slot 0 only — so a binary reason
+    /// clause looked free and could be deleted under any reduction
+    /// policy that touches binaries (LBD-aware reduction,
+    /// subsumption). This test fails on the pre-PR solver.
+    #[test]
+    fn binary_reason_locked_via_fast_path() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause([a, b]);
+        let cref = s.clauses[0];
+        assert_eq!(s.arena.lit(cref, 0), a, "sorted: a sits at slot 0");
+        // Decide ¬a; the fast path implies b with the clause as
+        // reason, leaving the implied literal at slot 1.
+        s.new_decision_level();
+        s.unchecked_enqueue(!a, None);
+        assert!(s.propagate().is_none());
+        assert_eq!(s.arena.lit(cref, 1), b, "implied literal is at slot 1");
+        assert_eq!(s.vardata[b.var().index()].reason, Some(cref));
+        assert!(
+            s.is_locked(cref),
+            "a binary clause implying via the fast path is locked"
+        );
+        s.cancel_until(0);
+        assert!(!s.is_locked(cref), "unlocked once the trail is undone");
+    }
+
+    /// Regression (ISSUE 3): deriving the empty clause mid-`simplify`
+    /// used to clear the taken refs vector and return, leaking every
+    /// already-kept and not-yet-visited clause from its owning list
+    /// and desyncing `Stats` from the arena. The solver must end up
+    /// `!ok` but internally consistent.
+    #[test]
+    fn simplify_empty_clause_mid_pass_keeps_lists_consistent() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 6);
+        s.add_clause([v[2], v[3], v[4]]); // kept before the empty one
+        s.add_clause([v[0], v[1]]); // will become empty
+        s.alloc_clause(&[v[4], v[5]], true); // learnt list processed after
+                                             // Falsify v0 and v1 directly, behind propagation's back — the
+                                             // only way a fully-falsified clause can survive to `simplify`
+                                             // with intact watch invariants.
+        s.assigns[v[0].code()] = Value::False;
+        s.assigns[(!v[0]).code()] = Value::True;
+        s.assigns[v[1].code()] = Value::False;
+        s.assigns[(!v[1]).code()] = Value::True;
+        assert!(!s.simplify());
+        assert!(!s.is_ok());
+        // Both lists still own exactly their live clauses...
+        assert_eq!(s.clauses.len(), 1);
+        assert_eq!(s.learnt_refs.len(), 1);
+        for &c in s.clauses.iter().chain(&s.learnt_refs) {
+            assert!(!s.arena.is_freed(c), "lists never hold freed clauses");
+        }
+        // ...and the stats agree with the arena.
+        assert_eq!(s.stats.learnts as usize, s.learnt_refs.len());
+        assert_eq!(s.stats.live_words, s.arena.live_words());
+        let total_lits: usize = s
+            .clauses
+            .iter()
+            .chain(&s.learnt_refs)
+            .map(|&c| s.arena.len(c))
+            .sum();
+        assert_eq!(s.stats.live_lits, total_lits);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn learnt_clauses_record_their_glue() {
+        let (mut s, _) = pigeonhole(6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().learnts > 0 || !s.learnt_refs.is_empty());
+        for &c in &s.learnt_refs {
+            assert!(s.arena.lbd(c) >= 1, "every learnt clause has a glue");
+        }
+    }
+
+    #[test]
+    fn reduce_db_protects_glue_and_spares_locked() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 12);
+        // Arena ballast so the reduction's safe point stays below the
+        // GC threshold and the CRefs below remain stable.
+        for w in v.windows(4).take(8) {
+            s.add_clause(w.iter().copied());
+        }
+        // Three wide, high-LBD learnts with rising activity and one
+        // zero-activity glue clause (LBD 2): the glue clause sorts
+        // weakest but must survive the reduction.
+        let mut wide = Vec::new();
+        for (i, chunk) in v.chunks(3).take(3).enumerate() {
+            let c = s.alloc_clause(chunk, true);
+            s.arena.set_lbd(c, 5);
+            s.arena.set_activity(c, 1.0 + i as f32);
+            wide.push(c);
+        }
+        let glue = s.alloc_clause(&[v[9], v[10], v[11]], true);
+        s.arena.set_lbd(glue, 2);
+        s.reduce_db();
+        assert!(s.learnt_refs.contains(&glue), "glue clause survives");
+        assert!(!s.arena.is_freed(glue));
+        assert!(
+            s.arena.is_freed(wide[0]),
+            "the weakest high-LBD clause is dropped"
+        );
+        assert_eq!(s.stats().removed_clauses, 1);
+        // The lazily-detached watchers must not disturb later solving.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simplify_subsumes_superset_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[1], v[2]]); // subsumed
+        s.add_clause([v[2], v[3]]);
+        assert!(s.simplify());
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s.stats().subsumed_clauses, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simplify_strengthens_by_self_subsumption() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[1], v[2]]); // resolves to (v1 ∨ v2)
+        let lits_before = s.stats().live_lits;
+        assert!(s.simplify());
+        assert_eq!(s.stats().strengthened_lits, 1);
+        assert_eq!(s.stats().live_lits, lits_before - 1);
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn strengthening_to_unit_propagates() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[1]]); // resolves to the unit (v1)
+        s.add_clause([!v[1], v[2]]);
+        assert!(s.simplify());
+        // The strengthened unit fired and propagated through the
+        // implication: v1 and v2 are now top-level facts.
+        assert_eq!(lit_value(&s.assigns, v[1]), Value::True);
+        assert_eq!(lit_value(&s.assigns, v[2]), Value::True);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn learnt_subsumer_never_deletes_problem_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        // A learnt clause subsuming the problem clause must not delete
+        // it (reduce_db may drop the learnt witness later).
+        s.alloc_clause(&[v[0], v[1]], true);
+        assert!(s.simplify());
+        assert_eq!(s.num_clauses(), 1, "problem clause survives");
+        assert_eq!(s.stats().subsumed_clauses, 0);
+    }
+
+    #[test]
+    fn watch_storage_bytes_are_tracked() {
+        let (mut s, _) = pigeonhole(6, 5);
+        assert!(s.stats().watch_resident_bytes > 0);
+        assert_eq!(
+            s.stats().watch_resident_bytes,
+            s.watch_db_resident_bytes(),
+            "stats mirror the live structure"
+        );
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().peak_watch_bytes >= s.stats().watch_resident_bytes);
+        assert!(s.stats().peak_watch_bytes > 0);
     }
 
     #[test]

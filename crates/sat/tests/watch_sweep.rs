@@ -1,0 +1,165 @@
+//! Seeded property sweep for the flat watch-list layout (ISSUE 3).
+//!
+//! Drives the solver through heavy solve / `simplify` (with
+//! subsumption) / aggressive `reduce_db` / explicit `garbage_collect`
+//! cycles — every operation that smudges, cleans, relocates, or
+//! compacts watch segments — and asserts that verdicts still agree
+//! with `brute_force_satisfiable` and that models satisfy the formula.
+//!
+//! Run under `cargo test` this also exercises the debug assertion in
+//! the solver's `free_clause` that no clause locked as a trail
+//! literal's reason is ever freed (the `is_locked` binary-slot
+//! regression of ISSUE 3 is exactly the bug that assertion guards).
+//!
+//! The workspace is dependency-free, so instead of proptest the sweep
+//! runs over a deterministic [`SplitMix64`] stream — reproducible from
+//! the case number on failure.
+
+use sebmc_logic::rng::SplitMix64;
+use sebmc_logic::{Cnf, Lit, Var};
+use sebmc_sat::{SolveResult, Solver};
+
+fn random_clause(rng: &mut SplitMix64, n: usize) -> Vec<Lit> {
+    let len = rng.range_inclusive(1, 4);
+    (0..len)
+        .map(|_| Var::new(rng.below(n) as u32).lit(rng.coin()))
+        .collect()
+}
+
+#[test]
+fn verdicts_survive_heavy_churn_cycles() {
+    for case in 0..60u64 {
+        let mut rng = SplitMix64::new(0x5eed_0003 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let n = rng.range_inclusive(6, 11);
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        // Reduce the learnt database at (almost) every opportunity so
+        // lazy watcher deletion and the glue/locked protections run
+        // constantly, not just on big instances.
+        s.set_max_learnts(1.0);
+        let mut cnf = Cnf::with_vars(n);
+        'rounds: for round in 0..6 {
+            for _ in 0..rng.range_inclusive(2, 10) {
+                let c = random_clause(&mut rng, n);
+                cnf.add_clause(c.iter().copied());
+                s.add_clause(c);
+            }
+            let got = if s.is_ok() {
+                s.solve()
+            } else {
+                SolveResult::Unsat
+            };
+            let expect = cnf.brute_force_satisfiable();
+            assert_eq!(
+                got.is_sat(),
+                expect,
+                "case {case} round {round}: verdict diverged from brute force"
+            );
+            if !expect {
+                // Once UNSAT without assumptions, always UNSAT.
+                assert_eq!(s.solve(), SolveResult::Unsat);
+                break 'rounds;
+            }
+            let model: Vec<bool> = (0..n)
+                .map(|i| s.value(Var::new(i as u32)).unwrap_or(false))
+                .collect();
+            assert!(
+                cnf.eval(&model),
+                "case {case} round {round}: model must satisfy the formula"
+            );
+            // Churn: level-0 simplification (satisfied-clause removal,
+            // literal stripping, subsumption/strengthening) followed
+            // by a forced arena compaction that rewrites every watch.
+            assert!(s.simplify(), "case {case}: simplify on a SAT formula");
+            s.garbage_collect();
+        }
+    }
+}
+
+/// The jSAT blocking-clause workload: guarded clause groups retired
+/// through `simplify`, interleaved with solving — the watch lists are
+/// rebuilt wholesale each retraction while memory stays flat.
+#[test]
+fn activation_retraction_churn_keeps_accounting_flat() {
+    let mut rng = SplitMix64::new(0xb10c_cafe);
+    let mut s = Solver::new();
+    let n = 24;
+    let v: Vec<Lit> = (0..n).map(|_| s.new_var().positive()).collect();
+    for w in v.windows(2) {
+        s.add_clause([!w[0], w[1]]);
+    }
+    let base_lits = s.stats().live_lits;
+    for round in 0..20 {
+        let act = s.new_var().positive();
+        // A guarded block of wide clauses, jSAT style.
+        for _ in 0..8 {
+            let mut c = vec![!act];
+            for _ in 0..5 {
+                c.push(v[rng.below(n)]);
+            }
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve_with(&[act]), SolveResult::Sat, "round {round}");
+        // Retire the whole block and physically reclaim it.
+        s.add_clause([!act]);
+        assert!(s.simplify());
+        s.garbage_collect();
+        assert_eq!(
+            s.clause_db_resident_bytes(),
+            s.clause_db_live_bytes(),
+            "round {round}: post-GC arena is garbage-free"
+        );
+        assert!(
+            s.stats().live_lits <= base_lits,
+            "round {round}: retired blocks must not accumulate \
+             ({} live lits, base {base_lits})",
+            s.stats().live_lits
+        );
+        assert!(s.stats().watch_resident_bytes > 0);
+        assert!(s.stats().peak_watch_bytes >= s.stats().watch_resident_bytes);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+/// Incremental solving under assumptions across churn cycles: the
+/// failed-assumption core machinery must survive watch-list cleaning
+/// and compaction too.
+#[test]
+fn assumption_cores_survive_churn() {
+    for case in 0..20u64 {
+        let mut rng = SplitMix64::new(0xc0de ^ case.wrapping_mul(0x9e37_79b9));
+        let n = rng.range_inclusive(5, 9);
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        s.set_max_learnts(1.0);
+        let mut cnf = Cnf::with_vars(n);
+        for _ in 0..rng.range_inclusive(5, 20) {
+            let c = random_clause(&mut rng, n);
+            cnf.add_clause(c.iter().copied());
+            s.add_clause(c);
+        }
+        if !s.is_ok() {
+            continue;
+        }
+        assert!(s.simplify() || !s.is_ok());
+        if !s.is_ok() {
+            continue;
+        }
+        let assumption = Var::new(rng.below(n) as u32).lit(rng.coin());
+        match s.solve_with(&[assumption]) {
+            SolveResult::Sat => {
+                assert_eq!(s.lit_value_model(assumption), Some(true), "case {case}");
+            }
+            SolveResult::Unsat => {
+                // The reported core must itself be sufficient.
+                let core = s.failed_assumptions().to_vec();
+                assert!(core.iter().all(|l| *l == assumption), "case {case}");
+                assert_eq!(s.solve_with(&core), SolveResult::Unsat, "case {case}");
+            }
+            SolveResult::Unknown => unreachable!("no limits set"),
+        }
+        // The solver stays usable for an unassumed solve afterwards.
+        let expect = cnf.brute_force_satisfiable();
+        assert_eq!(s.solve().is_sat(), expect, "case {case}: post-core solve");
+    }
+}

@@ -168,7 +168,7 @@ fn print_json(
         "{{\"verdict\":\"{}\",\"reason\":{},\"bound\":{},\"engine\":\"{}\",\"semantics\":\"{}\",\
          \"stats\":{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
          \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
-         \"solver_effort\":{},\"bounds_checked\":{}}}}}",
+         \"peak_watch_bytes\":{},\"solver_effort\":{},\"bounds_checked\":{}}}}}",
         json_escape(verdict),
         reason_s,
         bound_s,
@@ -180,6 +180,7 @@ fn print_json(
         stats.encode_lits,
         stats.peak_formula_lits,
         stats.peak_formula_bytes,
+        stats.peak_watch_bytes,
         stats.solver_effort,
         stats.bounds_checked,
     );

@@ -181,6 +181,7 @@ fn json_output_is_one_object_with_stats() {
         "\"bound\":3",
         "\"engine\":\"unroll\"",
         "\"peak_formula_bytes\":",
+        "\"peak_watch_bytes\":",
         "\"solver_effort\":",
         "\"bounds_checked\":",
     ] {
