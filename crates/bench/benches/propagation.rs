@@ -12,66 +12,8 @@
 //! a machine-readable summary (used for `BENCH_pr1.json`).
 
 use sebmc_bench::microbench::{print_json, run};
-use sebmc_logic::Lit;
-use sebmc_sat::{SolveResult, Solver};
-
-/// Builds the chain instance: `chains` disjoint implication chains of
-/// `len` variables each, plus one ternary clause per chain link
-/// (¬xᵢ ∨ ¬xⱼ ∨ xₖ with k later in the chain, satisfied by the forced
-/// assignment but watched throughout the cascade).
-fn chain_instance(chains: usize, len: usize) -> (Solver, Vec<Lit>) {
-    assert!(len >= 6);
-    let mut s = Solver::new();
-    let mut heads = Vec::with_capacity(chains);
-    for _ in 0..chains {
-        let vars: Vec<Lit> = (0..len).map(|_| s.new_var().positive()).collect();
-        heads.push(vars[0]);
-        for w in vars.windows(2) {
-            s.add_clause([!w[0], w[1]]);
-        }
-        // Satisfied-by-the-cascade side clauses whose watchers must be
-        // visited (and moved) as the chain fires: two ternaries and one
-        // 5-ary per link, i.e. ~40% binary clauses overall.
-        for i in 0..len - 5 {
-            s.add_clause([!vars[i], !vars[i + 1], vars[i + 3]]);
-            s.add_clause([!vars[i + 1], !vars[i], vars[i + 4]]);
-            s.add_clause([
-                !vars[i],
-                !vars[i + 2],
-                !vars[i + 3],
-                !vars[i + 1],
-                vars[i + 5],
-            ]);
-        }
-    }
-    (s, heads)
-}
-
-/// A watch-churn instance: wide clauses over shuffled variables whose
-/// watchers must migrate between lists throughout every cascade — the
-/// worst case for the watch layout's push/relocate path, as opposed to
-/// the chain instances' scan-dominated walks.
-fn churn_instance(vars: usize, width: usize) -> (Solver, Vec<Lit>) {
-    use sebmc_logic::rng::SplitMix64;
-    let mut rng = SplitMix64::new(0xc4a2_a11e);
-    let mut s = Solver::new();
-    let v: Vec<Lit> = (0..vars).map(|_| s.new_var().positive()).collect();
-    // An implication spine forces the full assignment…
-    for w in v.windows(2) {
-        s.add_clause([!w[0], w[1]]);
-    }
-    // …and wide satisfied-late clauses keep watchers migrating: every
-    // literal is the negation of a spine variable except one far-ahead
-    // positive, so each cascade falsifies watch after watch.
-    for _ in 0..vars * 2 {
-        let mut c: Vec<Lit> = (0..width - 1)
-            .map(|_| !v[rng.below(vars * 3 / 4)])
-            .collect();
-        c.push(v[vars - 1 - rng.below(vars / 8)]);
-        s.add_clause(c);
-    }
-    (s, vec![v[0]])
-}
+use sebmc_bench::workloads::{chain_instance, churn_instance};
+use sebmc_sat::SolveResult;
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");

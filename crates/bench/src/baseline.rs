@@ -1,0 +1,98 @@
+//! Reading checked-in benchmark baselines (`BENCH_pr*.json`).
+//!
+//! The workspace is dependency-free, so instead of a JSON parser this
+//! extracts exactly what the perf gate needs: every object carrying
+//! both a `"name"` and a `"median_ns"` field (the shape
+//! [`crate::microbench::Sample::to_json`] writes into the
+//! `engine_benches` arrays of the baseline files). Nested summary
+//! objects without a `"name"` are skipped.
+
+/// Extracts `(name, median_ns)` pairs from a baseline JSON document.
+pub fn extract_medians(json: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    // Each candidate object lies between a '{' and the next '}'.
+    for fragment in json.split('{') {
+        let object = fragment.split('}').next().unwrap_or("");
+        if let (Some(name), Some(median)) =
+            (field_str(object, "name"), field_u128(object, "median_ns"))
+        {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+/// The median recorded for `name`, if the document has one.
+pub fn baseline_median(json: &str, name: &str) -> Option<u128> {
+    extract_medians(json)
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, m)| m)
+}
+
+/// The text following `"key":` (any whitespace around the colon).
+fn field_value<'a>(object: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let after_key = &object[object.find(&pat)? + pat.len()..];
+    let after_colon = after_key.trim_start().strip_prefix(':')?;
+    Some(after_colon.trim_start())
+}
+
+fn field_str(object: &str, key: &str) -> Option<String> {
+    let rest = field_value(object, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_u128(object: &str, key: &str) -> Option<u128> {
+    let digits: String = field_value(object, key)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "note": "summary objects without a name are skipped",
+      "summary": { "binary_chain_30k_median_ns": 1007000 },
+      "engine_benches": [
+        { "name": "propagation/binary_chain_30k", "median_ns": 881364, "samples": 30 },
+        {
+          "name": "propagation/watch_churn_4k_w8",
+          "median_ns": 75842,
+          "samples": 30
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn extracts_named_medians_only() {
+        let got = extract_medians(DOC);
+        assert_eq!(
+            got,
+            vec![
+                ("propagation/binary_chain_30k".to_string(), 881364),
+                ("propagation/watch_churn_4k_w8".to_string(), 75842),
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(
+            baseline_median(DOC, "propagation/watch_churn_4k_w8"),
+            Some(75842)
+        );
+        assert_eq!(baseline_median(DOC, "missing"), None);
+    }
+
+    #[test]
+    fn round_trips_a_sample() {
+        let s = crate::microbench::run("gate/selftest", 0, 3, || 1 + 1);
+        let json = format!("[{}]", s.to_json());
+        assert_eq!(baseline_median(&json, "gate/selftest"), Some(s.median_ns));
+    }
+}

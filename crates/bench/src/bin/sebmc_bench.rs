@@ -1,0 +1,147 @@
+//! `sebmc_bench` — the CI perf-regression gate.
+//!
+//! Re-runs the propagation and watch-layout microbenches (the exact
+//! workloads of `cargo bench --bench propagation`, built from
+//! [`sebmc_bench::workloads`]) and compares the fresh medians against
+//! the checked-in baselines (`BENCH_pr1.json`, `BENCH_pr3.json`).
+//! Absolute nanoseconds drift between machines, so the tolerance is
+//! deliberately generous: the gate fails only on a **> 1.5×** slowdown
+//! against the *slowest* checked-in baseline for each bench.
+//!
+//! ```text
+//! sebmc_bench [--samples N] [--tolerance-pct P] [--out FILE]
+//! ```
+//!
+//! * `--samples N` — timed iterations per bench (default 20).
+//! * `--tolerance-pct P` — allowed slowdown in percent (default 150,
+//!   i.e. fail above 1.5× the baseline median).
+//! * `--out FILE` — also write the fresh samples as a JSON array
+//!   (uploaded as a CI artifact so regressions can be bisected against
+//!   real numbers, and new baselines can be minted from a green run).
+//!
+//! Exit code: 0 when every bench is within tolerance, 1 otherwise,
+//! 2 when no baseline file provides a median for a bench (a rename
+//! must update the baselines, not silently skip the gate).
+
+use std::process::ExitCode;
+
+use sebmc_bench::baseline::baseline_median;
+use sebmc_bench::microbench::{run, Sample};
+use sebmc_bench::workloads::{chain_instance, churn_instance};
+use sebmc_bench::{flag, flag_u64};
+use sebmc_sat::SolveResult;
+
+/// The checked-in baseline files, in the order they were minted.
+const BASELINE_FILES: [&str; 2] = ["BENCH_pr1.json", "BENCH_pr3.json"];
+
+/// The slowest median any checked-in baseline records for `name`
+/// (machines differ; the gate must not fail because the CI runner is
+/// slower than the box that minted the tightest baseline).
+fn slowest_baseline(docs: &[(String, String)], name: &str) -> Option<u128> {
+    docs.iter()
+        .filter_map(|(_, json)| baseline_median(json, name))
+        .max()
+}
+
+fn main() -> ExitCode {
+    let samples = flag_u64("samples", 20) as usize;
+    let tolerance_pct = flag_u64("tolerance-pct", 150);
+    let out_path = flag("out");
+
+    // Locate the baselines from the workspace root or the crate dir.
+    let docs: Vec<(String, String)> = BASELINE_FILES
+        .iter()
+        .filter_map(|f| {
+            let candidates = [f.to_string(), format!("../../{f}")];
+            candidates
+                .iter()
+                .find_map(|p| std::fs::read_to_string(p).ok())
+                .map(|json| (f.to_string(), json))
+        })
+        .collect();
+    if docs.is_empty() {
+        eprintln!("sebmc_bench: no baseline file found (looked for {BASELINE_FILES:?})");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "sebmc_bench: {} baseline file(s), {} samples/bench, tolerance {}%",
+        docs.len(),
+        samples,
+        tolerance_pct
+    );
+
+    // The same three workloads the propagation bench measures.
+    let (mut chain, chain_heads) = chain_instance(300, 100);
+    assert_eq!(chain.solve_with(&chain_heads), SolveResult::Sat);
+    let (mut dense, dense_heads) = chain_instance(1000, 20);
+    assert_eq!(dense.solve_with(&dense_heads), SolveResult::Sat);
+    let (mut churn, churn_heads) = churn_instance(4000, 8);
+    assert_eq!(churn.solve_with(&churn_heads), SolveResult::Sat);
+
+    let fresh: Vec<Sample> = vec![
+        run("propagation/binary_chain_30k", 3, samples, || {
+            chain.solve_with(&chain_heads)
+        }),
+        run("propagation/binary_chain_dense_20k", 3, samples, || {
+            dense.solve_with(&dense_heads)
+        }),
+        run("propagation/watch_churn_4k_w8", 3, samples, || {
+            churn.solve_with(&churn_heads)
+        }),
+    ];
+
+    if let Some(path) = &out_path {
+        let body = format!(
+            "[\n{}\n]\n",
+            fresh
+                .iter()
+                .map(|s| format!("  {}", s.to_json()))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("sebmc_bench: cannot write '{path}': {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("sebmc_bench: fresh samples written to {path}");
+    }
+
+    let mut failed = false;
+    for s in &fresh {
+        let Some(base) = slowest_baseline(&docs, &s.name) else {
+            eprintln!(
+                "sebmc_bench: FAIL {} — no baseline median in {:?} \
+                 (renamed bench? update the baselines)",
+                s.name,
+                docs.iter().map(|(f, _)| f.as_str()).collect::<Vec<_>>()
+            );
+            return ExitCode::from(2);
+        };
+        let limit = base.saturating_mul(tolerance_pct as u128) / 100;
+        let ratio = s.median_ns as f64 / base as f64;
+        let verdict = if s.median_ns > limit {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "sebmc_bench: {verdict:>4} {:<40} fresh {:>10} ns vs baseline {:>10} ns ({ratio:.2}x, limit {:.2}x)",
+            s.name,
+            s.median_ns,
+            base,
+            tolerance_pct as f64 / 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "sebmc_bench: performance regression gate FAILED \
+             (>{:.2}x slowdown vs checked-in baselines)",
+            tolerance_pct as f64 / 100.0
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!("sebmc_bench: gate passed");
+        ExitCode::SUCCESS
+    }
+}

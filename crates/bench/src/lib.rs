@@ -12,7 +12,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod microbench;
+pub mod workloads;
 
 use std::time::Duration;
 

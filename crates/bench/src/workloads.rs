@@ -1,0 +1,85 @@
+//! Solver workload builders shared by the microbenches and the CI
+//! perf-regression gate (`sebmc_bench`).
+//!
+//! Both must measure the *same* instances: the gate compares fresh
+//! medians against checked-in baselines produced by the benches, so a
+//! drifting workload would fail (or pass) for the wrong reason.
+
+use sebmc_logic::rng::SplitMix64;
+use sebmc_logic::Lit;
+use sebmc_sat::Solver;
+
+/// Builds the chain instance: `chains` disjoint implication chains of
+/// `len` variables each, plus satisfied-by-the-cascade side clauses
+/// whose watchers must be visited (and moved) as the chains fire — two
+/// ternaries and one 5-ary per link, i.e. ~40% binary clauses overall.
+/// Returns the solver and the chain-head assumptions that force the
+/// full assignment by BCP alone.
+pub fn chain_instance(chains: usize, len: usize) -> (Solver, Vec<Lit>) {
+    assert!(len >= 6);
+    let mut s = Solver::new();
+    let mut heads = Vec::with_capacity(chains);
+    for _ in 0..chains {
+        let vars: Vec<Lit> = (0..len).map(|_| s.new_var().positive()).collect();
+        heads.push(vars[0]);
+        for w in vars.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        for i in 0..len - 5 {
+            s.add_clause([!vars[i], !vars[i + 1], vars[i + 3]]);
+            s.add_clause([!vars[i + 1], !vars[i], vars[i + 4]]);
+            s.add_clause([
+                !vars[i],
+                !vars[i + 2],
+                !vars[i + 3],
+                !vars[i + 1],
+                vars[i + 5],
+            ]);
+        }
+    }
+    (s, heads)
+}
+
+/// A watch-churn instance: wide clauses over shuffled variables whose
+/// watchers must migrate between lists throughout every cascade — the
+/// worst case for the watch layout's push/relocate path, as opposed to
+/// the chain instances' scan-dominated walks.
+pub fn churn_instance(vars: usize, width: usize) -> (Solver, Vec<Lit>) {
+    let mut rng = SplitMix64::new(0xc4a2_a11e);
+    let mut s = Solver::new();
+    let v: Vec<Lit> = (0..vars).map(|_| s.new_var().positive()).collect();
+    // An implication spine forces the full assignment…
+    for w in v.windows(2) {
+        s.add_clause([!w[0], w[1]]);
+    }
+    // …and wide satisfied-late clauses keep watchers migrating: every
+    // literal is the negation of a spine variable except one far-ahead
+    // positive, so each cascade falsifies watch after watch.
+    for _ in 0..vars * 2 {
+        let mut c: Vec<Lit> = (0..width - 1)
+            .map(|_| !v[rng.below(vars * 3 / 4)])
+            .collect();
+        c.push(v[vars - 1 - rng.below(vars / 8)]);
+        s.add_clause(c);
+    }
+    (s, vec![v[0]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_sat::SolveResult;
+
+    #[test]
+    fn chain_instance_is_forced_sat() {
+        let (mut s, heads) = chain_instance(5, 10);
+        assert_eq!(s.solve_with(&heads), SolveResult::Sat);
+        assert_eq!(s.stats().conflicts, 0, "pure BCP, no search");
+    }
+
+    #[test]
+    fn churn_instance_is_forced_sat() {
+        let (mut s, heads) = churn_instance(200, 8);
+        assert_eq!(s.solve_with(&heads), SolveResult::Sat);
+    }
+}

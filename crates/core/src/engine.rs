@@ -385,6 +385,18 @@ pub trait Session: Send {
         true
     }
 
+    /// Replaces the session's [`CancelToken`] for all *subsequent*
+    /// `check_bound` calls, leaving the rest of the budget (deadline,
+    /// byte cap) untouched.
+    ///
+    /// A fired token can never be un-fired, so a harness that wants to
+    /// abort *one* bounded check without killing the whole session must
+    /// arm a fresh child token before each call — this is what makes
+    /// **portfolio-level deepening** possible: the per-bound race token
+    /// cancels this bound's losers, and the next bound re-arms every
+    /// session with a new token, solver state intact.
+    fn set_cancel(&mut self, token: CancelToken);
+
     /// Aggregate stats across every `check_bound` call so far:
     /// durations and solver effort summed, formula sizes and memory
     /// peaks maxed.

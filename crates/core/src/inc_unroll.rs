@@ -265,6 +265,10 @@ impl Session for IncrementalUnroll {
         IncrementalUnroll::check_bound(self, k)
     }
 
+    fn set_cancel(&mut self, token: crate::engine::CancelToken) {
+        self.budget.cancel = token;
+    }
+
     fn cumulative_stats(&self) -> RunStats {
         self.total.clone()
     }

@@ -62,7 +62,10 @@ pub use inc_unroll::IncrementalUnroll;
 pub use incremental::{find_shortest_witness, DeepeningResult};
 pub use induction::{k_induction, k_induction_run, InductionResult, InductionRun};
 pub use jsat::{JSat, JSatConfig, JSatSession, JSatStats};
-pub use portfolio::{first_decided, run_portfolio, PortfolioEntry};
+pub use portfolio::{
+    first_decided, portfolio_stats, run_portfolio, DeepeningPortfolio, PortfolioBoundOutcome,
+    PortfolioEntry,
+};
 pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear, QbfLinearSession};
 pub use squaring::{encode_qbf_squaring, QbfSquaring, QbfSquaringSession};
 pub use unroll::{encode_unrolled, UnrollSat, UnrolledCnf};

@@ -1,33 +1,69 @@
-//! Parallel engine portfolio with first-winner cancellation.
+//! Parallel engine portfolios with first-winner cancellation.
 //!
-//! Runs several engines on the same instance in parallel OS threads.
-//! All sessions race on one child [`CancelToken`](crate::CancelToken):
-//! the moment any engine reaches a decided verdict it fires that
-//! token, and the losers abort at their next safe point instead of
-//! burning the rest of their budget — so the harness returns in
-//! roughly the fastest engine's time. The caller's own token (in the
-//! passed [`Budget`]) is only read, never fired, so the budget stays
-//! reusable; an external cancellation still propagates into the race.
-//! A panicking engine is caught and surfaced as
-//! [`BmcResult::Unknown`] rather than taking the whole portfolio
-//! down.
+//! Two harnesses live here:
+//!
+//! * [`run_portfolio`] — the **whole-run** race: every engine opens a
+//!   fresh session on one `(model, k)` instance, the first decided
+//!   verdict cancels the rest. One race, then all sessions are gone.
+//! * [`DeepeningPortfolio`] — **portfolio-level deepening**: every
+//!   engine opens one *live* session, and each bound is raced
+//!   individually on a fresh child [`CancelToken`]. The first decided
+//!   verdict of a bound cancels that bound's losers *without killing
+//!   their sessions* ([`Session::set_cancel`] re-arms them before the
+//!   next bound), so the losers keep their solver state — learnt
+//!   clauses, frames, failed-state caches — and stay competitive at
+//!   deeper bounds. This is the per-bound sharing step beyond the
+//!   whole-run races: the service layer drives it over a job queue.
+//!
+//! Both harnesses race on a **child** token; the caller's own token
+//! (in the passed [`Budget`]) is only read, never fired, so the budget
+//! stays reusable. An external cancellation still propagates into the
+//! race. A panicking engine is caught and surfaced as
+//! [`BmcResult::Unknown`] rather than taking the whole portfolio down,
+//! and cancelled losers report their partial [`RunStats`] (via
+//! [`PortfolioEntry::cumulative`]) so racing effort can be accounted
+//! honestly.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use sebmc_model::Model;
 
-use crate::engine::{BmcOutcome, BmcResult, Budget, Engine, RunStats, Semantics};
+use crate::engine::{
+    BmcOutcome, BmcResult, Budget, CancelToken, Engine, RunStats, Semantics, Session,
+};
+
+/// How often the race harnesses poll for an external cancellation of
+/// the caller's budget while waiting on engine replies.
+const BRIDGE_POLL: Duration = Duration::from_millis(2);
 
 /// The outcome of one engine inside a portfolio run.
 #[derive(Debug)]
 pub struct PortfolioEntry {
     /// Engine name.
     pub engine: &'static str,
-    /// The engine's outcome. Cancelled losers report
-    /// `Unknown("cancelled")`; a panicking engine reports
+    /// The engine's outcome for the raced instance/bound. Cancelled
+    /// losers report `Unknown("cancelled")`; a panicking engine reports
     /// `Unknown("engine panicked: …")`.
     pub outcome: BmcOutcome,
+    /// The engine session's cumulative stats *including* this race —
+    /// present even when the engine lost and was cancelled mid-solve,
+    /// so the effort burnt by losers is never dropped from the
+    /// accounting ([`portfolio_stats`] sums it).
+    pub cumulative: RunStats,
+}
+
+/// Aggregates the racing effort of a portfolio honestly: every entry's
+/// cumulative stats — winners *and* cancelled losers — folded with
+/// [`RunStats::absorb`] (durations/effort summed, sizes/peaks maxed).
+pub fn portfolio_stats(entries: &[PortfolioEntry]) -> RunStats {
+    let mut total = RunStats::default();
+    for e in entries {
+        total.absorb(&e.cumulative);
+    }
+    total
 }
 
 /// Renders a panic payload (the argument of `panic!`) as text.
@@ -46,11 +82,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// The race runs on a **child** token: the first engine to decide
 /// fires it, cancelling the rest, while the caller's own
-/// [`CancelToken`](crate::CancelToken) is only ever *read* (a bridge
-/// propagates an external cancellation into the race), never fired —
-/// so the passed `budget` stays usable for subsequent runs. Engines
-/// that panic are reported as Unknown instead of propagating the
-/// panic.
+/// [`CancelToken`] is only ever *read* (a bridge propagates an
+/// external cancellation into the race), never fired — so the passed
+/// `budget` stays usable for subsequent runs. Engines that panic are
+/// reported as Unknown instead of propagating the panic; cancelled
+/// losers still surface their partial stats in
+/// [`PortfolioEntry::cumulative`].
 pub fn run_portfolio(
     model: &Model,
     k: usize,
@@ -59,7 +96,7 @@ pub fn run_portfolio(
     budget: Budget,
 ) -> Vec<PortfolioEntry> {
     let caller = budget.cancel_token();
-    let race = crate::engine::CancelToken::new();
+    let race = CancelToken::new();
     thread::scope(|s| {
         // Bridge: an external cancellation of the caller's budget must
         // still stop the race. Polled coarsely; the bridge exits as
@@ -74,7 +111,7 @@ pub fn run_portfolio(
                         race.cancel();
                         break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    std::thread::sleep(Duration::from_millis(5));
                 }
             });
         }
@@ -86,28 +123,37 @@ pub fn run_portfolio(
                 s.spawn(move || {
                     let name = Engine::name(engine.as_ref());
                     let run = catch_unwind(AssertUnwindSafe(|| {
-                        engine.start(model, semantics, budget).check_bound(k)
+                        let mut session = engine.start(model, semantics, budget);
+                        let outcome = session.check_bound(k);
+                        // Even a cancelled loser's session has exact
+                        // accumulated stats — keep them.
+                        let cumulative = session.cumulative_stats();
+                        (outcome, cumulative)
                     }));
-                    let outcome = match run {
-                        Ok(outcome) => {
+                    let (outcome, cumulative) = match run {
+                        Ok((outcome, cumulative)) => {
                             if !outcome.result.is_unknown() {
                                 // Decided: the rest of the portfolio can
                                 // stop working on this instance.
                                 race.cancel();
                             }
-                            outcome
+                            (outcome, cumulative)
                         }
-                        Err(payload) => BmcOutcome {
-                            result: BmcResult::Unknown(format!(
-                                "engine panicked: {}",
-                                panic_message(payload.as_ref())
-                            )),
-                            stats: RunStats::default(),
-                        },
+                        Err(payload) => (
+                            BmcOutcome {
+                                result: BmcResult::Unknown(format!(
+                                    "engine panicked: {}",
+                                    panic_message(payload.as_ref())
+                                )),
+                                stats: RunStats::default(),
+                            },
+                            RunStats::default(),
+                        ),
                     };
                     PortfolioEntry {
                         engine: name,
                         outcome,
+                        cumulative,
                     }
                 })
             })
@@ -127,6 +173,7 @@ pub fn run_portfolio(
                         )),
                         stats: RunStats::default(),
                     },
+                    cumulative: RunStats::default(),
                 },
             })
             .collect();
@@ -141,6 +188,365 @@ pub fn run_portfolio(
 /// if any, together with the engine that produced it.
 pub fn first_decided(entries: &[PortfolioEntry]) -> Option<&PortfolioEntry> {
     entries.iter().find(|e| !e.outcome.result.is_unknown())
+}
+
+/// The raced outcome of one bound of a [`DeepeningPortfolio`].
+#[derive(Debug)]
+pub struct PortfolioBoundOutcome {
+    /// Per-engine entries, in the portfolio's engine order. Losers
+    /// report `Unknown("cancelled")` with their partial stats attached.
+    pub entries: Vec<PortfolioEntry>,
+    /// Index (into `entries`) of the engine whose decided verdict won
+    /// the race, if any engine decided.
+    pub winner: Option<usize>,
+    /// Whether at least one engine supports this bound at all
+    /// (a portfolio of only iterative squaring cannot decide bound 3;
+    /// deepening loops should *skip* such bounds, not give up).
+    pub supported: bool,
+}
+
+impl PortfolioBoundOutcome {
+    /// The shared verdict of the bound: the winner's result, or the
+    /// first entry's `Unknown` when nobody decided.
+    pub fn verdict(&self) -> &BmcResult {
+        match self.winner {
+            Some(i) => &self.entries[i].outcome.result,
+            None => &self.entries[0].outcome.result,
+        }
+    }
+
+    /// The winning entry, if any engine decided the bound.
+    pub fn winning_entry(&self) -> Option<&PortfolioEntry> {
+        self.winner.map(|i| &self.entries[i])
+    }
+}
+
+/// A command for one engine worker of a [`DeepeningPortfolio`].
+enum Cmd {
+    /// Race bound `k` under the given per-bound child token.
+    Check { k: usize, race: CancelToken },
+    /// Shut the worker down (drop its session, exit the thread).
+    Finish,
+}
+
+/// One engine worker's reply to a [`Cmd::Check`].
+struct BoundReply {
+    idx: usize,
+    supported: bool,
+    outcome: BmcOutcome,
+    cumulative: RunStats,
+}
+
+/// One engine worker of a [`DeepeningPortfolio`]: a dedicated OS
+/// thread owning one live [`Session`].
+struct PortfolioWorker {
+    name: &'static str,
+    cmd: mpsc::Sender<Cmd>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+/// Portfolio-level deepening: one live session per engine, every bound
+/// raced individually on a fresh child [`CancelToken`], the first
+/// decided verdict shared.
+///
+/// Unlike [`run_portfolio`] (which drops all sessions after a single
+/// race), the losers of a bound keep their solver state — the next
+/// [`DeepeningPortfolio::check_bound`] re-arms every session with a
+/// new child token ([`Session::set_cancel`]) and races them again.
+/// An engine whose session panics is retired for the rest of the run
+/// (reported as `Unknown("engine panicked: …")` per bound); its last
+/// known cumulative stats stay in the accounting.
+///
+/// The caller's [`Budget`] token is only *read*: an external
+/// cancellation (or the budget deadline) aborts the current bound's
+/// race promptly, but the portfolio never fires the caller's token.
+///
+/// ```
+/// use sebmc::{Budget, DeepeningPortfolio, Engine, JSat, Semantics, UnrollSat};
+/// use sebmc_model::builders::shift_register;
+///
+/// let model = shift_register(4);
+/// let engines: Vec<Box<dyn Engine + Send>> =
+///     vec![Box::new(UnrollSat::default()), Box::new(JSat::default())];
+/// let mut p = DeepeningPortfolio::start(&model, Semantics::Exactly, engines, Budget::none());
+/// for k in 0..4 {
+///     assert!(p.check_bound(k).verdict().is_unreachable());
+/// }
+/// assert!(p.check_bound(4).verdict().is_reachable());
+/// ```
+pub struct DeepeningPortfolio {
+    workers: Vec<PortfolioWorker>,
+    results: mpsc::Receiver<BoundReply>,
+    budget: Budget,
+    started: Instant,
+    /// Last known cumulative stats per engine, refreshed on every
+    /// reply (kept even after a worker's session panics).
+    last_cumulative: Vec<RunStats>,
+    bounds_raced: usize,
+}
+
+impl DeepeningPortfolio {
+    /// Opens one live session per engine (each on its own thread) and
+    /// starts the shared budget clock.
+    ///
+    /// # Panics
+    /// Panics if `engines` is empty.
+    pub fn start(
+        model: &Model,
+        semantics: Semantics,
+        engines: Vec<Box<dyn Engine + Send>>,
+        budget: Budget,
+    ) -> Self {
+        assert!(!engines.is_empty(), "a portfolio needs at least one engine");
+        let (tx, results) = mpsc::channel::<BoundReply>();
+        let n = engines.len();
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(idx, engine)| {
+                let name = Engine::name(engine.as_ref());
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                let model = model.clone();
+                let budget = budget.clone();
+                let tx = tx.clone();
+                let join = thread::spawn(move || {
+                    worker_loop(idx, engine, model, semantics, budget, cmd_rx, tx)
+                });
+                PortfolioWorker {
+                    name,
+                    cmd: cmd_tx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        DeepeningPortfolio {
+            workers,
+            results,
+            budget,
+            started: Instant::now(),
+            last_cumulative: vec![RunStats::default(); n],
+            bounds_raced: 0,
+        }
+    }
+
+    /// Engine names, in portfolio order.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.workers.iter().map(|w| w.name).collect()
+    }
+
+    /// Number of `check_bound` races run so far.
+    pub fn bounds_raced(&self) -> usize {
+        self.bounds_raced
+    }
+
+    /// Races every live session on bound `k` under a fresh child token
+    /// and returns all entries plus the winner.
+    ///
+    /// The first decided verdict fires the child token; losers abort at
+    /// their next safe point and *survive* into the next bound. If the
+    /// caller's budget expires (deadline or external token) mid-race,
+    /// the bound is aborted the same way.
+    pub fn check_bound(&mut self, k: usize) -> PortfolioBoundOutcome {
+        self.bounds_raced += 1;
+        let race = CancelToken::new();
+        let n = self.workers.len();
+        let mut slots: Vec<Option<(bool, BmcOutcome)>> = (0..n).map(|_| None).collect();
+        // Only workers that actually received the command will reply;
+        // waiting on a dead worker's reply would hang the race forever.
+        let mut pending = 0usize;
+        for w in &self.workers {
+            if w.cmd
+                .send(Cmd::Check {
+                    k,
+                    race: race.clone(),
+                })
+                .is_ok()
+            {
+                pending += 1;
+            }
+        }
+        let mut winner: Option<usize> = None;
+        while pending > 0 {
+            match self.results.recv_timeout(BRIDGE_POLL) {
+                Ok(reply) => {
+                    self.last_cumulative[reply.idx] = reply.cumulative;
+                    if winner.is_none() && !reply.outcome.result.is_unknown() {
+                        winner = Some(reply.idx);
+                        // Decided: this bound's losers can stop.
+                        race.cancel();
+                    }
+                    slots[reply.idx] = Some((reply.supported, reply.outcome));
+                    pending -= 1;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Bridge the caller's budget into the race: an
+                    // external cancellation or the shared deadline
+                    // aborts this bound promptly.
+                    if self.budget.expired(self.started) {
+                        race.cancel();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Release any straggler (idempotent if already fired).
+        race.cancel();
+        let mut supported = false;
+        let entries = slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                let (sup, outcome) = slot.unwrap_or((
+                    false,
+                    BmcOutcome::unknown("engine worker exited", RunStats::default()),
+                ));
+                supported |= sup;
+                PortfolioEntry {
+                    engine: self.workers[idx].name,
+                    outcome,
+                    cumulative: self.last_cumulative[idx].clone(),
+                }
+            })
+            .collect();
+        PortfolioBoundOutcome {
+            entries,
+            winner,
+            supported,
+        }
+    }
+
+    /// Per-engine cumulative stats (engine name, session totals) as of
+    /// the last race each engine replied to.
+    pub fn engine_stats(&self) -> Vec<(&'static str, RunStats)> {
+        self.workers
+            .iter()
+            .zip(&self.last_cumulative)
+            .map(|(w, s)| (w.name, s.clone()))
+            .collect()
+    }
+
+    /// The portfolio's total racing effort: every engine's cumulative
+    /// stats folded with [`RunStats::absorb`] — durations and solver
+    /// effort *summed* across engines (losers included, so the cost of
+    /// racing is never hidden), sizes and peaks maxed.
+    pub fn cumulative_stats(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for s in &self.last_cumulative {
+            total.absorb(s);
+        }
+        total
+    }
+}
+
+impl Drop for DeepeningPortfolio {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(Cmd::Finish);
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// Body of one engine worker thread: owns the live session, serves
+/// `Check` commands until `Finish` (or the portfolio is dropped).
+fn worker_loop(
+    idx: usize,
+    engine: Box<dyn Engine + Send>,
+    model: Model,
+    semantics: Semantics,
+    budget: Budget,
+    cmd_rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<BoundReply>,
+) {
+    // Even `Engine::start` may panic; a dead session keeps replying
+    // Unknown so the race never hangs on a missing entry.
+    let mut panic_reason: Option<String> = None;
+    let mut session: Option<Box<dyn Session>> =
+        match catch_unwind(AssertUnwindSafe(|| engine.start(&model, semantics, budget))) {
+            Ok(s) => Some(s),
+            Err(payload) => {
+                panic_reason = Some(format!(
+                    "engine panicked: {}",
+                    panic_message(payload.as_ref())
+                ));
+                None
+            }
+        };
+    let mut cumulative = RunStats::default();
+    while let Ok(cmd) = cmd_rx.recv() {
+        let (k, race) = match cmd {
+            Cmd::Finish => break,
+            Cmd::Check { k, race } => (k, race),
+        };
+        let reply = match session.as_mut() {
+            None => BoundReply {
+                idx,
+                supported: false,
+                outcome: BmcOutcome::unknown(
+                    panic_reason.as_deref().unwrap_or("engine retired"),
+                    RunStats::default(),
+                ),
+                cumulative: cumulative.clone(),
+            },
+            Some(s) => {
+                // Everything that touches the session runs inside the
+                // catch: a panic anywhere (supports_bound, set_cancel,
+                // check_bound, cumulative_stats) retires the engine
+                // instead of killing the worker thread — a dead worker
+                // would starve every later race of its reply.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let supported = s.supports_bound(k);
+                    if !supported {
+                        // Skipped, not raced: no effort is burnt on (or
+                        // accounted for) a bound the technique cannot
+                        // decide.
+                        let outcome = BmcOutcome::unknown(
+                            format!("bound {k} unsupported"),
+                            RunStats::default(),
+                        );
+                        return (supported, outcome, s.cumulative_stats());
+                    }
+                    // Re-arm with this bound's child token: a
+                    // cancellation here must not outlive the bound.
+                    s.set_cancel(race);
+                    let outcome = s.check_bound(k);
+                    (supported, outcome, s.cumulative_stats())
+                }));
+                match run {
+                    Ok((supported, outcome, cum)) => {
+                        cumulative = cum;
+                        BoundReply {
+                            idx,
+                            supported,
+                            outcome,
+                            cumulative: cumulative.clone(),
+                        }
+                    }
+                    Err(payload) => {
+                        // The session may be mid-mutation: retire it
+                        // but keep its last coherent stats.
+                        let reason =
+                            format!("engine panicked: {}", panic_message(payload.as_ref()));
+                        panic_reason = Some(reason.clone());
+                        session = None;
+                        BoundReply {
+                            idx,
+                            supported: false,
+                            outcome: BmcOutcome::unknown(reason, RunStats::default()),
+                            cumulative: cumulative.clone(),
+                        }
+                    }
+                }
+            }
+        };
+        if tx.send(reply).is_err() {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +600,7 @@ mod tests {
     struct SlowSession {
         budget: Budget,
         started: Instant,
+        total: RunStats,
     }
 
     impl Engine for SlowEngine {
@@ -204,6 +611,7 @@ mod tests {
             Box::new(SlowSession {
                 budget,
                 started: Instant::now(),
+                total: RunStats::default(),
             })
         }
     }
@@ -216,20 +624,30 @@ mod tests {
             Semantics::Exactly
         }
         fn check_bound(&mut self, _k: usize) -> BmcOutcome {
+            let call_start = Instant::now();
             let deadline = Instant::now() + Duration::from_secs(10);
-            while Instant::now() < deadline {
+            let result = loop {
+                if Instant::now() >= deadline {
+                    break BmcResult::Unreachable;
+                }
                 if self.budget.expired(self.started) {
-                    return BmcOutcome::unknown(self.budget.unknown_reason(), RunStats::default());
+                    break BmcResult::Unknown(self.budget.unknown_reason());
                 }
                 std::thread::sleep(Duration::from_millis(2));
-            }
-            BmcOutcome {
-                result: BmcResult::Unreachable,
-                stats: RunStats::default(),
-            }
+            };
+            let stats = RunStats {
+                duration: call_start.elapsed(),
+                bounds_checked: 1,
+                ..RunStats::default()
+            };
+            self.total.absorb(&stats);
+            BmcOutcome { result, stats }
+        }
+        fn set_cancel(&mut self, token: CancelToken) {
+            self.budget.cancel = token;
         }
         fn cumulative_stats(&self) -> RunStats {
-            RunStats::default()
+            self.total.clone()
         }
     }
 
@@ -253,6 +671,26 @@ mod tests {
             entries[1].outcome.result,
             BmcResult::Unknown("cancelled".into())
         );
+    }
+
+    /// A cancelled loser's effort must stay visible: its cumulative
+    /// stats ride along in the entry and in `portfolio_stats`.
+    #[test]
+    fn cancelled_losers_keep_their_partial_stats() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(UnrollSat::default()), Box::new(SlowEngine)];
+        let entries = run_portfolio(&m, 2, Semantics::Exactly, engines, Budget::none());
+        let loser = &entries[1];
+        assert!(loser.outcome.result.is_unknown());
+        assert!(
+            loser.cumulative.duration > Duration::ZERO,
+            "the loser's burnt wall-clock must be accounted"
+        );
+        assert_eq!(loser.cumulative.bounds_checked, 1);
+        let total = portfolio_stats(&entries);
+        assert!(total.duration >= loser.cumulative.duration);
+        assert_eq!(total.bounds_checked, 2, "both engines' checks counted");
     }
 
     /// The race must run on a child token: the caller's budget (and
@@ -336,5 +774,111 @@ mod tests {
         assert!(entries[1].outcome.result.is_reachable());
         let w = first_decided(&entries).expect("unroll still decides");
         assert_eq!(w.engine, "sat-unroll");
+    }
+
+    // ---- DeepeningPortfolio ----
+
+    #[test]
+    fn deepening_portfolio_shares_verdicts_per_bound() {
+        let m = token_ring(4); // first reachable at bound 3
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(UnrollSat::default()), Box::new(JSat::default())];
+        let mut p = DeepeningPortfolio::start(&m, Semantics::Exactly, engines, Budget::none());
+        for k in 0..3 {
+            let out = p.check_bound(k);
+            assert!(out.supported);
+            assert!(
+                out.verdict().is_unreachable(),
+                "bound {k}: {}",
+                out.verdict()
+            );
+        }
+        let out = p.check_bound(3);
+        assert!(out.verdict().is_reachable());
+        let w = out.winning_entry().expect("someone wins");
+        assert!(!w.engine.is_empty());
+        assert_eq!(p.bounds_raced(), 4);
+        let total = p.cumulative_stats();
+        assert!(total.bounds_checked >= 4, "all racing effort accounted");
+    }
+
+    /// The heart of per-bound racing: a loser cancelled at bound k must
+    /// survive — solver state intact — and race again at bound k+1.
+    #[test]
+    fn cancelled_loser_survives_into_the_next_bound() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(UnrollSat::default()), Box::new(SlowEngine)];
+        let mut p = DeepeningPortfolio::start(&m, Semantics::Exactly, engines, Budget::none());
+        for k in [2usize, 2, 2] {
+            let start = Instant::now();
+            let out = p.check_bound(k);
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "per-bound race did not cancel the sleeper"
+            );
+            assert!(out.verdict().is_reachable());
+            // The sleeper was cancelled *this bound* but its session is
+            // still alive and replying (not a dead worker).
+            assert_eq!(
+                out.entries[1].outcome.result,
+                BmcResult::Unknown("cancelled".into())
+            );
+        }
+        // Three races -> the slow session accumulated three checks.
+        let stats = p.engine_stats();
+        assert_eq!(stats[1].0, "slow");
+        assert_eq!(stats[1].1.bounds_checked, 3);
+    }
+
+    #[test]
+    fn deepening_portfolio_reports_unsupported_bounds() {
+        use crate::squaring::QbfSquaring;
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(QbfSquaring::new(QbfBackend::Expansion))];
+        let mut p = DeepeningPortfolio::start(&m, Semantics::Within, engines, Budget::none());
+        let out = p.check_bound(3); // not a power of two
+        assert!(!out.supported);
+        assert!(out.verdict().is_unknown());
+        let out = p.check_bound(4);
+        assert!(out.supported);
+    }
+
+    #[test]
+    fn deepening_portfolio_contains_session_panics() {
+        let m = token_ring(3);
+        let engines: Vec<Box<dyn Engine + Send>> =
+            vec![Box::new(PanicEngine), Box::new(UnrollSat::default())];
+        let mut p = DeepeningPortfolio::start(&m, Semantics::Exactly, engines, Budget::none());
+        for k in [2usize, 2] {
+            let out = p.check_bound(k);
+            assert!(out.verdict().is_reachable(), "unroll still decides");
+            match &out.entries[0].outcome.result {
+                BmcResult::Unknown(r) => assert!(r.starts_with("engine panicked:"), "{r}"),
+                other => panic!("expected Unknown, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deepening_portfolio_external_cancel_aborts_the_bound() {
+        let m = token_ring(3);
+        let budget = Budget::none();
+        let token = budget.cancel_token();
+        let engines: Vec<Box<dyn Engine + Send>> = vec![Box::new(SlowEngine), Box::new(SlowEngine)];
+        let mut p = DeepeningPortfolio::start(&m, Semantics::Exactly, engines, budget);
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        });
+        let start = Instant::now();
+        let out = p.check_bound(2);
+        canceller.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "external cancel did not abort the raced bound"
+        );
+        assert!(out.verdict().is_unknown());
     }
 }

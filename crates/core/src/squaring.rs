@@ -312,6 +312,10 @@ impl Session for QbfSquaringSession {
         BmcOutcome { result, stats }
     }
 
+    fn set_cancel(&mut self, token: crate::engine::CancelToken) {
+        self.budget.cancel = token;
+    }
+
     fn cumulative_stats(&self) -> RunStats {
         self.total.clone()
     }

@@ -1,0 +1,320 @@
+//! Jobs: what the service checks, and how job lists are described.
+//!
+//! A [`Job`] names one bounded-reachability question — a model, a
+//! semantics, an engine selection, a bound range to deepen through,
+//! and a [`Budget`]. Job lists can be built programmatically
+//! ([`suite_jobs`] wraps the built-in benchmark suite) or parsed from
+//! a plain-text job file ([`parse_job_file`]).
+
+use std::time::Duration;
+
+use sebmc::{
+    Budget, CancelToken, Engine, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
+};
+use sebmc_model::{suite, Model};
+
+/// The engines a job may select. Unlike `Box<dyn Engine>`, the kind is
+/// `Copy` and buildable on any worker thread, which is what a queued
+/// job needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's special-purpose jSAT procedure (formula (4)).
+    Jsat,
+    /// Incrementally unrolled classical BMC (formulation (1)).
+    Unroll,
+    /// Linear QBF encoding on the QDPLL back-end (formulation (2)).
+    QbfLinear,
+    /// Iterative squaring on the expansion back-end (formulation (3)).
+    QbfSquaring,
+}
+
+impl EngineKind {
+    /// All engine kinds, in CLI order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Jsat,
+        EngineKind::Unroll,
+        EngineKind::QbfLinear,
+        EngineKind::QbfSquaring,
+    ];
+
+    /// The CLI spelling of this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Jsat => "jsat",
+            EngineKind::Unroll => "unroll",
+            EngineKind::QbfLinear => "qbf-linear",
+            EngineKind::QbfSquaring => "qbf-squaring",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "jsat" => Ok(EngineKind::Jsat),
+            "unroll" => Ok(EngineKind::Unroll),
+            "qbf-linear" => Ok(EngineKind::QbfLinear),
+            "qbf-squaring" => Ok(EngineKind::QbfSquaring),
+            other => Err(format!(
+                "unknown engine '{other}' (expected jsat|unroll|qbf-linear|qbf-squaring)"
+            )),
+        }
+    }
+
+    /// Parses a comma-separated engine list (at least one entry).
+    pub fn parse_list(s: &str) -> Result<Vec<EngineKind>, String> {
+        let kinds: Vec<EngineKind> = s
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(EngineKind::parse)
+            .collect::<Result<_, _>>()?;
+        if kinds.is_empty() {
+            return Err("empty engine list".into());
+        }
+        Ok(kinds)
+    }
+
+    /// Instantiates the engine.
+    pub fn build(&self) -> Box<dyn Engine + Send> {
+        match self {
+            EngineKind::Jsat => Box::new(JSat::default()),
+            EngineKind::Unroll => Box::new(UnrollSat::default()),
+            EngineKind::QbfLinear => Box::new(QbfLinear::new(QbfBackend::Qdpll)),
+            EngineKind::QbfSquaring => Box::new(QbfSquaring::new(QbfBackend::Expansion)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One unit of service work: deepen `model` through bounds
+/// `0..=max_bound` with the selected engines under `budget`.
+///
+/// One engine means a plain deepening session; several engines mean
+/// **portfolio-level deepening** (every bound raced across live
+/// sessions, first decided verdict shared).
+///
+/// The job's [`Budget::cancel`] token is the *per-job* kill switch:
+/// keep a clone ([`Budget::cancel_token`]) before submitting and fire
+/// it to abort just this job, whether it is still queued or already
+/// running.
+#[derive(Clone)]
+pub struct Job {
+    /// Free-form job label (defaults to the model name).
+    pub name: String,
+    /// The instance to check.
+    pub model: Model,
+    /// Exactly-`k` or within-`k` reachability.
+    pub semantics: Semantics,
+    /// Engine selection; two or more race per bound.
+    pub engines: Vec<EngineKind>,
+    /// Deepen bounds `0..=max_bound` (stopping at the first reachable).
+    pub max_bound: usize,
+    /// Per-job budget; the service may *lower* (never raise) its byte
+    /// cap during admission.
+    pub budget: Budget,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("model", &self.model.name())
+            .field("semantics", &self.semantics)
+            .field("engines", &self.engines)
+            .field("max_bound", &self.max_bound)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl Job {
+    /// A job named after its model, with `Semantics::Exactly` and no
+    /// budget limits (fresh cancel token).
+    pub fn new(model: Model, engines: Vec<EngineKind>, max_bound: usize) -> Self {
+        Job {
+            name: model.name().to_string(),
+            model,
+            semantics: Semantics::Exactly,
+            engines,
+            max_bound,
+            budget: Budget::none(),
+        }
+    }
+
+    /// Returns `self` with the given budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Returns `self` with the given semantics.
+    pub fn with_semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+}
+
+/// Builds one job per model of the built-in benchmark suite
+/// ([`suite::suite13`] or the small ground-truth variant).
+///
+/// Every job gets a *clone* of `budget` re-armed with a **fresh**
+/// cancel token, so firing one job's token never aborts its siblings
+/// (a cloned budget would share the flag).
+pub fn suite_jobs(
+    small: bool,
+    engines: &[EngineKind],
+    max_bound: usize,
+    budget: &Budget,
+) -> Vec<Job> {
+    let models = if small {
+        suite::suite13_small()
+    } else {
+        suite::suite13()
+    };
+    models
+        .into_iter()
+        .map(|m| {
+            Job::new(m, engines.to_vec(), max_bound)
+                .with_budget(budget.clone().with_cancel(CancelToken::new()))
+        })
+        .collect()
+}
+
+/// Looks a model up by name in the built-in suites (the small
+/// ground-truth suite first, then the paper-scale one).
+pub fn suite_model(name: &str) -> Option<Model> {
+    suite::suite13_small()
+        .into_iter()
+        .chain(suite::suite13())
+        .find(|m| m.name() == name)
+}
+
+/// Parses one job per non-comment line of a job file.
+///
+/// ```text
+/// # model            engines        max-bound  options…
+/// suite:ring_4       jsat,unroll    6          timeout-ms=5000
+/// designs/foo.aag    jsat           20         mem-mb=64 within name=foo-smoke
+/// ```
+///
+/// * `suite:<name>` resolves a built-in suite model by name
+///   (`ring_4`, `shift_16`, `traffic`, …); anything else is read as an
+///   AIGER file path.
+/// * `engines` is a comma-separated subset of
+///   `jsat|unroll|qbf-linear|qbf-squaring`; two or more race per bound.
+/// * options: `timeout-ms=N`, `mem-mb=N` (budget), `within`
+///   (within-`k` semantics), `name=<label>`.
+///
+/// Malformed lines are errors (with their line number), never silently
+/// skipped.
+pub fn parse_job_file(text: &str) -> Result<Vec<Job>, String> {
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        jobs.push(parse_job_line(line).map_err(|e| format!("job file line {}: {e}", lineno + 1))?);
+    }
+    Ok(jobs)
+}
+
+fn parse_job_line(line: &str) -> Result<Job, String> {
+    let mut fields = line.split_whitespace();
+    let model_spec = fields.next().ok_or("missing model")?;
+    let engines = EngineKind::parse_list(fields.next().ok_or("missing engine list")?)?;
+    let bound_s = fields.next().ok_or("missing max bound")?;
+    let max_bound: usize = bound_s
+        .parse()
+        .map_err(|_| format!("bad max bound '{bound_s}'"))?;
+    let model = if let Some(name) = model_spec.strip_prefix("suite:") {
+        suite_model(name).ok_or_else(|| format!("no built-in suite model named '{name}'"))?
+    } else {
+        let bytes = std::fs::read(model_spec)
+            .map_err(|e| format!("cannot read AIGER file '{model_spec}': {e}"))?;
+        let file = sebmc_aiger::parse_auto(&bytes).map_err(|e| format!("'{model_spec}': {e}"))?;
+        sebmc_aiger::aiger_to_model(&file, model_spec)
+            .map_err(|e| format!("'{model_spec}': {e}"))?
+    };
+    let mut job = Job::new(model, engines, max_bound);
+    for opt in fields {
+        if opt == "within" {
+            job.semantics = Semantics::Within;
+        } else if let Some(v) = opt.strip_prefix("timeout-ms=") {
+            let ms: u64 = v.parse().map_err(|_| format!("bad timeout-ms '{v}'"))?;
+            job.budget.timeout = Some(Duration::from_millis(ms));
+        } else if let Some(v) = opt.strip_prefix("mem-mb=") {
+            let mb: usize = v.parse().map_err(|_| format!("bad mem-mb '{v}'"))?;
+            job.budget.max_formula_bytes = Some(mb * 1024 * 1024);
+        } else if let Some(v) = opt.strip_prefix("name=") {
+            job.name = v.to_string();
+        } else {
+            return Err(format!("unknown option '{opt}'"));
+        }
+    }
+    Ok(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_round_trips() {
+        for k in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(k.as_str()), Ok(k));
+            assert!(!k.build().name().is_empty());
+        }
+        assert!(EngineKind::parse("bdd").is_err());
+        assert_eq!(
+            EngineKind::parse_list("jsat,unroll").unwrap(),
+            vec![EngineKind::Jsat, EngineKind::Unroll]
+        );
+        assert!(EngineKind::parse_list("").is_err());
+    }
+
+    #[test]
+    fn suite_jobs_have_independent_cancel_tokens() {
+        let jobs = suite_jobs(true, &[EngineKind::Jsat], 4, &Budget::none());
+        assert_eq!(jobs.len(), 13);
+        jobs[0].budget.cancel.cancel();
+        assert!(!jobs[1].budget.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn job_file_parses_suite_models_and_options() {
+        let text = "\
+# a comment
+suite:ring_4 jsat,unroll 6 timeout-ms=5000
+suite:traffic unroll 3 within mem-mb=8 name=tl
+";
+        let jobs = parse_job_file(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].model.name(), "ring_4");
+        assert_eq!(jobs[0].engines.len(), 2);
+        assert_eq!(jobs[0].max_bound, 6);
+        assert_eq!(jobs[0].budget.timeout, Some(Duration::from_millis(5000)));
+        assert_eq!(jobs[1].name, "tl");
+        assert_eq!(jobs[1].semantics, Semantics::Within);
+        assert_eq!(jobs[1].budget.max_formula_bytes, Some(8 * 1024 * 1024));
+    }
+
+    #[test]
+    fn job_file_rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("suite:ring_4 jsat", "missing max bound"),
+            ("suite:ring_4 bdd 4", "unknown engine"),
+            ("suite:nope jsat 4", "no built-in suite model"),
+            ("suite:ring_4 jsat four", "bad max bound"),
+            ("suite:ring_4 jsat 4 frob=1", "unknown option"),
+        ] {
+            let err = parse_job_file(text).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+            assert!(err.contains(needle), "{err} ~ {needle}");
+        }
+    }
+}

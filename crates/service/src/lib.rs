@@ -1,0 +1,595 @@
+//! A multi-worker bounded-model-checking service over engine sessions.
+//!
+//! The paper's space-efficient encodings pay off at scale when *many*
+//! instances and bounds are checked without re-encoding. This crate is
+//! the driver that amortizes that state: a queue of [`Job`]s served by
+//! a fixed pool of [`std::thread::scope`] workers, one live engine
+//! session (or a [`DeepeningPortfolio`] of
+//! sessions) per job, deepened bound-by-bound.
+//!
+//! # Job lifecycle
+//!
+//! 1. **Submit** — [`CheckService::submit`] enqueues a [`Job`] and
+//!    returns its id; the queue-wait clock starts.
+//! 2. **Admit** — when a worker picks the job up, admission control
+//!    lowers the service's byte cap onto the job's budget:
+//!    the session runs under
+//!    `min(job.budget.max_formula_bytes, config.max_job_bytes)`, wired
+//!    into the SAT arena's exact live-byte accounting. The service can
+//!    only tighten a job's cap, never loosen it.
+//! 3. **Run** — one engine means one deepening [`Session`](sebmc::Session)
+//!    over bounds `0..=max_bound`; several engines mean
+//!    **portfolio-level deepening**: every bound is raced across the
+//!    live sessions on a child
+//!    [`CancelToken`], the first decided verdict
+//!    is shared and the losers — solver state intact — race again at
+//!    the next bound. Bounds no engine supports are skipped, not
+//!    failed.
+//! 4. **Report** — every job ends in exactly one [`JobReport`]:
+//!    reachable (with bound and witness), unreachable through
+//!    `max_bound`, or `Unknown` (budget exhausted, cancelled, service
+//!    cancelled, or unsupported-bound skips). Cancelled and
+//!    budget-exhausted jobs are *reported*, never dropped.
+//!    [`CheckService::run`] returns a [`ServiceReport`] aggregating
+//!    all jobs (peaks maxed, effort summed, queue/solve wall-clock
+//!    split).
+//!
+//! # Cancellation
+//!
+//! Three cooperative levels, all prompt (engines poll at their solver
+//! safe points):
+//!
+//! * **Per-bound** (internal): each raced bound runs on a fresh child
+//!   token so cancelling a bound's losers never kills their sessions.
+//! * **Per-job**: the job's own [`Budget::cancel`](sebmc::Budget)
+//!   token. Keep a clone before submitting; firing it aborts the job
+//!   whether queued (reported `Unknown("cancelled")` without running)
+//!   or mid-solve.
+//! * **Whole-service**: [`ServiceConfig::cancel`]. Firing it stops
+//!   every running job at its next safe point and fails the rest of
+//!   the queue as `Unknown("service cancelled")`.
+//!
+//! The service fires only its own child tokens — a job's token is read,
+//! never fired, so caller-held budgets stay reusable.
+//!
+//! # Example
+//!
+//! ```
+//! use sebmc_service::{CheckService, EngineKind, Job, ServiceConfig};
+//! use sebmc_model::builders::token_ring;
+//!
+//! let mut svc = CheckService::new(ServiceConfig::with_workers(2));
+//! svc.submit(Job::new(
+//!     token_ring(4),
+//!     vec![EngineKind::Jsat, EngineKind::Unroll],
+//!     6,
+//! ));
+//! let report = svc.run();
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].verdict.is_reachable());
+//! assert_eq!(report.jobs[0].bound, Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod report;
+
+pub use job::{parse_job_file, suite_jobs, suite_model, EngineKind, Job};
+pub use report::{json_escape, stats_json, JobReport, ServiceReport};
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sebmc::{BmcResult, CancelToken, DeepeningPortfolio, RunStats};
+
+/// How often the service's cancellation bridge polls job/service
+/// tokens while jobs are running.
+const BRIDGE_POLL: Duration = Duration::from_millis(2);
+
+/// Static configuration of a [`CheckService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Service-wide per-job byte cap: admission control lowers it onto
+    /// every session's `max_formula_bytes` (taking the `min` with the
+    /// job's own cap). `None` means jobs run under their own caps only.
+    pub max_job_bytes: Option<usize>,
+    /// The whole-service kill switch; keep a clone
+    /// ([`CancelToken::clone`]) to stop the service from outside.
+    pub cancel: CancelToken,
+}
+
+impl ServiceConfig {
+    /// A config with the given pool size and no service byte cap.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            max_job_bytes: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Returns `self` with the service-wide byte cap set.
+    pub fn with_max_job_bytes(mut self, bytes: usize) -> Self {
+        self.max_job_bytes = Some(bytes);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::with_workers(
+            std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        )
+    }
+}
+
+/// A job with its submission timestamp (queue-wait accounting).
+struct QueuedJob {
+    id: usize,
+    job: Job,
+    submitted: Instant,
+}
+
+/// A running job's tokens, registered with the cancellation bridge:
+/// fire `child` when either the job's or the service's token fires.
+struct BridgeSlot {
+    job_token: CancelToken,
+    child: CancelToken,
+}
+
+/// The checking service: a job queue plus the worker pool that drains
+/// it. See the [crate docs](crate) for the job lifecycle.
+pub struct CheckService {
+    config: ServiceConfig,
+    jobs: Vec<QueuedJob>,
+}
+
+impl CheckService {
+    /// An empty service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        CheckService {
+            config,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Enqueues a job and returns its id (its index in
+    /// [`ServiceReport::jobs`]). The queue-wait clock starts now.
+    pub fn submit(&mut self, job: Job) -> usize {
+        let id = self.jobs.len();
+        self.jobs.push(QueuedJob {
+            id,
+            job,
+            submitted: Instant::now(),
+        });
+        id
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn queued(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Drains the queue on the worker pool and returns the aggregate
+    /// report. Blocks until every job is finished (or cancelled —
+    /// cancelled jobs still get reports).
+    pub fn run(self) -> ServiceReport {
+        let CheckService { config, jobs } = self;
+        let workers = config.workers.max(1);
+        let n_jobs = jobs.len();
+        let run_start = Instant::now();
+        let queue: Mutex<VecDeque<QueuedJob>> = Mutex::new(jobs.into());
+        let reports: Mutex<Vec<Option<JobReport>>> =
+            Mutex::new((0..n_jobs).map(|_| None).collect());
+        let slots: Vec<Mutex<Option<BridgeSlot>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let pool_done = AtomicBool::new(false);
+        thread::scope(|s| {
+            // The cancellation bridge: propagates per-job and
+            // whole-service cancellations into the running jobs' child
+            // tokens, promptly, without the workers having to poll.
+            s.spawn(|| {
+                while !pool_done.load(Ordering::Relaxed) {
+                    let service_cancelled = config.cancel.is_cancelled();
+                    for slot in &slots {
+                        let guard = slot.lock().unwrap();
+                        if let Some(b) = guard.as_ref() {
+                            if service_cancelled || b.job_token.is_cancelled() {
+                                b.child.cancel();
+                            }
+                        }
+                    }
+                    thread::sleep(BRIDGE_POLL);
+                }
+            });
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    let queue = &queue;
+                    let reports = &reports;
+                    let config = &config;
+                    let slot = &slots[wid];
+                    s.spawn(move || loop {
+                        let next = queue.lock().unwrap().pop_front();
+                        let Some(q) = next else { break };
+                        let queue_wait = q.submitted.elapsed();
+                        let report = if config.cancel.is_cancelled() {
+                            aborted_report(&q, "service cancelled", queue_wait)
+                        } else if q.job.budget.cancel.is_cancelled() {
+                            aborted_report(&q, "cancelled", queue_wait)
+                        } else {
+                            let child = CancelToken::new();
+                            *slot.lock().unwrap() = Some(BridgeSlot {
+                                job_token: q.job.budget.cancel_token(),
+                                child: child.clone(),
+                            });
+                            let r = run_job(q, child, config, queue_wait);
+                            *slot.lock().unwrap() = None;
+                            r
+                        };
+                        let id = report.job_id;
+                        reports.lock().unwrap()[id] = Some(report);
+                    })
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+            pool_done.store(true, Ordering::Relaxed);
+        });
+        let jobs = reports
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every submitted job produces a report"))
+            .collect();
+        ServiceReport::new(workers, run_start.elapsed(), jobs)
+    }
+}
+
+/// A report for a job that never ran (cancelled while queued).
+fn aborted_report(q: &QueuedJob, reason: &str, queue_wait: Duration) -> JobReport {
+    JobReport {
+        job_id: q.id,
+        name: q.job.name.clone(),
+        model: q.job.model.name().to_string(),
+        engines: q.job.engines.iter().map(|e| e.build().name()).collect(),
+        verdict: BmcResult::Unknown(reason.to_string()),
+        bound: None,
+        bounds_checked: 0,
+        bounds_skipped: 0,
+        winners: Vec::new(),
+        byte_cap: q.job.budget.max_formula_bytes,
+        stats: RunStats::default(),
+        queue_wait,
+        solve_time: Duration::ZERO,
+    }
+}
+
+/// Mutable accumulators of one deepening sweep (returned out of the
+/// panic-containment closure in one piece).
+#[derive(Default)]
+struct SweepState {
+    bound: Option<usize>,
+    winners: Vec<(usize, &'static str)>,
+    checked: usize,
+    skipped: usize,
+}
+
+/// Renders a panic payload (the argument of `panic!`) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// The verdict of a clean deepening sweep that found nothing: a true
+/// `Unreachable` only when no bound was skipped.
+fn sweep_verdict(max_bound: usize, skipped: usize) -> BmcResult {
+    if skipped > 0 {
+        BmcResult::Unknown(format!(
+            "unreachable at every supported bound 0..={max_bound}, \
+             but {skipped} unsupported bounds were skipped"
+        ))
+    } else {
+        BmcResult::Unreachable
+    }
+}
+
+/// Runs one admitted job to completion on the calling worker thread.
+///
+/// `child` is the job's effective cancel token (fired by the bridge on
+/// per-job or whole-service cancellation); the job's own token is
+/// never fired.
+fn run_job(
+    q: QueuedJob,
+    child: CancelToken,
+    config: &ServiceConfig,
+    queue_wait: Duration,
+) -> JobReport {
+    let QueuedJob { id, job, .. } = q;
+    let run_start = Instant::now();
+    // Admission control: the service cap can only tighten the job's.
+    let byte_cap = match (job.budget.max_formula_bytes, config.max_job_bytes) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let mut budget = job.budget.clone().with_cancel(child);
+    budget.max_formula_bytes = byte_cap;
+
+    let mut bound = None;
+    let mut winners: Vec<(usize, &'static str)> = Vec::new();
+    let mut bounds_checked = 0usize;
+    let mut bounds_skipped = 0usize;
+    let stats;
+    let engines: Vec<&'static str>;
+
+    let mut verdict = if job.engines.is_empty() {
+        engines = Vec::new();
+        stats = RunStats::default();
+        BmcResult::Unknown("no engines selected".into())
+    } else if job.engines.len() == 1 {
+        // One engine: a plain deepening session. The whole sweep runs
+        // inside a catch so a panicking engine costs *this job its
+        // verdict*, not the worker thread (an unwound worker would
+        // strand the rest of the queue and break the one-report-per-job
+        // contract).
+        let kind = job.engines[0];
+        engines = vec![kind.build().name()];
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut session = kind
+                .build()
+                .start(&job.model, job.semantics, budget.clone());
+            let mut sweep = SweepState::default();
+            let verdict = 'sweep: {
+                for k in 0..=job.max_bound {
+                    if budget.expired(run_start) {
+                        break 'sweep BmcResult::Unknown(budget.unknown_reason());
+                    }
+                    if !session.supports_bound(k) {
+                        sweep.skipped += 1;
+                        continue;
+                    }
+                    sweep.checked += 1;
+                    let out = session.check_bound(k);
+                    match out.result {
+                        BmcResult::Reachable(t) => {
+                            sweep.bound = Some(k);
+                            sweep.winners.push((k, session.name()));
+                            break 'sweep BmcResult::Reachable(t);
+                        }
+                        BmcResult::Unreachable => {
+                            sweep.winners.push((k, session.name()));
+                        }
+                        BmcResult::Unknown(r) => break 'sweep BmcResult::Unknown(r),
+                    }
+                }
+                sweep_verdict(job.max_bound, sweep.skipped)
+            };
+            (verdict, sweep, session.cumulative_stats())
+        }));
+        match run {
+            Ok((v, sweep, cum)) => {
+                bound = sweep.bound;
+                winners = sweep.winners;
+                bounds_checked = sweep.checked;
+                bounds_skipped = sweep.skipped;
+                stats = cum;
+                v
+            }
+            Err(payload) => {
+                stats = RunStats::default();
+                BmcResult::Unknown(format!(
+                    "engine panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+            }
+        }
+    } else {
+        // Several engines: portfolio-level deepening, one race per
+        // bound over the live sessions.
+        let built = job.engines.iter().map(|e| e.build()).collect();
+        let mut p = DeepeningPortfolio::start(&job.model, job.semantics, built, budget.clone());
+        engines = p.engine_names();
+        let v = 'sweep: {
+            for k in 0..=job.max_bound {
+                if budget.expired(run_start) {
+                    break 'sweep BmcResult::Unknown(budget.unknown_reason());
+                }
+                let out = p.check_bound(k);
+                if !out.supported {
+                    bounds_skipped += 1;
+                    continue;
+                }
+                bounds_checked += 1;
+                match out.winner {
+                    Some(i) => {
+                        winners.push((k, out.entries[i].engine));
+                        match &out.entries[i].outcome.result {
+                            BmcResult::Reachable(t) => {
+                                bound = Some(k);
+                                break 'sweep BmcResult::Reachable(t.clone());
+                            }
+                            _ => continue,
+                        }
+                    }
+                    // No engine decided: budget/cancellation (or every
+                    // engine retired). A deadline that expired mid-race
+                    // reaches the sessions as a fired *race* token, so
+                    // their entries all say "cancelled" — report the
+                    // job-level reason ("budget exhausted") instead.
+                    None => {
+                        break 'sweep if budget.expired(run_start) && !budget.cancel.is_cancelled() {
+                            BmcResult::Unknown(budget.unknown_reason())
+                        } else {
+                            out.verdict().clone()
+                        };
+                    }
+                }
+            }
+            sweep_verdict(job.max_bound, bounds_skipped)
+        };
+        stats = p.cumulative_stats();
+        v
+    };
+
+    // A cancellation that arrived through the service token reads
+    // better labelled as such.
+    if let BmcResult::Unknown(r) = &verdict {
+        if r == "cancelled" && config.cancel.is_cancelled() && !job.budget.cancel.is_cancelled() {
+            verdict = BmcResult::Unknown("service cancelled".into());
+        }
+    }
+
+    JobReport {
+        job_id: id,
+        name: job.name,
+        model: job.model.name().to_string(),
+        engines,
+        verdict,
+        bound,
+        bounds_checked,
+        bounds_skipped,
+        winners,
+        byte_cap,
+        stats,
+        queue_wait,
+        solve_time: run_start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc::Budget;
+    use sebmc_model::builders::{shift_register, token_ring, traffic_light};
+
+    #[test]
+    fn single_engine_job_deepens_to_the_first_reachable_bound() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1));
+        svc.submit(Job::new(shift_register(4), vec![EngineKind::Jsat], 8));
+        let r = svc.run();
+        assert_eq!(r.jobs.len(), 1);
+        let j = &r.jobs[0];
+        assert!(j.verdict.is_reachable());
+        assert_eq!(j.bound, Some(4));
+        assert_eq!(j.bounds_checked, 5, "bounds 0..=4 checked");
+        assert_eq!(j.winners.len(), 5);
+        assert!(j.stats.solver_effort > 0 || j.stats.bounds_checked == 5);
+        assert_eq!(r.reachable, 1);
+    }
+
+    #[test]
+    fn portfolio_job_races_bounds_and_reports_winners() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1));
+        svc.submit(Job::new(
+            token_ring(4),
+            vec![EngineKind::Jsat, EngineKind::Unroll],
+            6,
+        ));
+        let r = svc.run();
+        let j = &r.jobs[0];
+        assert!(j.verdict.is_reachable(), "{}", j.verdict);
+        assert_eq!(j.bound, Some(3));
+        assert_eq!(j.engines.len(), 2);
+        // Every checked bound has a recorded winner.
+        assert_eq!(j.winners.len(), j.bounds_checked);
+        assert!(j
+            .winners
+            .iter()
+            .all(|(_, e)| *e == "jsat" || *e == "sat-unroll"));
+    }
+
+    #[test]
+    fn unreachable_sweep_is_reported_as_unreachable() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(2));
+        svc.submit(Job::new(traffic_light(), vec![EngineKind::Unroll], 5));
+        let r = svc.run();
+        assert!(r.jobs[0].verdict.is_unreachable());
+        assert_eq!(r.unreachable, 1);
+    }
+
+    #[test]
+    fn admission_control_takes_the_min_of_job_and_service_caps() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_max_job_bytes(10_000));
+        svc.submit(
+            Job::new(shift_register(4), vec![EngineKind::Unroll], 3)
+                .with_budget(Budget::with_memory_bytes(50_000)),
+        );
+        svc.submit(
+            Job::new(shift_register(4), vec![EngineKind::Unroll], 3)
+                .with_budget(Budget::with_memory_bytes(5_000)),
+        );
+        let r = svc.run();
+        assert_eq!(r.jobs[0].byte_cap, Some(10_000), "service cap tightens");
+        assert_eq!(r.jobs[1].byte_cap, Some(5_000), "job cap kept when tighter");
+    }
+
+    #[test]
+    fn budget_exhausted_jobs_are_reported_unknown_not_dropped() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1));
+        // A byte cap far too small to encode bound 50.
+        svc.submit(
+            Job::new(shift_register(16), vec![EngineKind::Unroll], 50)
+                .with_budget(Budget::with_memory_bytes(256)),
+        );
+        let r = svc.run();
+        assert_eq!(r.jobs.len(), 1);
+        assert!(r.jobs[0].verdict.is_unknown(), "{}", r.jobs[0].verdict);
+        assert_eq!(r.unknown, 1);
+    }
+
+    #[test]
+    fn per_job_cancellation_before_start_skips_the_job() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1));
+        let job = Job::new(shift_register(4), vec![EngineKind::Jsat], 6);
+        let token = job.budget.cancel_token();
+        token.cancel();
+        svc.submit(job);
+        svc.submit(Job::new(token_ring(3), vec![EngineKind::Jsat], 4));
+        let r = svc.run();
+        assert_eq!(
+            r.jobs[0].verdict,
+            BmcResult::Unknown("cancelled".into()),
+            "pre-cancelled job reported, not run"
+        );
+        assert_eq!(r.jobs[0].solve_time, Duration::ZERO);
+        assert!(r.jobs[1].verdict.is_reachable(), "siblings unaffected");
+    }
+
+    #[test]
+    fn service_cancellation_fails_the_remaining_queue() {
+        let config = ServiceConfig::with_workers(1);
+        config.cancel.cancel();
+        let mut svc = CheckService::new(config);
+        svc.submit(Job::new(token_ring(3), vec![EngineKind::Jsat], 4));
+        let r = svc.run();
+        assert_eq!(
+            r.jobs[0].verdict,
+            BmcResult::Unknown("service cancelled".into())
+        );
+    }
+
+    #[test]
+    fn report_json_smoke() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(2));
+        for job in suite_jobs(true, &[EngineKind::Jsat], 2, &Budget::none()) {
+            svc.submit(job);
+        }
+        let r = svc.run();
+        assert_eq!(r.jobs.len(), 13);
+        let json = r.to_json();
+        assert!(json.contains("\"jobs_total\":13"));
+        assert!(json.contains("\"workers\":2"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Reports: per-job results and the whole-service aggregate.
+//!
+//! Every submitted job produces exactly one [`JobReport`] — cancelled
+//! and budget-exhausted jobs included (they carry
+//! [`BmcResult::Unknown`], they are never dropped). The
+//! [`ServiceReport`] folds all job stats with [`RunStats::absorb`]
+//! (peaks maxed, durations and solver effort summed) and splits the
+//! wall clock into queue wait and solve time.
+
+use std::time::Duration;
+
+use sebmc::{BmcResult, RunStats};
+
+/// Outcome and accounting of one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The id handed out by `CheckService::submit`.
+    pub job_id: usize,
+    /// The job's label.
+    pub name: String,
+    /// The model's name.
+    pub model: String,
+    /// Engine names, in job order.
+    pub engines: Vec<&'static str>,
+    /// The job verdict: the first reachable bound's verdict, or
+    /// `Unreachable` after a clean sweep to `max_bound`, or `Unknown`
+    /// (budget exhausted / cancelled / service cancelled / skipped
+    /// bounds).
+    pub verdict: BmcResult,
+    /// The decided bound, when `verdict` is `Reachable`.
+    pub bound: Option<usize>,
+    /// Bounds actually raced/checked.
+    pub bounds_checked: usize,
+    /// Bounds no selected engine supports (skipped, not failed).
+    pub bounds_skipped: usize,
+    /// Per-bound race winners `(bound, engine)` — for a single-engine
+    /// job, every decided bound; for a portfolio, the engine whose
+    /// verdict was shared at that bound.
+    pub winners: Vec<(usize, &'static str)>,
+    /// The byte cap the session actually ran under, after admission
+    /// control (`min` of the job's and the service's caps).
+    pub byte_cap: Option<usize>,
+    /// Cumulative run stats — for a portfolio job this sums the racing
+    /// effort of *all* engines, losers included.
+    pub stats: RunStats,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Wall-clock time on the worker (encode + solve across bounds).
+    pub solve_time: Duration,
+}
+
+impl JobReport {
+    /// `"reachable"` / `"unreachable"` / `"unknown"` plus the Unknown
+    /// reason, if any.
+    pub fn verdict_parts(&self) -> (&'static str, Option<&str>) {
+        match &self.verdict {
+            BmcResult::Reachable(_) => ("reachable", None),
+            BmcResult::Unreachable => ("unreachable", None),
+            BmcResult::Unknown(r) => ("unknown", Some(r.as_str())),
+        }
+    }
+}
+
+/// Aggregate of one `CheckService::run`: every job's report plus the
+/// service-level accounting.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// Wall-clock time of the whole `run` call.
+    pub wall: Duration,
+    /// One report per submitted job, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// All job stats folded with [`RunStats::absorb`]: durations and
+    /// solver effort summed, formula sizes and memory peaks maxed.
+    pub total: RunStats,
+    /// Sum of all jobs' queue waits.
+    pub queue_wait_total: Duration,
+    /// Sum of all jobs' solve times (≥ `wall` when workers > 1).
+    pub solve_total: Duration,
+    /// Jobs that ended `Reachable`.
+    pub reachable: usize,
+    /// Jobs that ended `Unreachable`.
+    pub unreachable: usize,
+    /// Jobs that ended `Unknown` (budget, cancellation, skips).
+    pub unknown: usize,
+}
+
+impl ServiceReport {
+    /// Builds the aggregate from finished job reports.
+    pub fn new(workers: usize, wall: Duration, jobs: Vec<JobReport>) -> Self {
+        let mut total = RunStats::default();
+        let mut queue_wait_total = Duration::ZERO;
+        let mut solve_total = Duration::ZERO;
+        let (mut reachable, mut unreachable, mut unknown) = (0, 0, 0);
+        for j in &jobs {
+            total.absorb(&j.stats);
+            queue_wait_total += j.queue_wait;
+            solve_total += j.solve_time;
+            match &j.verdict {
+                BmcResult::Reachable(_) => reachable += 1,
+                BmcResult::Unreachable => unreachable += 1,
+                BmcResult::Unknown(_) => unknown += 1,
+            }
+        }
+        ServiceReport {
+            workers,
+            wall,
+            jobs,
+            total,
+            queue_wait_total,
+            solve_total,
+            reachable,
+            unreachable,
+            unknown,
+        }
+    }
+
+    /// Jobs per second of wall clock (throughput of this run).
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.jobs.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Renders the whole report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.jobs.len() * 256);
+        out.push_str(&format!(
+            "{{\"workers\":{},\"wall_ms\":{},\"jobs_total\":{},\
+             \"reachable\":{},\"unreachable\":{},\"unknown\":{},\
+             \"queue_wait_ms_total\":{},\"solve_ms_total\":{},\
+             \"jobs_per_sec\":{:.3},\"total_stats\":{},\"jobs\":[",
+            self.workers,
+            self.wall.as_millis(),
+            self.jobs.len(),
+            self.reachable,
+            self.unreachable,
+            self.unknown,
+            self.queue_wait_total.as_millis(),
+            self.solve_total.as_millis(),
+            self.jobs_per_sec(),
+            stats_json(&self.total),
+        ));
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&job_json(j));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders [`RunStats`] as one JSON object (the CLI `--json` shape).
+pub fn stats_json(s: &RunStats) -> String {
+    format!(
+        "{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
+         \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
+         \"peak_watch_bytes\":{},\"solver_effort\":{},\"bounds_checked\":{}}}",
+        s.duration.as_millis(),
+        s.encode_vars,
+        s.encode_clauses,
+        s.encode_lits,
+        s.peak_formula_lits,
+        s.peak_formula_bytes,
+        s.peak_watch_bytes,
+        s.solver_effort,
+        s.bounds_checked,
+    )
+}
+
+fn job_json(j: &JobReport) -> String {
+    let (verdict, reason) = j.verdict_parts();
+    let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
+    let bound_s = j.bound.map_or("null".into(), |b| b.to_string());
+    let cap_s = j.byte_cap.map_or("null".into(), |c| c.to_string());
+    let engines = j
+        .engines
+        .iter()
+        .map(|e| format!("\"{}\"", json_escape(e)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let winners = j
+        .winners
+        .iter()
+        .map(|(k, e)| format!("[{k},\"{}\"]", json_escape(e)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"id\":{},\"name\":\"{}\",\"model\":\"{}\",\"engines\":[{engines}],\
+         \"verdict\":\"{verdict}\",\"reason\":{reason_s},\"bound\":{bound_s},\
+         \"bounds_checked\":{},\"bounds_skipped\":{},\"byte_cap\":{cap_s},\
+         \"queue_wait_ms\":{},\"solve_ms\":{},\"winners\":[{winners}],\"stats\":{}}}",
+        j.job_id,
+        json_escape(&j.name),
+        json_escape(&j.model),
+        j.bounds_checked,
+        j.bounds_skipped,
+        j.queue_wait.as_millis(),
+        j.solve_time.as_millis(),
+        stats_json(&j.stats),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(verdict: BmcResult) -> JobReport {
+        JobReport {
+            job_id: 0,
+            name: "j".into(),
+            model: "m".into(),
+            engines: vec!["jsat"],
+            verdict,
+            bound: None,
+            bounds_checked: 1,
+            bounds_skipped: 0,
+            winners: vec![],
+            byte_cap: None,
+            stats: RunStats {
+                duration: Duration::from_millis(3),
+                solver_effort: 5,
+                peak_formula_bytes: 100,
+                bounds_checked: 1,
+                ..RunStats::default()
+            },
+            queue_wait: Duration::from_millis(1),
+            solve_time: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_effort_and_maxes_peaks() {
+        let mut a = report(BmcResult::Unreachable);
+        a.stats.peak_formula_bytes = 50;
+        let b = report(BmcResult::Unknown("cancelled".into()));
+        let r = ServiceReport::new(2, Duration::from_millis(10), vec![a, b]);
+        assert_eq!(r.total.solver_effort, 10);
+        assert_eq!(r.total.peak_formula_bytes, 100, "peaks maxed");
+        assert_eq!(r.total.bounds_checked, 2);
+        assert_eq!((r.reachable, r.unreachable, r.unknown), (0, 1, 1));
+        assert_eq!(r.queue_wait_total, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escapes_reasons() {
+        let j = report(BmcResult::Unknown("a \"quoted\" reason".into()));
+        let r = ServiceReport::new(1, Duration::from_millis(5), vec![j]);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"workers\":1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"total_stats\":{"));
+        assert!(json.contains("\"jobs\":[{"));
+    }
+}

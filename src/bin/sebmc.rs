@@ -8,7 +8,23 @@
 //! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
 //!       [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N]
 //!       [--json] [--quiet]
+//! sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] [--bound K]
+//!       [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N]
+//!       [--within] [--json] [--quiet]
 //! ```
+//!
+//! `sebmc batch` runs a whole *job list* on the multi-worker checking
+//! service (`sebmc-service`): each job deepens one model through
+//! bounds `0..=K` on one engine session, or — with several engines —
+//! races the live sessions per bound (portfolio-level deepening).
+//! Jobs come from a job file (see `sebmc_service::parse_job_file` for
+//! the format) or from the built-in model suite (`--suite`, the
+//! default when no file is given). With a job file, `--timeout-ms` and
+//! `--mem-mb` are defaults for lines that set no limit of their own,
+//! and `--within` applies to every job. `--json` prints the aggregated
+//! `ServiceReport`; the text output is one line per job plus a
+//! summary. Exit code: 0 when every job got a verdict or the sweep was
+//! clean, 1 when any job ended `Unknown`, 2 for usage errors.
 //!
 //! * `--bound K` — the bound to check (with `--deepen`: the largest).
 //! * `--deepen` — open **one** engine session and check bounds
@@ -41,6 +57,9 @@ use sebmc_repro::bmc::{
     QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
 };
 use sebmc_repro::model::{Model, Trace};
+use sebmc_repro::service::{
+    json_escape, parse_job_file, stats_json, suite_jobs, CheckService, EngineKind, ServiceConfig,
+};
 
 struct Options {
     path: String,
@@ -138,22 +157,10 @@ fn print_witness(model: &Model, trace: &Trace) {
     debug_assert_eq!(model.check_trace(trace), Ok(()));
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// One JSON object for machine consumers: verdict, bound, engine and
 /// the full `RunStats` (cumulative over the session for `--deepen`).
+/// The `stats` object shares its schema with the batch
+/// `ServiceReport` via [`stats_json`].
 fn print_json(
     engine: &str,
     semantics: Semantics,
@@ -166,23 +173,13 @@ fn print_json(
     let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
     println!(
         "{{\"verdict\":\"{}\",\"reason\":{},\"bound\":{},\"engine\":\"{}\",\"semantics\":\"{}\",\
-         \"stats\":{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
-         \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
-         \"peak_watch_bytes\":{},\"solver_effort\":{},\"bounds_checked\":{}}}}}",
+         \"stats\":{}}}",
         json_escape(verdict),
         reason_s,
         bound_s,
         json_escape(engine),
         semantics,
-        stats.duration.as_millis(),
-        stats.encode_vars,
-        stats.encode_clauses,
-        stats.encode_lits,
-        stats.peak_formula_lits,
-        stats.peak_formula_bytes,
-        stats.peak_watch_bytes,
-        stats.solver_effort,
-        stats.bounds_checked,
+        stats_json(stats),
     );
 }
 
@@ -289,7 +286,175 @@ fn run_k_induction(opts: &Options, model: &Model) -> ExitCode {
     exit_for(&result)
 }
 
+fn batch_usage() -> ! {
+    eprintln!(
+        "usage: sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] \
+         [--bound K] [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N] \
+         [--within] [--json] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+/// `sebmc batch`: drain a job list on the multi-worker checking
+/// service and report the aggregate.
+fn run_batch(args: Vec<String>) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut suite: Option<String> = None;
+    let mut engines: Option<String> = None;
+    let mut bound: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut mem_mb: Option<u64> = None;
+    let mut max_job_mb: Option<u64> = None;
+    let mut semantics = Semantics::Exactly;
+    let mut json = false;
+    let mut quiet = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suite" => suite = Some(it.next().unwrap_or_else(|| batch_usage())),
+            "--engines" => engines = Some(it.next().unwrap_or_else(|| batch_usage())),
+            "--bound" => bound = Some(parse_num("bound", it.next()) as usize),
+            "--workers" => workers = Some(parse_num("workers", it.next()) as usize),
+            "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", it.next())),
+            "--mem-mb" => mem_mb = Some(parse_num("mem-mb", it.next())),
+            "--max-job-mb" => max_job_mb = Some(parse_num("max-job-mb", it.next())),
+            "--within" => semantics = Semantics::Within,
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => batch_usage(),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => batch_usage(),
+        }
+    }
+    let jobs: Vec<sebmc_repro::service::Job> = if let Some(path) = &file {
+        // Jobs-file lines carry their own models, engines and bounds;
+        // silently ignoring the suite flags would mislead.
+        if suite.is_some() || engines.is_some() || bound.is_some() {
+            eprintln!(
+                "sebmc: --suite/--engines/--bound configure the built-in suite \
+                 and cannot be combined with a job file"
+            );
+            return ExitCode::from(2);
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sebmc: cannot read job file '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_job_file(&text) {
+            Ok(jobs) => jobs
+                .into_iter()
+                .map(|mut j| {
+                    // CLI budget flags are *defaults* for lines that
+                    // set no limit of their own; --within applies to
+                    // every job.
+                    if j.budget.timeout.is_none() {
+                        j.budget.timeout = timeout_ms.map(Duration::from_millis);
+                    }
+                    if j.budget.max_formula_bytes.is_none() {
+                        j.budget.max_formula_bytes = mem_mb.map(|mb| mb as usize * 1024 * 1024);
+                    }
+                    if semantics == Semantics::Within {
+                        j.semantics = Semantics::Within;
+                    }
+                    j
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("sebmc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let kinds = match EngineKind::parse_list(engines.as_deref().unwrap_or("jsat,unroll")) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("sebmc: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let small = match suite.as_deref().unwrap_or("small") {
+            "small" => true,
+            "paper" => false,
+            other => {
+                eprintln!("sebmc: unknown suite '{other}' (expected small|paper)");
+                return ExitCode::from(2);
+            }
+        };
+        let budget = Budget {
+            timeout: timeout_ms.map(Duration::from_millis),
+            max_formula_bytes: mem_mb.map(|mb| mb as usize * 1024 * 1024),
+            ..Budget::default()
+        };
+        suite_jobs(small, &kinds, bound.unwrap_or(6), &budget)
+            .into_iter()
+            .map(|j| j.with_semantics(semantics))
+            .collect()
+    };
+    let mut config = match workers {
+        Some(w) => ServiceConfig::with_workers(w),
+        None => ServiceConfig::default(),
+    };
+    config.max_job_bytes = max_job_mb.map(|mb| mb as usize * 1024 * 1024);
+    if !quiet {
+        eprintln!(
+            "sebmc: batch of {} jobs on {} workers",
+            jobs.len(),
+            config.workers.max(1)
+        );
+    }
+    let mut svc = CheckService::new(config);
+    for job in jobs {
+        svc.submit(job);
+    }
+    let report = svc.run();
+    if !quiet {
+        for j in &report.jobs {
+            let (verdict, reason) = j.verdict_parts();
+            eprintln!(
+                "sebmc: [{:>3}] {:<20} {:<12} {} wait {:?} solve {:?} effort {}",
+                j.job_id,
+                j.name,
+                verdict,
+                match (j.bound, reason) {
+                    (Some(b), _) => format!("bound {b}"),
+                    (None, Some(r)) => format!("({r})"),
+                    (None, None) => format!("0..={} swept", j.bounds_checked.saturating_sub(1)),
+                },
+                j.queue_wait,
+                j.solve_time,
+                j.stats.solver_effort,
+            );
+        }
+        eprintln!(
+            "sebmc: {} reachable / {} unreachable / {} unknown in {:?} ({:.2} jobs/s)",
+            report.reachable,
+            report.unreachable,
+            report.unknown,
+            report.wall,
+            report.jobs_per_sec()
+        );
+    }
+    if json {
+        println!("{}", report.to_json());
+    }
+    if report.unknown > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    // The `batch` subcommand has its own argument grammar.
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("batch") {
+        raw.next();
+        return run_batch(raw.collect());
+    }
     let opts = parse_args();
     let bytes = match std::fs::read(&opts.path) {
         Ok(b) => b,

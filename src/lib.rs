@@ -15,6 +15,10 @@
 //!   encodings and the special-purpose jSAT decision procedure, behind
 //!   a session-based incremental engine API
 //!   ([`Engine`](bmc::Engine)/[`Session`](bmc::Session)/[`Budget`](bmc::Budget)).
+//! * [`service`] — the multi-worker checking service: a job queue over
+//!   engine sessions with portfolio-level deepening, per-job/service
+//!   cancellation and byte-budget admission control
+//!   ([`CheckService`](service::CheckService)/[`Job`](service::Job)/[`ServiceReport`](service::ServiceReport)).
 //!
 //! # Quickstart
 //!
@@ -36,3 +40,4 @@ pub use sebmc_logic as logic;
 pub use sebmc_model as model;
 pub use sebmc_qbf as qbf;
 pub use sebmc_sat as sat;
+pub use sebmc_service as service;

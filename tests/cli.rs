@@ -288,3 +288,102 @@ fn within_semantics_flag() {
     assert_eq!(within.status.code(), Some(10), "within-8 reachable");
     std::fs::remove_file(path).ok();
 }
+
+#[test]
+fn batch_suite_produces_a_service_report() {
+    let out = cli()
+        .args([
+            "batch",
+            "--suite",
+            "small",
+            "--workers",
+            "4",
+            "--bound",
+            "4",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0), "no unknown jobs expected");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"jobs_total\":13"), "{stdout}");
+    assert!(stdout.contains("\"workers\":4"), "{stdout}");
+    assert!(stdout.contains("\"verdict\":\"reachable\""), "{stdout}");
+    assert!(stdout.contains("\"winners\":["), "{stdout}");
+    // The aggregate splits wall clock into queue wait and solve time.
+    assert!(stdout.contains("\"queue_wait_ms_total\":"), "{stdout}");
+    assert!(stdout.contains("\"solve_ms_total\":"), "{stdout}");
+}
+
+#[test]
+fn batch_job_file_runs_portfolio_and_single_engine_jobs() {
+    let path = std::env::temp_dir().join(format!("sebmc-test-jobs-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "# two jobs: a per-bound portfolio race and a single session\n\
+         suite:ring_4 jsat,unroll 6\n\
+         suite:traffic unroll 3 name=tl\n",
+    )
+    .expect("write job file");
+    // The file is a positional arg of the batch subcommand.
+    let out = cli()
+        .args([
+            "batch",
+            path.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"jobs_total\":2"), "{stdout}");
+    assert!(stdout.contains("\"name\":\"tl\""), "{stdout}");
+    assert!(stdout.contains("\"bound\":3"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_rejects_malformed_input() {
+    // Unknown engine list is a usage error (exit 2), not a silent run.
+    let bad_engines = cli()
+        .args(["batch", "--engines", "bdd", "--quiet"])
+        .output()
+        .expect("run");
+    assert_eq!(bad_engines.status.code(), Some(2));
+    // Malformed job file lines are reported with their line number.
+    let path = std::env::temp_dir().join(format!("sebmc-test-badjobs-{}.txt", std::process::id()));
+    std::fs::write(&path, "suite:ring_4 jsat\n").expect("write");
+    let bad_file = cli()
+        .args(["batch", path.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("run");
+    assert_eq!(bad_file.status.code(), Some(2));
+    let stderr = String::from_utf8(bad_file.stderr).unwrap();
+    assert!(stderr.contains("line 1"), "{stderr}");
+    // Suite-only flags combined with a job file are rejected, not
+    // silently ignored (the file's own engines/bounds would win).
+    std::fs::write(&path, "suite:ring_4 jsat 4\n").expect("write");
+    for conflicting in [
+        ["--engines", "jsat"],
+        ["--bound", "9"],
+        ["--suite", "small"],
+    ] {
+        let out = cli()
+            .args(["batch", path.to_str().unwrap(), "--quiet"])
+            .args(conflicting)
+            .output()
+            .expect("run");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{conflicting:?} with a job file must be a usage error"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("cannot be combined"), "{stderr}");
+    }
+    std::fs::remove_file(path).ok();
+}
