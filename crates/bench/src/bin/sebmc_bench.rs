@@ -3,10 +3,20 @@
 //! Re-runs the propagation and watch-layout microbenches (the exact
 //! workloads of `cargo bench --bench propagation`, built from
 //! [`sebmc_bench::workloads`]) and compares the fresh medians against
-//! the checked-in baselines (`BENCH_pr1.json`, `BENCH_pr3.json`).
-//! Absolute nanoseconds drift between machines, so the tolerance is
-//! deliberately generous: the gate fails only on a **> 1.5×** slowdown
-//! against the *slowest* checked-in baseline for each bench.
+//! the checked-in baselines (`BENCH_pr1.json`, `BENCH_pr3.json`,
+//! `BENCH_pr5.json`). Absolute nanoseconds drift between machines, so
+//! the tolerance is deliberately generous: the gate fails only on a
+//! **> 1.5×** slowdown against the *slowest* checked-in baseline for
+//! each bench.
+//!
+//! The proof-logging workloads (`proof/*`, PR 5) are **record-only**:
+//! they predate no baseline — their job is to document the cost of
+//! logging on vs. off, not to gate. They are measured, printed and
+//! written to `--out`, but never fail the run and never exit 2 when a
+//! baseline is missing. The logging-**off** configuration is gated
+//! indirectly: the propagation/watch workloads above run with no sink
+//! installed, so a regression in the disabled-logging hot path trips
+//! the ordinary gate.
 //!
 //! ```text
 //! sebmc_bench [--samples N] [--tolerance-pct P] [--out FILE]
@@ -27,12 +37,18 @@ use std::process::ExitCode;
 
 use sebmc_bench::baseline::baseline_median;
 use sebmc_bench::microbench::{run, Sample};
-use sebmc_bench::workloads::{chain_instance, churn_instance};
+use sebmc_bench::workloads::{chain_instance, churn_instance, pigeonhole_instance};
 use sebmc_bench::{flag, flag_u64};
+use sebmc_proof::StreamingChecker;
 use sebmc_sat::SolveResult;
 
 /// The checked-in baseline files, in the order they were minted.
-const BASELINE_FILES: [&str; 2] = ["BENCH_pr1.json", "BENCH_pr3.json"];
+const BASELINE_FILES: [&str; 3] = ["BENCH_pr1.json", "BENCH_pr3.json", "BENCH_pr5.json"];
+
+/// Benches that are measured and recorded but never gate: the PR 5
+/// proof-logging workloads have no pre-logging baseline to regress
+/// against (the feature did not exist), so their medians inform only.
+const RECORD_ONLY: [&str; 2] = ["proof/php76_log_off", "proof/php76_log_checked"];
 
 /// The slowest median any checked-in baseline records for `name`
 /// (machines differ; the gate must not fail because the CI runner is
@@ -88,6 +104,17 @@ fn main() -> ExitCode {
         run("propagation/watch_churn_4k_w8", 3, samples, || {
             churn.solve_with(&churn_heads)
         }),
+        // Record-only (PR 5): proof logging off vs. full streaming
+        // checking on a conflict-heavy UNSAT instance.
+        run("proof/php76_log_off", 3, samples, || {
+            let mut s = pigeonhole_instance(7, 6, None);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        }),
+        run("proof/php76_log_checked", 3, samples, || {
+            let mut s = pigeonhole_instance(7, 6, Some(Box::new(StreamingChecker::new())));
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            assert!(s.proof_certifies(&[]));
+        }),
     ];
 
     if let Some(path) = &out_path {
@@ -108,7 +135,15 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for s in &fresh {
+        let record_only = RECORD_ONLY.contains(&s.name.as_str());
         let Some(base) = slowest_baseline(&docs, &s.name) else {
+            if record_only {
+                eprintln!(
+                    "sebmc_bench:  rec {:<40} fresh {:>10} ns (record-only, no baseline)",
+                    s.name, s.median_ns
+                );
+                continue;
+            }
             eprintln!(
                 "sebmc_bench: FAIL {} — no baseline median in {:?} \
                  (renamed bench? update the baselines)",
@@ -119,7 +154,9 @@ fn main() -> ExitCode {
         };
         let limit = base.saturating_mul(tolerance_pct as u128) / 100;
         let ratio = s.median_ns as f64 / base as f64;
-        let verdict = if s.median_ns > limit {
+        let verdict = if record_only {
+            "rec" // measured against its recorded median, never gates
+        } else if s.median_ns > limit {
             failed = true;
             "FAIL"
         } else {

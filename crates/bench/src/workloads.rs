@@ -65,6 +65,38 @@ pub fn churn_instance(vars: usize, width: usize) -> (Solver, Vec<Lit>) {
     (s, vec![v[0]])
 }
 
+/// The proof-logging workload: a pigeonhole instance (`pigeons` into
+/// `holes`), conflict-heavy so the learnt-clause hooks dominate —
+/// exactly what proof logging instruments. The builder takes an
+/// optional proof sink installed *before* the first clause; solving
+/// the returned instance (UNSAT for `pigeons > holes`) exercises
+/// originals, learnt adds, reductions and the finalization lemma.
+pub fn pigeonhole_instance(
+    pigeons: usize,
+    holes: usize,
+    sink: Option<Box<dyn sebmc_proof::ProofSink>>,
+) -> Solver {
+    let mut s = Solver::new();
+    if let Some(sink) = sink {
+        s.set_proof_sink(sink);
+    }
+    let p: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row.iter().copied());
+    }
+    #[allow(clippy::needless_range_loop)]
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in i + 1..pigeons {
+                s.add_clause([!p[i][h], !p[j][h]]);
+            }
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +113,13 @@ mod tests {
     fn churn_instance_is_forced_sat() {
         let (mut s, heads) = churn_instance(200, 8);
         assert_eq!(s.solve_with(&heads), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_instance_is_unsat_and_certifiable() {
+        let mut s = pigeonhole_instance(5, 4, Some(Box::new(sebmc_proof::StreamingChecker::new())));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.proof_certifies(&[]));
+        assert_eq!(s.proof_summary().unwrap().failed_checks, 0);
     }
 }

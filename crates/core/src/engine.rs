@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sebmc_model::{Model, Trace};
+use sebmc_proof::Certificate;
 
 /// Which bounded-reachability question to decide.
 ///
@@ -171,6 +172,13 @@ pub struct Budget {
     /// formula (the SAT clause arena's live bytes, or the QBF matrix at
     /// 4 bytes per literal).
     pub max_formula_bytes: Option<usize>,
+    /// Certify verdicts: SAT-backed engines stream a binary-DRAT proof
+    /// through the bounded on-the-fly checker and attach a
+    /// [`Certificate`] to every decided bound (Unsat bounds are
+    /// proof-checked, Sat bounds replayed through the model
+    /// simulator). Engines without proof support (the QBF back-ends)
+    /// attach nothing.
+    pub certify: bool,
     /// Cooperative cancellation; fires for every clone of this budget.
     pub cancel: CancelToken,
 }
@@ -201,6 +209,12 @@ impl Budget {
     /// to tie several budgets to one external kill switch).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = token;
+        self
+    }
+
+    /// Returns `self` with verdict certification switched on or off.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
         self
     }
 
@@ -288,6 +302,11 @@ pub struct RunStats {
     /// covers the whole clause database, not just the clauses. 0 for
     /// QBF engines (their matrices carry no watch structures).
     pub peak_watch_bytes: usize,
+    /// Exact bytes of binary-DRAT proof stream emitted so far (0
+    /// unless [`Budget::certify`] is on and the engine logs proofs).
+    /// The stream only grows, so absorbing by maximum yields the
+    /// session's total stream size.
+    pub peak_proof_bytes: usize,
     /// Back-end solver conflicts (SAT) or decisions (QBF).
     pub solver_effort: u64,
     /// `check_bound` calls folded into this record (1 for a one-shot
@@ -308,27 +327,41 @@ impl RunStats {
         self.peak_formula_lits = self.peak_formula_lits.max(other.peak_formula_lits);
         self.peak_formula_bytes = self.peak_formula_bytes.max(other.peak_formula_bytes);
         self.peak_watch_bytes = self.peak_watch_bytes.max(other.peak_watch_bytes);
+        self.peak_proof_bytes = self.peak_proof_bytes.max(other.peak_proof_bytes);
         self.solver_effort += other.solver_effort;
         self.bounds_checked += other.bounds_checked;
     }
 }
 
-/// Outcome of a bounded check: verdict plus metrics.
+/// Outcome of a bounded check: verdict plus metrics, plus — under
+/// [`Budget::certify`] — the machine-check summary backing the
+/// verdict.
 #[derive(Clone, Debug)]
 pub struct BmcOutcome {
     /// The verdict.
     pub result: BmcResult,
     /// Metrics of the run.
     pub stats: RunStats,
+    /// Certification summary for this bound: present when the session
+    /// ran under [`Budget::certify`] and the engine supports proof
+    /// logging. [`Certificate::fully_certified`] says whether the
+    /// verdict is actually covered.
+    pub certificate: Option<Certificate>,
 }
 
 impl BmcOutcome {
+    /// An outcome with no certificate attached.
+    pub fn new(result: BmcResult, stats: RunStats) -> Self {
+        BmcOutcome {
+            result,
+            stats,
+            certificate: None,
+        }
+    }
+
     /// Convenience constructor for unknown verdicts.
     pub fn unknown(reason: impl Into<String>, stats: RunStats) -> Self {
-        BmcOutcome {
-            result: BmcResult::Unknown(reason.into()),
-            stats,
-        }
+        BmcOutcome::new(BmcResult::Unknown(reason.into()), stats)
     }
 }
 
@@ -490,6 +523,7 @@ mod tests {
         let b = Budget {
             timeout: Some(Duration::from_secs(1)),
             max_formula_bytes: Some(4096),
+            certify: false,
             cancel: CancelToken::new(),
         };
         let now = Instant::now();
@@ -513,6 +547,7 @@ mod tests {
             duration: Duration::from_millis(5),
             encode_lits: 100,
             peak_formula_bytes: 400,
+            peak_proof_bytes: 90,
             solver_effort: 7,
             bounds_checked: 1,
             ..RunStats::default()
@@ -521,6 +556,7 @@ mod tests {
             duration: Duration::from_millis(3),
             encode_lits: 250,
             peak_formula_bytes: 300,
+            peak_proof_bytes: 150,
             solver_effort: 2,
             bounds_checked: 1,
             ..RunStats::default()
@@ -528,6 +564,7 @@ mod tests {
         assert_eq!(total.duration, Duration::from_millis(8));
         assert_eq!(total.encode_lits, 250);
         assert_eq!(total.peak_formula_bytes, 400);
+        assert_eq!(total.peak_proof_bytes, 150, "proof stream size is maxed");
         assert_eq!(total.solver_effort, 9);
         assert_eq!(total.bounds_checked, 2);
     }

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
+use sebmc_proof::{Certificate, StreamingChecker};
 use sebmc_sat::{SolveResult, Solver};
 
 use crate::engine::{BmcOutcome, BmcResult, Budget, RunStats, Semantics, Session};
@@ -66,11 +67,22 @@ impl IncrementalUnroll {
     }
 
     /// Starts a session whose budget covers all subsequent bounds.
+    ///
+    /// Under [`Budget::certify`] the solver streams a binary-DRAT
+    /// proof through the bounded on-the-fly checker from the very
+    /// first clause; every Unsat bound is then finalized via the
+    /// failed-assumption core of its per-bound activation literal and
+    /// matched against the proof, and every Sat bound's witness is
+    /// replayed through [`Model::check_trace`].
     pub fn with_budget(model: &Model, semantics: Semantics, budget: Budget) -> Self {
+        let mut solver = Solver::new();
+        if budget.certify {
+            solver.set_proof_sink(Box::new(StreamingChecker::new()));
+        }
         let mut s = IncrementalUnroll {
             model: model.clone(),
             semantics,
-            solver: Solver::new(),
+            solver,
             alloc: VarAlloc::new(),
             state_lits: Vec::new(),
             input_lits: Vec::new(),
@@ -170,7 +182,12 @@ impl IncrementalUnroll {
     pub fn check_bound(&mut self, k: usize) -> BmcOutcome {
         let call_start = Instant::now();
         let conflicts_before = self.solver.stats().conflicts;
-        let result = self.check_bound_inner(k);
+        let cert_before = if self.budget.certify {
+            self.solver.proof_summary()
+        } else {
+            None
+        };
+        let (result, bound_certified) = self.check_bound_inner(k);
         let stats = RunStats {
             duration: call_start.elapsed(),
             encode_vars: self.alloc.num_vars(),
@@ -179,16 +196,44 @@ impl IncrementalUnroll {
             peak_formula_lits: self.solver.stats().peak_live_lits,
             peak_formula_bytes: self.solver.stats().peak_bytes(),
             peak_watch_bytes: self.solver.stats().peak_watch_bytes,
+            peak_proof_bytes: self.solver.stats().peak_proof_bytes,
             solver_effort: self.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
         };
         self.total.absorb(&stats);
-        BmcOutcome { result, stats }
+        let certificate = self.bound_certificate(cert_before, bound_certified);
+        BmcOutcome {
+            result,
+            stats,
+            certificate,
+        }
     }
 
-    fn check_bound_inner(&mut self, k: usize) -> BmcResult {
+    /// The per-bound certificate: checker counters accumulated during
+    /// this call, plus whether this bound's verdict was covered.
+    fn bound_certificate(
+        &mut self,
+        before: Option<Certificate>,
+        bound_certified: Option<bool>,
+    ) -> Option<Certificate> {
+        if !self.budget.certify {
+            return None;
+        }
+        let now = self.solver.proof_summary().unwrap_or_default();
+        let mut cert = match before {
+            Some(b) => now.delta_since(&b),
+            None => now,
+        };
+        if let Some(ok) = bound_certified {
+            cert.bounds_attempted = 1;
+            cert.bounds_certified = u64::from(ok);
+        }
+        Some(cert)
+    }
+
+    fn check_bound_inner(&mut self, k: usize) -> (BmcResult, Option<bool>) {
         if self.budget.expired(self.started) {
-            return BmcResult::Unknown(self.budget.unknown_reason());
+            return (BmcResult::Unknown(self.budget.unknown_reason()), None);
         }
         while self.state_lits.len() <= k {
             // Enforce the byte cap (and deadline/cancellation) while
@@ -200,16 +245,21 @@ impl IncrementalUnroll {
                     .max_formula_bytes
                     .is_some_and(|cap| self.solver.stats().live_bytes() >= cap)
             {
-                return BmcResult::Unknown(self.budget.unknown_reason());
+                return (BmcResult::Unknown(self.budget.unknown_reason()), None);
             }
             self.extend();
         }
         self.solver.set_limits(self.budget.sat_limits(self.started));
         // Assumptions: F at frame k (exact) or F somewhere ≤ k (within,
         // via an OR over activation literals — expressed by assuming a
-        // fresh selector that implies the disjunction).
-        let result = match self.semantics {
-            Semantics::Exactly => self.solver.solve_with(&[self.target_act[k]]),
+        // fresh selector that implies the disjunction). The assumption
+        // literal doubles as the proof-level assumption an Unsat
+        // verdict is finalized against.
+        let (result, cert_assumption) = match self.semantics {
+            Semantics::Exactly => (
+                self.solver.solve_with(&[self.target_act[k]]),
+                self.target_act[k],
+            ),
             Semantics::Within => {
                 // selector → (act0 ∨ … ∨ actk) is wrong (acts are
                 // guards); instead: selector → (f0 ∨ … ∨ fk).
@@ -219,9 +269,10 @@ impl IncrementalUnroll {
                 clause.extend(self.target_lits.iter().take(k + 1).copied());
                 self.solver.add_clause(clause);
                 let r = self.solver.solve_with(&[sel]);
-                // Retire the selector so later bounds are unaffected.
+                // Retire the selector so later bounds are unaffected
+                // (the finalization lemma of the solve survives this).
                 self.solver.add_clause([!sel]);
-                r
+                (r, sel)
             }
         };
         match result {
@@ -244,10 +295,20 @@ impl IncrementalUnroll {
                     }
                 }
                 debug_assert_eq!(self.model.check_trace(&trace), Ok(()));
-                BmcResult::Reachable(Some(trace))
+                let certified = self
+                    .budget
+                    .certify
+                    .then(|| self.model.check_trace(&trace).is_ok());
+                (BmcResult::Reachable(Some(trace)), certified)
             }
-            SolveResult::Unsat => BmcResult::Unreachable,
-            SolveResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
+            SolveResult::Unsat => {
+                let certified = self
+                    .budget
+                    .certify
+                    .then(|| self.solver.proof_certifies(&[cert_assumption]));
+                (BmcResult::Unreachable, certified)
+            }
+            SolveResult::Unknown => (BmcResult::Unknown(self.budget.unknown_reason()), None),
         }
     }
 }
@@ -391,6 +452,44 @@ mod tests {
             "encoding stopped near the cap, held {} B",
             session.live_bytes()
         );
+    }
+
+    /// Under a certify budget, every decided bound must come back with
+    /// a fully-certified certificate: Unsat bounds proof-checked via
+    /// the per-bound activation assumption, Sat bounds replayed.
+    #[test]
+    fn certified_session_covers_both_polarities() {
+        for semantics in [Semantics::Exactly, Semantics::Within] {
+            let model = counter_with_reset(3);
+            let mut session = IncrementalUnroll::with_budget(
+                &model,
+                semantics,
+                Budget::none().with_certify(true),
+            );
+            for k in 0..=8 {
+                let out = session.check_bound(k);
+                assert!(!out.result.is_unknown());
+                let cert = out.certificate.as_ref().expect("certificate attached");
+                assert!(cert.fully_certified(), "bound {k} ({semantics}): {cert:?}");
+                if out.result.is_unreachable() {
+                    assert!(cert.unsat_proofs > 0, "Unsat bound finalized a core");
+                }
+                assert!(out.stats.peak_proof_bytes > 0, "proof bytes accounted");
+            }
+            let total = session.cumulative_stats();
+            assert!(total.peak_proof_bytes > 0);
+        }
+    }
+
+    /// Without the certify flag nothing is attached and no proof bytes
+    /// accrue — logging off is really off.
+    #[test]
+    fn uncertified_session_attaches_nothing() {
+        let model = counter_with_reset(3);
+        let mut session = IncrementalUnroll::new(&model, Semantics::Exactly);
+        let out = session.check_bound(3);
+        assert!(out.certificate.is_none());
+        assert_eq!(out.stats.peak_proof_bytes, 0);
     }
 
     #[test]

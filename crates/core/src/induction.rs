@@ -157,6 +157,7 @@ fn step_case(model: &Model, k: usize, budget: &Budget, start: Instant) -> (Solve
         peak_formula_lits: solver.stats().peak_live_lits,
         peak_formula_bytes: solver.stats().peak_bytes(),
         peak_watch_bytes: solver.stats().peak_watch_bytes,
+        peak_proof_bytes: solver.stats().peak_proof_bytes,
         solver_effort: solver.stats().conflicts,
         bounds_checked: 1,
     };

@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
+use sebmc_proof::{Certificate, StreamingChecker};
 use sebmc_sat::{SolveResult, Solver};
 
 use crate::engine::{
@@ -260,7 +261,7 @@ struct Formula4 {
     base_lits: usize,
 }
 
-fn build_formula4(model: &Model) -> Formula4 {
+fn build_formula4(model: &Model, certify: bool) -> Formula4 {
     let n = model.num_state_vars();
     let m = model.num_inputs();
     let mut alloc = VarAlloc::new();
@@ -313,6 +314,10 @@ fn build_formula4(model: &Model) -> Formula4 {
     cnf.ensure_vars(alloc.num_vars());
 
     let mut solver = Solver::new();
+    if certify {
+        // The proof must witness formula (4) from its first clause.
+        solver.set_proof_sink(Box::new(StreamingChecker::new()));
+    }
     solver.add_cnf(&cnf);
     Formula4 {
         base_vars: cnf.num_vars(),
@@ -375,12 +380,24 @@ pub struct JSatSession {
     cache: FailedCache,
     stats: JSatStats,
     total: RunStats,
+    /// Incremental Unsat SAT calls made while deciding the current
+    /// bound (certification accounting; reset per `check_bound`).
+    bound_unsat_calls: u64,
+    /// How many of them the streaming proof checker certified.
+    bound_unsat_certified: u64,
 }
 
 impl JSatSession {
     /// Opens a session on `model`; the budget's wall clock starts now.
+    ///
+    /// Under [`Budget::certify`], formula (4) is proof-logged from its
+    /// first clause and **every incremental Unsat call** of the search
+    /// (initial-state selection, successor exhaustion, the k = 0
+    /// degenerate query) is finalized with its failed-assumption core
+    /// and checked on the fly; an Unreachable bound is certified iff
+    /// all of its Unsat calls were.
     pub fn new(model: &Model, semantics: Semantics, config: JSatConfig, budget: Budget) -> Self {
-        let f4 = build_formula4(model);
+        let f4 = build_formula4(model, budget.certify);
         let alloc = VarAlloc::starting_at(f4.solver.num_vars());
         JSatSession {
             model: model.clone(),
@@ -393,6 +410,8 @@ impl JSatSession {
             cache: FailedCache::default(),
             stats: JSatStats::default(),
             total: RunStats::default(),
+            bound_unsat_calls: 0,
+            bound_unsat_certified: 0,
         }
     }
 
@@ -401,11 +420,30 @@ impl JSatSession {
         &self.stats
     }
 
+    /// Certification bookkeeping for one incremental Unsat call: the
+    /// proof must have finalized a core covered by `assumptions`.
+    fn note_unsat_call(&mut self, assumptions: &[Lit]) {
+        if !self.budget.certify {
+            return;
+        }
+        self.bound_unsat_calls += 1;
+        if self.f4.solver.proof_certifies(assumptions) {
+            self.bound_unsat_certified += 1;
+        }
+    }
+
     /// Decides bound `k`, reusing the formula, learnt clauses and
     /// failed-state cache from earlier bounds.
     pub fn check_bound(&mut self, k: usize) -> BmcOutcome {
         let call_start = Instant::now();
         let conflicts_before = self.f4.solver.stats().conflicts;
+        let cert_before = if self.budget.certify {
+            self.f4.solver.proof_summary()
+        } else {
+            None
+        };
+        self.bound_unsat_calls = 0;
+        self.bound_unsat_certified = 0;
         let result = if self.budget.expired(self.started) {
             BmcResult::Unknown(self.budget.unknown_reason())
         } else {
@@ -431,6 +469,7 @@ impl JSatSession {
             peak_formula_lits: self.f4.solver.stats().peak_live_lits,
             peak_formula_bytes: self.f4.solver.stats().peak_bytes(),
             peak_watch_bytes: self.f4.solver.stats().peak_watch_bytes,
+            peak_proof_bytes: self.f4.solver.stats().peak_proof_bytes,
             solver_effort: self.f4.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
         };
@@ -438,18 +477,55 @@ impl JSatSession {
         if let BmcResult::Reachable(Some(ref t)) = result {
             debug_assert_eq!(self.model.check_trace(t), Ok(()));
         }
-        BmcOutcome { result, stats }
+        let certificate = self.bound_certificate(cert_before, &result);
+        BmcOutcome {
+            result,
+            stats,
+            certificate,
+        }
+    }
+
+    /// Per-bound certificate: checker counters accumulated by this
+    /// call, plus whether the bound's verdict is covered — an
+    /// Unreachable bound needs every incremental Unsat call certified
+    /// (or, for a top-level inconsistency, a verified empty clause); a
+    /// Reachable bound needs its witness to replay.
+    fn bound_certificate(
+        &mut self,
+        before: Option<Certificate>,
+        result: &BmcResult,
+    ) -> Option<Certificate> {
+        if !self.budget.certify {
+            return None;
+        }
+        let now = self.f4.solver.proof_summary().unwrap_or_default();
+        let mut cert = match before {
+            Some(b) => now.delta_since(&b),
+            None => now,
+        };
+        let certified = match result {
+            BmcResult::Unreachable => Some(if self.bound_unsat_calls == 0 {
+                self.f4.solver.proof_certifies(&[])
+            } else {
+                self.bound_unsat_calls == self.bound_unsat_certified
+            }),
+            BmcResult::Reachable(Some(t)) => Some(self.model.check_trace(t).is_ok()),
+            BmcResult::Reachable(None) => Some(false),
+            BmcResult::Unknown(_) => None,
+        };
+        if let Some(ok) = certified {
+            cert.bounds_attempted = 1;
+            cert.bounds_certified = u64::from(ok);
+        }
+        Some(cert)
     }
 
     fn search(&mut self, k: usize, frames: &mut Vec<Frame>) -> BmcResult {
         // Degenerate bound: is some initial state a target state?
         if k == 0 {
             self.stats.sat_calls += 1;
-            return match self
-                .f4
-                .solver
-                .solve_with(&[self.f4.act_init, self.f4.act_target_u])
-            {
+            let assumptions = [self.f4.act_init, self.f4.act_target_u];
+            return match self.f4.solver.solve_with(&assumptions) {
                 SolveResult::Sat => {
                     let s0 = self.f4.read_state(&self.f4.u_lits);
                     BmcResult::Reachable(Some(Trace {
@@ -457,7 +533,10 @@ impl JSatSession {
                         inputs: vec![],
                     }))
                 }
-                SolveResult::Unsat => BmcResult::Unreachable,
+                SolveResult::Unsat => {
+                    self.note_unsat_call(&assumptions);
+                    BmcResult::Unreachable
+                }
                 SolveResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
             };
         }
@@ -483,11 +562,8 @@ impl JSatSession {
             if frames.is_empty() {
                 // Select a (new) initial state.
                 self.stats.sat_calls += 1;
-                match self
-                    .f4
-                    .solver
-                    .solve_with(&[self.f4.act_init, self.f4.act_init_block])
-                {
+                let assumptions = [self.f4.act_init, self.f4.act_init_block];
+                match self.f4.solver.solve_with(&assumptions) {
                     SolveResult::Sat => {
                         let s0 = self.f4.read_state(&self.f4.u_lits);
                         // Block it as an initial choice for when we return.
@@ -514,7 +590,12 @@ impl JSatSession {
                         });
                         self.stats.max_depth = self.stats.max_depth.max(frames.len());
                     }
-                    SolveResult::Unsat => return BmcResult::Unreachable,
+                    SolveResult::Unsat => {
+                        // No unblocked initial state remains: the bound
+                        // is exhausted. Certify this very call.
+                        self.note_unsat_call(&assumptions);
+                        return BmcResult::Unreachable;
+                    }
                     SolveResult::Unknown => {
                         return BmcResult::Unknown(self.budget.unknown_reason())
                     }
@@ -576,6 +657,7 @@ impl JSatSession {
                 }
                 SolveResult::Unsat => {
                     // σ_depth is exhausted for its remaining budget.
+                    self.note_unsat_call(&assumptions);
                     let popped = frames.pop().expect("non-empty");
                     self.stats.backtracks += 1;
                     if self.config.use_failed_cache {
@@ -807,6 +889,50 @@ mod tests {
             session_calls <= oneshot_calls,
             "session sweep used {session_calls} SAT calls vs {oneshot_calls} one-shot"
         );
+    }
+
+    /// A certified jSAT session: every incremental Unsat call of an
+    /// Unreachable bound is proof-checked, Sat bounds replay, and the
+    /// heavy blocking-clause churn (adds, retirements, simplify GC)
+    /// keeps the deletion log perfectly in sync.
+    #[test]
+    fn certified_session_checks_every_unsat_call() {
+        for semantics in [Semantics::Exactly, Semantics::Within] {
+            let m = counter_with_reset(3);
+            let mut session = JSatSession::new(
+                &m,
+                semantics,
+                JSatConfig {
+                    simplify_interval: 4, // eager GC: stress the log
+                    ..JSatConfig::default()
+                },
+                Budget::none().with_certify(true),
+            );
+            for k in 0..=8 {
+                let out = session.check_bound(k);
+                assert!(!out.result.is_unknown());
+                let cert = out.certificate.as_ref().expect("certificate attached");
+                assert!(cert.fully_certified(), "bound {k} ({semantics}): {cert:?}");
+                assert_eq!(cert.missing_deletes, 0, "deletion log in sync");
+                if out.result.is_unreachable() {
+                    assert!(cert.unsat_proofs > 0, "Unsat calls were finalized");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncertified_session_attaches_nothing() {
+        let m = shift_register(4);
+        let mut session = JSatSession::new(
+            &m,
+            Semantics::Exactly,
+            JSatConfig::default(),
+            Budget::none(),
+        );
+        let out = session.check_bound(4);
+        assert!(out.certificate.is_none());
+        assert_eq!(out.stats.peak_proof_bytes, 0);
     }
 
     #[test]

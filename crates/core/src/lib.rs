@@ -67,5 +67,6 @@ pub use portfolio::{
     PortfolioEntry,
 };
 pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear, QbfLinearSession};
+pub use sebmc_proof::Certificate;
 pub use squaring::{encode_qbf_squaring, QbfSquaring, QbfSquaringSession};
 pub use unroll::{encode_unrolled, UnrollSat, UnrolledCnf};

@@ -140,13 +140,13 @@ pub fn run_portfolio(
                             (outcome, cumulative)
                         }
                         Err(payload) => (
-                            BmcOutcome {
-                                result: BmcResult::Unknown(format!(
+                            BmcOutcome::new(
+                                BmcResult::Unknown(format!(
                                     "engine panicked: {}",
                                     panic_message(payload.as_ref())
                                 )),
-                                stats: RunStats::default(),
-                            },
+                                RunStats::default(),
+                            ),
                             RunStats::default(),
                         ),
                     };
@@ -166,13 +166,13 @@ pub fn run_portfolio(
                 // only come from a panic inside our own bookkeeping.
                 Err(payload) => PortfolioEntry {
                     engine: "unknown",
-                    outcome: BmcOutcome {
-                        result: BmcResult::Unknown(format!(
+                    outcome: BmcOutcome::new(
+                        BmcResult::Unknown(format!(
                             "engine panicked: {}",
                             panic_message(payload.as_ref())
                         )),
-                        stats: RunStats::default(),
-                    },
+                        RunStats::default(),
+                    ),
                     cumulative: RunStats::default(),
                 },
             })
@@ -641,7 +641,7 @@ mod tests {
                 ..RunStats::default()
             };
             self.total.absorb(&stats);
-            BmcOutcome { result, stats }
+            BmcOutcome::new(result, stats)
         }
         fn set_cancel(&mut self, token: CancelToken) {
             self.budget.cancel = token;

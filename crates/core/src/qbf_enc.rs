@@ -302,7 +302,7 @@ impl Session for QbfLinearSession {
             QbfResult::Unknown => BmcResult::Unknown(self.budget.unknown_reason()),
         };
         self.total.absorb(&stats);
-        BmcOutcome { result, stats }
+        BmcOutcome::new(result, stats)
     }
 
     fn set_cancel(&mut self, token: crate::engine::CancelToken) {

@@ -309,7 +309,7 @@ impl Session for QbfSquaringSession {
         stats.duration = call_start.elapsed();
         stats.bounds_checked = 1;
         self.total.absorb(&stats);
-        BmcOutcome { result, stats }
+        BmcOutcome::new(result, stats)
     }
 
     fn set_cancel(&mut self, token: crate::engine::CancelToken) {

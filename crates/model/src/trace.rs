@@ -39,12 +39,46 @@ impl Trace {
     pub fn packed_states(&self) -> Vec<u64> {
         self.states.iter().map(|s| pack_state(s)).collect()
     }
+
+    /// Renders the trace in the HWMCC stimulus-witness format: `1`
+    /// (bad-state reachable), `b0`, the initial latch values, one
+    /// input-vector line per step, and the `.` terminator. This is the
+    /// on-disk format of the CLI's witness output and the service's
+    /// streamed witness files.
+    pub fn to_hwmcc(&self) -> String {
+        let bits =
+            |v: &[bool]| -> String { v.iter().map(|&b| if b { '1' } else { '0' }).collect() };
+        let mut out = String::with_capacity(16 + self.states.len() * 8);
+        out.push_str("1\nb0\n");
+        out.push_str(&bits(self.states.first().map_or(&[][..], |s| s)));
+        out.push('\n');
+        for step in &self.inputs {
+            out.push_str(&bits(step));
+            out.push('\n');
+        }
+        out.push_str(".\n");
+        out
+    }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Inputs are printed *between* the states they transition:
+        // `0 -[10]-> 1`. Without them a failed replay cannot be
+        // reproduced (the successor of a state depends on the inputs),
+        // so diagnostics used to be unactionable for any model with
+        // free inputs. Input-free models keep the compact arrow form.
         write!(f, "trace[{} steps]:", self.len())?;
-        for s in &self.states {
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                let inputs = self.inputs.get(i - 1).map_or(&[][..], |v| v);
+                if inputs.is_empty() {
+                    write!(f, " ->")?;
+                } else {
+                    let bits: String = inputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                    write!(f, " -[{bits}]->")?;
+                }
+            }
             write!(f, " {}", pack_state(s))?;
         }
         Ok(())
@@ -168,6 +202,32 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         assert_eq!(t.packed_states(), vec![0, 1, 2, 3]);
+    }
+
+    /// Regression: `Display` used to print only the packed states, so
+    /// a failed replay on a model with free inputs could not be
+    /// reproduced from the diagnostic. Inputs now ride along.
+    #[test]
+    fn display_shows_inputs_between_states() {
+        let t = Trace {
+            states: vec![vec![false], vec![false], vec![true]],
+            inputs: vec![vec![false, true], vec![true, true]],
+        };
+        assert_eq!(t.to_string(), "trace[2 steps]: 0 -[01]-> 0 -[11]-> 1");
+        // Input-free models keep a compact arrow.
+        let t = good_trace();
+        assert_eq!(t.to_string(), "trace[3 steps]: 0 -> 1 -> 2 -> 3");
+    }
+
+    #[test]
+    fn hwmcc_rendering_matches_the_witness_convention() {
+        let t = Trace {
+            states: vec![vec![true, false], vec![false, true]],
+            inputs: vec![vec![true]],
+        };
+        assert_eq!(t.to_hwmcc(), "1\nb0\n10\n1\n.\n");
+        let empty = Trace::new();
+        assert_eq!(empty.to_hwmcc(), "1\nb0\n\n.\n", "degenerate trace");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The bounded byte ring between the proof writer and the checker.
+
+/// A fixed-capacity FIFO ring buffer of bytes.
+///
+/// This is the coupling between the DRAT encoder (the producer) and
+/// the streaming checker (the consumer): the encoder pushes record
+/// bytes, the checker drains them. The capacity is fixed at
+/// construction, so the in-flight portion of the proof is *bounded* —
+/// when a record does not fit, the producer must drain the checker
+/// first, which is exactly what keeps certification memory
+/// `O(active clauses)` instead of `O(proof)`.
+///
+/// ```
+/// use sebmc_proof::ByteRing;
+///
+/// let mut ring = ByteRing::new(4);
+/// assert_eq!(ring.push(b"abcdef"), 4, "only the capacity fits");
+/// let mut out = [0u8; 8];
+/// assert_eq!(ring.read_into(&mut out), 4);
+/// assert_eq!(&out[..4], b"abcd");
+/// assert!(ring.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ByteRing {
+    buf: Box<[u8]>,
+    /// Index of the oldest unread byte.
+    head: usize,
+    /// Number of unread bytes.
+    len: usize,
+}
+
+impl ByteRing {
+    /// A ring holding at most `capacity` bytes (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ByteRing {
+            buf: vec![0u8; capacity.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Unread bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no unread bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free space in bytes.
+    pub fn free(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// Appends as much of `bytes` as fits and returns how many bytes
+    /// were accepted (0 when full).
+    pub fn push(&mut self, bytes: &[u8]) -> usize {
+        let n = bytes.len().min(self.free());
+        let cap = self.buf.len();
+        let mut tail = (self.head + self.len) % cap;
+        for &b in &bytes[..n] {
+            self.buf[tail] = b;
+            tail = (tail + 1) % cap;
+        }
+        self.len += n;
+        n
+    }
+
+    /// Moves up to `out.len()` of the oldest bytes into `out` and
+    /// returns how many were read (0 when empty).
+    pub fn read_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.len);
+        let cap = self.buf.len();
+        for slot in out[..n].iter_mut() {
+            *slot = self.buf[self.head];
+            self.head = (self.head + 1) % cap;
+        }
+        self.len -= n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_the_wrap_point() {
+        let mut ring = ByteRing::new(8);
+        let mut out = [0u8; 16];
+        // Fill, half-drain, refill: the second write wraps.
+        assert_eq!(ring.push(&[1, 2, 3, 4, 5, 6]), 6);
+        assert_eq!(ring.read_into(&mut out[..4]), 4);
+        assert_eq!(&out[..4], &[1, 2, 3, 4]);
+        assert_eq!(ring.push(&[7, 8, 9, 10, 11, 12]), 6);
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.free(), 0);
+        assert_eq!(ring.push(&[99]), 0, "full ring accepts nothing");
+        let n = ring.read_into(&mut out);
+        assert_eq!(n, 8);
+        assert_eq!(&out[..8], &[5, 6, 7, 8, 9, 10, 11, 12]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn partial_pushes_report_accepted_prefix() {
+        let mut ring = ByteRing::new(3);
+        assert_eq!(ring.push(b"xyzzy"), 3);
+        let mut out = [0u8; 3];
+        ring.read_into(&mut out);
+        assert_eq!(&out, b"xyz");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = ByteRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+    }
+}

@@ -86,10 +86,46 @@
 //! by list growth. This is what turns the seed's tombstone leak into
 //! physically-flat memory: retired clauses now shrink the resident
 //! clause database, not just a counter.
+//!
+//! # Proof logging
+//!
+//! With a [`ProofSink`] installed ([`Solver::set_proof_sink`], before
+//! the first clause), the solver narrates every change to its
+//! *logical* clause database as a binary-DRAT event stream:
+//!
+//! * `add_clause` logs the caller's clause as an **original**; when
+//!   level-0 filtering strips falsified literals, the filtered clause
+//!   is logged as a derived **add** (RUP via the top-level units)
+//!   followed by a **delete** of the original;
+//! * every clause learnt by `analyze` is logged as an **add** (the
+//!   first-UIP clause with minimization is RUP by construction);
+//! * `reduce_db`, `simplify` and the subsumption pass log a **delete**
+//!   for every clause they free; in-place rewrites (literal stripping,
+//!   self-subsuming strengthening) log the new clause *before*
+//!   deleting the old one, so the RUP check can still lean on it;
+//! * an Unsat verdict is **finalized**: a top-level conflict logs the
+//!   empty clause, an assumption failure logs the negated
+//!   failed-assumption core from `analyze_final` (itself RUP — the
+//!   core's reason cone replays under unit propagation).
+//!
+//! The deletion log is keyed by clause *content*, never by [`CRef`] —
+//! which is the invariant that makes the delicate parts of this
+//! solver (lazy watch deletion leaves stale watchers in smudged lists;
+//! arena compaction rewrites every `CRef`) invisible to the proof:
+//! deletions are logged exactly once, at the `free_clause` call sites
+//! where the clause leaves its owning list, and GC/watch hygiene
+//! never touches the stream. A clause that is *rewritten to a unit*
+//! is freed by the solver (the fact lives on as a trail assignment)
+//! but **not** deleted from the proof, because the checker's unit is
+//! that clause.
+//!
+//! [`Stats::peak_proof_bytes`] carries the exact encoded size of the
+//! emitted stream, alongside the arena and watch byte accounting.
 
 use std::time::Instant;
 
 use sebmc_logic::{Cnf, Lit, Var};
+use sebmc_proof::{Certificate, ProofSink};
 
 use crate::arena::{CRef, ClauseArena};
 use crate::heap::ActivityHeap;
@@ -187,6 +223,10 @@ pub struct Stats {
     pub watch_resident_bytes: usize,
     /// Peak of [`Stats::watch_resident_bytes`] ever observed.
     pub peak_watch_bytes: usize,
+    /// Exact bytes of binary-DRAT proof stream emitted so far (0 when
+    /// no [`ProofSink`] is installed). Monotone — the stream only
+    /// grows — so its peak *is* its current value.
+    pub peak_proof_bytes: usize,
 }
 
 impl Stats {
@@ -279,6 +319,13 @@ pub struct Solver {
     /// levels (LBD) without clearing between clauses.
     lbd_stamp: Vec<u64>,
     lbd_counter: u64,
+    /// Proof-event receiver; `None` (the default) costs one branch at
+    /// the logging sites and nothing else.
+    proof: Option<Box<dyn ProofSink>>,
+    /// Reusable literal buffer for content-keyed deletion logging
+    /// (`reduce_db`/`simplify` delete clauses in bulk; one fresh `Vec`
+    /// per deletion would be needless churn).
+    proof_scratch: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -314,6 +361,8 @@ impl Solver {
             max_learnts: 4000.0,
             lbd_stamp: vec![0],
             lbd_counter: 0,
+            proof: None,
+            proof_scratch: Vec::new(),
         }
     }
 
@@ -397,6 +446,91 @@ impl Solver {
         self.max_learnts = cap;
     }
 
+    /// Installs a proof-event receiver. Must be called on a pristine
+    /// solver (no clauses, no assignments) — the proof stream has to
+    /// witness every original clause from the very first one.
+    ///
+    /// # Panics
+    /// Panics if the solver already holds clauses or assignments.
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ProofSink>) {
+        assert!(
+            self.arena.is_empty() && self.trail.is_empty() && self.ok,
+            "install the proof sink before the first clause"
+        );
+        self.proof = Some(sink);
+    }
+
+    /// Whether a proof sink is installed.
+    pub fn has_proof(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Exact bytes of proof stream emitted so far (0 without a sink).
+    pub fn proof_bytes(&self) -> usize {
+        self.proof.as_ref().map_or(0, |p| p.bytes_emitted())
+    }
+
+    /// The sink's cumulative certification counters, if it checks what
+    /// it receives (`None` without a sink, or for write-only sinks).
+    pub fn proof_summary(&mut self) -> Option<Certificate> {
+        self.proof.as_mut().and_then(|p| p.summary())
+    }
+
+    /// Whether the proof certifies unsatisfiability under
+    /// `assumptions` (see [`ProofSink::certifies`]). Always `false`
+    /// without a checking sink.
+    pub fn proof_certifies(&mut self, assumptions: &[Lit]) -> bool {
+        self.proof
+            .as_mut()
+            .is_some_and(|p| p.certifies(assumptions))
+    }
+
+    // ----- proof-logging helpers (each a no-op without a sink) -----------
+
+    fn proof_original(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.original(lits);
+            self.stats.peak_proof_bytes = p.bytes_emitted();
+        }
+    }
+
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.add(lits);
+            self.stats.peak_proof_bytes = p.bytes_emitted();
+        }
+    }
+
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.delete(lits);
+            self.stats.peak_proof_bytes = p.bytes_emitted();
+        }
+    }
+
+    /// Logs the deletion of a clause by its *current* arena content
+    /// (through the reusable scratch buffer — no allocation per
+    /// deletion).
+    fn proof_delete_cref(&mut self, cref: CRef) {
+        if self.proof.is_some() {
+            let mut scratch = std::mem::take(&mut self.proof_scratch);
+            scratch.clear();
+            scratch.extend(self.arena.lits(cref));
+            self.proof_delete(&scratch);
+            self.proof_scratch = scratch;
+        }
+    }
+
+    /// Logs the finalization lemma of an Unsat verdict: the negated
+    /// failed-assumption core, or the empty clause for a top-level
+    /// conflict.
+    fn proof_finalize(&mut self, neg_core: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.finalize_unsat(neg_core);
+            self.stats.peak_proof_bytes = p.bytes_emitted();
+        }
+    }
+
     /// Adds a clause; returns `false` if the solver became inconsistent
     /// (the empty clause was derived).
     ///
@@ -420,7 +554,9 @@ impl Solver {
         if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
             return true;
         }
-        // Remove literals already false at level 0; drop satisfied clauses.
+        // Remove literals already false at level 0; drop satisfied
+        // clauses (silently — a missing axiom only *strengthens* what
+        // the proof certifies).
         let mut filtered = Vec::with_capacity(ls.len());
         for &l in &ls {
             match lit_value(&self.assigns, l) {
@@ -428,6 +564,14 @@ impl Solver {
                 Value::False => {}
                 Value::Unassigned => filtered.push(l),
             }
+        }
+        // Proof: the caller's clause is the axiom; the filtered
+        // version, when different, is a derived add (RUP via the
+        // top-level units) that replaces it.
+        self.proof_original(&ls);
+        if filtered.len() != ls.len() {
+            self.proof_add(&filtered);
+            self.proof_delete(&ls);
         }
         match filtered.len() {
             0 => {
@@ -437,6 +581,11 @@ impl Solver {
             1 => {
                 self.unchecked_enqueue(filtered[0], None);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    // Top-level conflict: the empty clause follows by
+                    // unit propagation alone.
+                    self.proof_add(&[]);
+                }
                 self.ok
             }
             _ => {
@@ -544,12 +693,14 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            self.proof_add(&[]);
             return false;
         }
         // Top-level assignments never need reasons again.
         for &l in &self.trail {
             self.vardata[l.var().index()].reason = None;
         }
+        let proof_on = self.proof.is_some();
         // Every watch list is rebuilt from scratch at the end; until
         // then the kept clauses are detached.
         self.watches.clear_all();
@@ -573,10 +724,22 @@ impl Solver {
                     .lits(cref)
                     .any(|l| lit_value(&self.assigns, l) == Value::True);
                 if satisfied {
+                    self.proof_delete_cref(cref);
                     self.free_clause(cref);
                     continue;
                 }
-                // Strip level-0-falsified literals in place.
+                // Strip level-0-falsified literals in place. The
+                // pre-strip copy feeds the proof's add-then-delete
+                // pair, so it is only taken when a literal will
+                // actually be stripped (most clauses lose nothing —
+                // copying them all would be O(live lits) of allocation
+                // churn per simplify pass).
+                let old_lits: Option<Vec<Lit>> = (proof_on
+                    && self
+                        .arena
+                        .lits(cref)
+                        .any(|l| lit_value(&self.assigns, l) == Value::False))
+                .then(|| self.arena.lits(cref).collect());
                 let len = self.arena.len(cref);
                 let mut kept_lits = 0;
                 for i in 0..len {
@@ -591,6 +754,14 @@ impl Solver {
                 if kept_lits < len {
                     self.arena.shrink(cref, kept_lits.max(1));
                     self.stats.live_lits -= len - kept_lits.max(1);
+                    // Proof: the stripped clause replaces the original
+                    // (add first, so the RUP check can use the old
+                    // clause; an empty result is the proof's end).
+                    if let Some(old) = old_lits {
+                        let new: Vec<Lit> = self.arena.lits(cref).take(kept_lits).collect();
+                        self.proof_add(&new);
+                        self.proof_delete(&old);
+                    }
                 }
                 match kept_lits {
                     0 => {
@@ -630,6 +801,7 @@ impl Solver {
                 Value::True => {}
                 Value::False => {
                     self.ok = false;
+                    self.proof_add(&[]);
                     return false;
                 }
                 Value::Unassigned => self.unchecked_enqueue(l, None),
@@ -638,6 +810,7 @@ impl Solver {
         self.qhead = 0;
         if self.propagate().is_some() {
             self.ok = false;
+            self.proof_add(&[]);
             return false;
         }
         self.maybe_garbage_collect();
@@ -757,15 +930,25 @@ impl Solver {
                         if c_is_learnt && !self.arena.is_learnt(d) {
                             continue;
                         }
+                        self.proof_delete_cref(d);
                         self.free_clause(d);
                         self.stats.subsumed_clauses += 1;
                     } else if matched + 1 == clen && flipped == 1 {
                         // Self-subsuming resolution: drop the flipped
-                        // literal from D.
+                        // literal from D. The resolvent is RUP against
+                        // {C, D}, so the proof logs it before deleting
+                        // the old D (add-then-delete).
+                        let old_lits: Option<Vec<Lit>> =
+                            self.proof.is_some().then(|| self.arena.lits(d).collect());
                         self.arena.swap_lits(d, flipped_idx, dlen - 1);
                         self.arena.shrink(d, dlen - 1);
                         self.stats.live_lits -= 1;
                         self.stats.strengthened_lits += 1;
+                        if let Some(old) = old_lits {
+                            let new: Vec<Lit> = self.arena.lits(d).collect();
+                            self.proof_add(&new);
+                            self.proof_delete(&old);
+                        }
                         if dlen - 1 == 1 {
                             enqueue.push(self.arena.lit(d, 0));
                             self.free_clause(d);
@@ -1376,6 +1559,7 @@ impl Solver {
             let removable =
                 self.arena.len(r) > 2 && self.arena.lbd(r) > GLUE_PROTECT && !self.is_locked(r);
             if i < half && removable {
+                self.proof_delete_cref(r);
                 self.detach_clause_lazy(r);
                 self.free_clause(r);
             } else {
@@ -1442,9 +1626,13 @@ impl Solver {
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    // Conflict by top-level propagation alone: the
+                    // empty clause is RUP and concludes the proof.
+                    self.proof_finalize(&[]);
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                self.proof_add(&learnt);
                 // Glue is a property of the pre-backjump assignment:
                 // compute it before `cancel_until` resets the levels.
                 let glue = self.lits_lbd(&learnt);
@@ -1485,6 +1673,14 @@ impl Solver {
                         }
                         Value::False => {
                             self.analyze_final(p);
+                            // Finalize with the negated core: assuming
+                            // the core literals replays the conflict's
+                            // reason cone under unit propagation.
+                            if self.proof.is_some() {
+                                let neg: Vec<Lit> =
+                                    self.conflict_core.iter().map(|&a| !a).collect();
+                                self.proof_finalize(&neg);
+                            }
                             return SearchOutcome::Unsat;
                         }
                         Value::Unassigned => {
@@ -2188,5 +2384,156 @@ mod tests {
         assert!(st.decisions > 0);
         assert!(st.conflicts > 0);
         assert!(st.propagations > 0);
+    }
+
+    // ----- proof logging ------------------------------------------------
+
+    use sebmc_proof::{DratWriter, StreamingChecker};
+
+    /// Pigeonhole with a streaming checker: the Unsat verdict must be
+    /// fully machine-checked, and the byte accounting must be exact.
+    #[test]
+    fn unsat_proof_is_checked_on_the_fly() {
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(StreamingChecker::new()));
+        let mut p = Vec::new();
+        for _ in 0..5 {
+            p.push(vars(&mut s, 4));
+        }
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..4 {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.proof_certifies(&[]), "empty-assumption Unsat certified");
+        let cert = s.proof_summary().expect("checking sink");
+        assert_eq!(cert.failed_checks, 0, "every lemma RUP");
+        assert_eq!(cert.missing_deletes, 0, "deletion log in sync");
+        assert!(cert.lemmas_checked > 0, "conflicts produced lemmas");
+        assert!(cert.originals > 0);
+        assert_eq!(cert.proof_bytes as usize, s.proof_bytes());
+        assert_eq!(s.stats().peak_proof_bytes, s.proof_bytes());
+        assert!(s.proof_bytes() > 0);
+    }
+
+    /// Unsat under assumptions finalizes with the failed-assumption
+    /// core; the certificate matches the assumption set (and supersets)
+    /// while the solver stays incrementally usable.
+    #[test]
+    fn assumption_core_is_finalized_and_certified() {
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(StreamingChecker::new()));
+        let v = vars(&mut s, 4);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        assert_eq!(s.solve_with(&[v[0], !v[2]]), SolveResult::Unsat);
+        assert!(
+            s.proof_certifies(&[v[0], !v[2]]),
+            "core clause covers the assumptions"
+        );
+        assert!(
+            s.proof_certifies(&[v[0], !v[2], v[3]]),
+            "supersets certified too"
+        );
+        assert!(
+            !s.proof_certifies(&[v[3]]),
+            "unrelated assumptions are not covered"
+        );
+        // Still usable, and the next Unsat re-finalizes.
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[v[1], !v[2]]), SolveResult::Unsat);
+        assert!(s.proof_certifies(&[v[1], !v[2]]));
+        let cert = s.proof_summary().unwrap();
+        assert_eq!(cert.failed_checks, 0);
+        assert!(cert.unsat_proofs >= 2, "one finalization per Unsat solve");
+    }
+
+    /// The delicate interactions — lazy watch deletion (`reduce_db`),
+    /// wholesale simplify rebuilds, subsumption/strengthening rewrites
+    /// and compacting GC — must leave the deletion log keyed purely by
+    /// content, with nothing missing and nothing failing.
+    #[test]
+    fn churny_solving_keeps_the_proof_stream_in_sync() {
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(StreamingChecker::new()));
+        let v = vars(&mut s, 12);
+        // Subsumption + strengthening food.
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[1], v[2]]); // subsumed
+        s.add_clause([!v[0], v[1], v[3]]); // strengthened on v0
+        for w in v.windows(4).take(8) {
+            s.add_clause(w.iter().copied());
+        }
+        assert!(s.simplify());
+        assert!(s.stats().subsumed_clauses > 0, "subsumption fired");
+        assert!(s.stats().strengthened_lits > 0, "strengthening fired");
+        // Learnt churn + reductions, then a unit that guts the formula
+        // and forces GC.
+        s.set_max_learnts(4.0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([v[1]]);
+        assert!(s.simplify());
+        s.garbage_collect();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let cert = s.proof_summary().unwrap();
+        assert_eq!(cert.failed_checks, 0, "all rewrites RUP");
+        assert_eq!(
+            cert.missing_deletes, 0,
+            "content-keyed deletions survive lazy watches and GC"
+        );
+        assert!(cert.deletions > 0, "the churn actually deleted clauses");
+    }
+
+    /// jSAT-style activation-literal retraction under proof logging:
+    /// guarded clauses retired by `simplify` must be deleted from the
+    /// proof exactly once, and later Unsat calls still certify.
+    #[test]
+    fn activation_retraction_is_proof_logged() {
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(StreamingChecker::new()));
+        let v = vars(&mut s, 3);
+        let act = s.new_var().positive();
+        s.add_clause([!act, !v[0]]);
+        s.add_clause([!act, !v[1]]);
+        s.add_clause([!act, !v[2]]);
+        s.add_clause([v[0], v[1], v[2]]);
+        assert_eq!(s.solve_with(&[act]), SolveResult::Unsat);
+        assert!(s.proof_certifies(&[act]));
+        s.add_clause([!act]);
+        assert!(s.simplify());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let cert = s.proof_summary().unwrap();
+        assert_eq!(cert.failed_checks, 0);
+        assert_eq!(cert.missing_deletes, 0);
+    }
+
+    /// A write-only DRAT sink accounts bytes but certifies nothing.
+    #[test]
+    fn write_only_sink_accounts_but_never_certifies() {
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(DratWriter::new(std::io::sink())));
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.proof_bytes() > 0);
+        assert!(s.proof_summary().is_none());
+        assert!(!s.proof_certifies(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first clause")]
+    fn proof_sink_must_be_installed_first() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.set_proof_sink(Box::new(StreamingChecker::new()));
     }
 }

@@ -207,7 +207,8 @@ pub fn suite_model(name: &str) -> Option<Model> {
 /// * `engines` is a comma-separated subset of
 ///   `jsat|unroll|qbf-linear|qbf-squaring`; two or more race per bound.
 /// * options: `timeout-ms=N`, `mem-mb=N` (budget), `within`
-///   (within-`k` semantics), `name=<label>`.
+///   (within-`k` semantics), `certify` (machine-check every decided
+///   bound), `name=<label>`.
 ///
 /// Malformed lines are errors (with their line number), never silently
 /// skipped.
@@ -244,6 +245,8 @@ fn parse_job_line(line: &str) -> Result<Job, String> {
     for opt in fields {
         if opt == "within" {
             job.semantics = Semantics::Within;
+        } else if opt == "certify" {
+            job.budget.certify = true;
         } else if let Some(v) = opt.strip_prefix("timeout-ms=") {
             let ms: u64 = v.parse().map_err(|_| format!("bad timeout-ms '{v}'"))?;
             job.budget.timeout = Some(Duration::from_millis(ms));
@@ -290,7 +293,7 @@ mod tests {
         let text = "\
 # a comment
 suite:ring_4 jsat,unroll 6 timeout-ms=5000
-suite:traffic unroll 3 within mem-mb=8 name=tl
+suite:traffic unroll 3 within mem-mb=8 name=tl certify
 ";
         let jobs = parse_job_file(text).unwrap();
         assert_eq!(jobs.len(), 2);
@@ -298,9 +301,11 @@ suite:traffic unroll 3 within mem-mb=8 name=tl
         assert_eq!(jobs[0].engines.len(), 2);
         assert_eq!(jobs[0].max_bound, 6);
         assert_eq!(jobs[0].budget.timeout, Some(Duration::from_millis(5000)));
+        assert!(!jobs[0].budget.certify);
         assert_eq!(jobs[1].name, "tl");
         assert_eq!(jobs[1].semantics, Semantics::Within);
         assert_eq!(jobs[1].budget.max_formula_bytes, Some(8 * 1024 * 1024));
+        assert!(jobs[1].budget.certify);
     }
 
     #[test]

@@ -77,15 +77,17 @@ mod job;
 mod report;
 
 pub use job::{parse_job_file, suite_jobs, suite_model, EngineKind, Job};
-pub use report::{json_escape, stats_json, JobReport, ServiceReport};
+pub use report::{cert_json, json_escape, stats_json, JobReport, ServiceReport};
 
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use sebmc::{BmcResult, CancelToken, DeepeningPortfolio, RunStats};
+use sebmc::{BmcResult, CancelToken, Certificate, DeepeningPortfolio, RunStats};
+use sebmc_model::Trace;
 
 /// How often the service's cancellation bridge polls job/service
 /// tokens while jobs are running.
@@ -100,6 +102,12 @@ pub struct ServiceConfig {
     /// every session's `max_formula_bytes` (taking the `min` with the
     /// job's own cap). `None` means jobs run under their own caps only.
     pub max_job_bytes: Option<usize>,
+    /// Witness streaming: when set, each reachable job's trace is
+    /// written to `<dir>/jobNNN_<name>.wit` in the HWMCC stimulus
+    /// format and the [`JobReport`] keeps only the path and length —
+    /// the full in-memory [`Trace`] is dropped, so a large batch's
+    /// report stays small. `None` keeps traces in memory as before.
+    pub witness_dir: Option<PathBuf>,
     /// The whole-service kill switch; keep a clone
     /// ([`CancelToken::clone`]) to stop the service from outside.
     pub cancel: CancelToken,
@@ -111,6 +119,7 @@ impl ServiceConfig {
         ServiceConfig {
             workers,
             max_job_bytes: None,
+            witness_dir: None,
             cancel: CancelToken::new(),
         }
     }
@@ -118,6 +127,13 @@ impl ServiceConfig {
     /// Returns `self` with the service-wide byte cap set.
     pub fn with_max_job_bytes(mut self, bytes: usize) -> Self {
         self.max_job_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns `self` streaming witnesses into `dir` (created on first
+    /// use).
+    pub fn with_witness_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.witness_dir = Some(dir.into());
         self
     }
 }
@@ -267,6 +283,9 @@ fn aborted_report(q: &QueuedJob, reason: &str, queue_wait: Duration) -> JobRepor
         winners: Vec::new(),
         byte_cap: q.job.budget.max_formula_bytes,
         stats: RunStats::default(),
+        certificate: None,
+        witness_path: None,
+        witness_steps: None,
         queue_wait,
         solve_time: Duration::ZERO,
     }
@@ -280,6 +299,21 @@ struct SweepState {
     winners: Vec<(usize, &'static str)>,
     checked: usize,
     skipped: usize,
+    cert: Option<Certificate>,
+}
+
+/// Streams a reachable job's witness into the configured directory,
+/// returning the file path. The file holds the HWMCC stimulus format
+/// ([`Trace::to_hwmcc`]).
+fn write_witness(dir: &Path, id: usize, name: &str, trace: &Trace) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let sanitized: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("job{id:03}_{sanitized}.wit"));
+    std::fs::write(&path, trace.to_hwmcc())?;
+    Ok(path.to_string_lossy().into_owned())
 }
 
 /// Renders a panic payload (the argument of `panic!`) as text.
@@ -331,6 +365,7 @@ fn run_job(
     let mut winners: Vec<(usize, &'static str)> = Vec::new();
     let mut bounds_checked = 0usize;
     let mut bounds_skipped = 0usize;
+    let mut certificate: Option<Certificate> = None;
     let stats;
     let engines: Vec<&'static str>;
 
@@ -362,6 +397,7 @@ fn run_job(
                     }
                     sweep.checked += 1;
                     let out = session.check_bound(k);
+                    Certificate::fold_into(&mut sweep.cert, out.certificate.as_ref());
                     match out.result {
                         BmcResult::Reachable(t) => {
                             sweep.bound = Some(k);
@@ -384,6 +420,7 @@ fn run_job(
                 winners = sweep.winners;
                 bounds_checked = sweep.checked;
                 bounds_skipped = sweep.skipped;
+                certificate = sweep.cert;
                 stats = cum;
                 v
             }
@@ -415,6 +452,12 @@ fn run_job(
                 match out.winner {
                     Some(i) => {
                         winners.push((k, out.entries[i].engine));
+                        // The job's certificate is the chain of race
+                        // winners' per-bound certificates.
+                        Certificate::fold_into(
+                            &mut certificate,
+                            out.entries[i].outcome.certificate.as_ref(),
+                        );
                         match &out.entries[i].outcome.result {
                             BmcResult::Reachable(t) => {
                                 bound = Some(k);
@@ -451,6 +494,22 @@ fn run_job(
         }
     }
 
+    // Witness streaming: persist the trace and drop it from the
+    // report. On a write error the in-memory trace is kept — a verdict
+    // is never silently stripped of its evidence.
+    let mut witness_path = None;
+    let mut witness_steps = None;
+    if let Some(dir) = &config.witness_dir {
+        if let BmcResult::Reachable(slot @ Some(_)) = &mut verdict {
+            let trace = slot.as_ref().expect("matched Some");
+            if let Ok(path) = write_witness(dir, id, &job.name, trace) {
+                witness_steps = Some(trace.len());
+                witness_path = Some(path);
+                *slot = None;
+            }
+        }
+    }
+
     JobReport {
         job_id: id,
         name: job.name,
@@ -463,6 +522,9 @@ fn run_job(
         winners,
         byte_cap,
         stats,
+        certificate,
+        witness_path,
+        witness_steps,
         queue_wait,
         solve_time: run_start.elapsed(),
     }
@@ -578,6 +640,69 @@ mod tests {
             r.jobs[0].verdict,
             BmcResult::Unknown("service cancelled".into())
         );
+    }
+
+    /// Witness streaming (ROADMAP open item): with a witness dir the
+    /// trace lands in an HWMCC-format file and the report carries only
+    /// the path and length — no in-memory trace.
+    #[test]
+    fn witness_streaming_replaces_the_in_memory_trace() {
+        let dir = std::env::temp_dir().join(format!("sebmc-wit-{}", std::process::id()));
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_witness_dir(&dir));
+        svc.submit(Job::new(shift_register(4), vec![EngineKind::Unroll], 6));
+        svc.submit(Job::new(traffic_light(), vec![EngineKind::Unroll], 3));
+        let r = svc.run();
+        let j = &r.jobs[0];
+        assert_eq!(j.verdict, BmcResult::Reachable(None), "trace dropped");
+        assert_eq!(j.bound, Some(4));
+        assert_eq!(j.witness_steps, Some(4));
+        let path = j.witness_path.as_ref().expect("witness file path");
+        let content = std::fs::read_to_string(path).expect("witness file exists");
+        assert!(content.starts_with("1\nb0\n"), "HWMCC header: {content}");
+        assert!(content.ends_with(".\n"));
+        assert_eq!(
+            content.lines().count(),
+            2 + 1 + 4 + 1,
+            "header + init + one input line per step + terminator"
+        );
+        // Unreachable jobs get no witness file.
+        assert!(r.jobs[1].witness_path.is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"witness_steps\":4"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A certified batch: every decided job carries a fully-certified
+    /// certificate and the aggregate counts them.
+    #[test]
+    fn certified_jobs_carry_certificates() {
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1));
+        let budget = Budget::none().with_certify(true);
+        svc.submit(
+            Job::new(traffic_light(), vec![EngineKind::Unroll], 4).with_budget(budget.clone()),
+        );
+        svc.submit(
+            Job::new(shift_register(4), vec![EngineKind::Jsat], 6).with_budget(budget.clone()),
+        );
+        // A portfolio job: the winners' chain certifies the verdict.
+        svc.submit(
+            Job::new(token_ring(4), vec![EngineKind::Jsat, EngineKind::Unroll], 6)
+                .with_budget(budget),
+        );
+        let r = svc.run();
+        for j in &r.jobs {
+            let cert = j.certificate.as_ref().expect("certificate present");
+            assert!(
+                cert.fully_certified(),
+                "job {} ({}): {cert:?}",
+                j.job_id,
+                j.name
+            );
+            assert_eq!(cert.bounds_attempted as usize, j.bounds_checked);
+        }
+        assert_eq!(r.jobs_certified, 3);
+        assert!(r.certificate.as_ref().unwrap().fully_certified());
+        assert!(r.total.peak_proof_bytes > 0, "proof bytes in the stats");
     }
 
     #[test]

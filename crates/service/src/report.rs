@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use sebmc::{BmcResult, RunStats};
+use sebmc::{BmcResult, Certificate, RunStats};
 
 /// Outcome and accounting of one job.
 #[derive(Clone, Debug)]
@@ -43,6 +43,19 @@ pub struct JobReport {
     /// Cumulative run stats — for a portfolio job this sums the racing
     /// effort of *all* engines, losers included.
     pub stats: RunStats,
+    /// Certification summary across the job's decided bounds (present
+    /// when the job ran under a certify budget on a proof-capable
+    /// engine; for a portfolio, the chain of per-bound race winners).
+    /// [`Certificate::fully_certified`] says whether every decided
+    /// bound was machine-checked.
+    pub certificate: Option<Certificate>,
+    /// Path of the streamed witness file, when the service ran with a
+    /// witness directory and this job was reachable — the in-memory
+    /// trace is dropped in that case and `verdict` is
+    /// `Reachable(None)`.
+    pub witness_path: Option<String>,
+    /// Steps of the streamed witness (the trace length the file holds).
+    pub witness_steps: Option<usize>,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
     /// Wall-clock time on the worker (encode + solve across bounds).
@@ -84,6 +97,12 @@ pub struct ServiceReport {
     pub unreachable: usize,
     /// Jobs that ended `Unknown` (budget, cancellation, skips).
     pub unknown: usize,
+    /// Jobs whose certificate is fully certified (every decided bound
+    /// machine-checked).
+    pub jobs_certified: usize,
+    /// All job certificates folded with [`Certificate::absorb`]
+    /// (`None` when no job carried one).
+    pub certificate: Option<Certificate>,
 }
 
 impl ServiceReport {
@@ -93,6 +112,8 @@ impl ServiceReport {
         let mut queue_wait_total = Duration::ZERO;
         let mut solve_total = Duration::ZERO;
         let (mut reachable, mut unreachable, mut unknown) = (0, 0, 0);
+        let mut jobs_certified = 0;
+        let mut certificate: Option<Certificate> = None;
         for j in &jobs {
             total.absorb(&j.stats);
             queue_wait_total += j.queue_wait;
@@ -102,6 +123,10 @@ impl ServiceReport {
                 BmcResult::Unreachable => unreachable += 1,
                 BmcResult::Unknown(_) => unknown += 1,
             }
+            if j.certificate.as_ref().is_some_and(|c| c.fully_certified()) {
+                jobs_certified += 1;
+            }
+            Certificate::fold_into(&mut certificate, j.certificate.as_ref());
         }
         ServiceReport {
             workers,
@@ -113,6 +138,8 @@ impl ServiceReport {
             reachable,
             unreachable,
             unknown,
+            jobs_certified,
+            certificate,
         }
     }
 
@@ -130,6 +157,7 @@ impl ServiceReport {
         out.push_str(&format!(
             "{{\"workers\":{},\"wall_ms\":{},\"jobs_total\":{},\
              \"reachable\":{},\"unreachable\":{},\"unknown\":{},\
+             \"jobs_certified\":{},\"certificate\":{},\
              \"queue_wait_ms_total\":{},\"solve_ms_total\":{},\
              \"jobs_per_sec\":{:.3},\"total_stats\":{},\"jobs\":[",
             self.workers,
@@ -138,6 +166,8 @@ impl ServiceReport {
             self.reachable,
             self.unreachable,
             self.unknown,
+            self.jobs_certified,
+            opt_cert_json(&self.certificate),
             self.queue_wait_total.as_millis(),
             self.solve_total.as_millis(),
             self.jobs_per_sec(),
@@ -174,7 +204,8 @@ pub fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
          \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
-         \"peak_watch_bytes\":{},\"solver_effort\":{},\"bounds_checked\":{}}}",
+         \"peak_watch_bytes\":{},\"peak_proof_bytes\":{},\"solver_effort\":{},\
+         \"bounds_checked\":{}}}",
         s.duration.as_millis(),
         s.encode_vars,
         s.encode_clauses,
@@ -182,9 +213,37 @@ pub fn stats_json(s: &RunStats) -> String {
         s.peak_formula_lits,
         s.peak_formula_bytes,
         s.peak_watch_bytes,
+        s.peak_proof_bytes,
         s.solver_effort,
         s.bounds_checked,
     )
+}
+
+/// Renders a [`Certificate`] as one JSON object (shared by the batch
+/// report and the CLI `--json` output).
+pub fn cert_json(c: &Certificate) -> String {
+    format!(
+        "{{\"certified\":{},\"bounds_attempted\":{},\"bounds_certified\":{},\
+         \"originals\":{},\"lemmas_checked\":{},\"deletions\":{},\
+         \"failed_checks\":{},\"missing_deletes\":{},\"unsat_proofs\":{},\
+         \"proof_bytes\":{},\"peak_active_clauses\":{}}}",
+        c.fully_certified(),
+        c.bounds_attempted,
+        c.bounds_certified,
+        c.originals,
+        c.lemmas_checked,
+        c.deletions,
+        c.failed_checks,
+        c.missing_deletes,
+        c.unsat_proofs,
+        c.proof_bytes,
+        c.peak_active_clauses,
+    )
+}
+
+/// `cert_json` for an optional certificate (`null` when absent).
+fn opt_cert_json(c: &Option<Certificate>) -> String {
+    c.as_ref().map_or("null".into(), cert_json)
 }
 
 fn job_json(j: &JobReport) -> String {
@@ -192,6 +251,11 @@ fn job_json(j: &JobReport) -> String {
     let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
     let bound_s = j.bound.map_or("null".into(), |b| b.to_string());
     let cap_s = j.byte_cap.map_or("null".into(), |c| c.to_string());
+    let witness_s = j
+        .witness_path
+        .as_deref()
+        .map_or("null".into(), |p| format!("\"{}\"", json_escape(p)));
+    let steps_s = j.witness_steps.map_or("null".into(), |n| n.to_string());
     let engines = j
         .engines
         .iter()
@@ -208,12 +272,14 @@ fn job_json(j: &JobReport) -> String {
         "{{\"id\":{},\"name\":\"{}\",\"model\":\"{}\",\"engines\":[{engines}],\
          \"verdict\":\"{verdict}\",\"reason\":{reason_s},\"bound\":{bound_s},\
          \"bounds_checked\":{},\"bounds_skipped\":{},\"byte_cap\":{cap_s},\
+         \"certificate\":{},\"witness_path\":{witness_s},\"witness_steps\":{steps_s},\
          \"queue_wait_ms\":{},\"solve_ms\":{},\"winners\":[{winners}],\"stats\":{}}}",
         j.job_id,
         json_escape(&j.name),
         json_escape(&j.model),
         j.bounds_checked,
         j.bounds_skipped,
+        opt_cert_json(&j.certificate),
         j.queue_wait.as_millis(),
         j.solve_time.as_millis(),
         stats_json(&j.stats),
@@ -243,6 +309,9 @@ mod tests {
                 bounds_checked: 1,
                 ..RunStats::default()
             },
+            certificate: None,
+            witness_path: None,
+            witness_steps: None,
             queue_wait: Duration::from_millis(1),
             solve_time: Duration::from_millis(2),
         }
@@ -271,5 +340,39 @@ mod tests {
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"total_stats\":{"));
         assert!(json.contains("\"jobs\":[{"));
+        assert!(json.contains("\"peak_proof_bytes\":0"));
+        assert!(json.contains("\"certificate\":null"));
+        assert!(json.contains("\"witness_path\":null"));
+    }
+
+    #[test]
+    fn certificates_aggregate_across_jobs() {
+        let mut a = report(BmcResult::Unreachable);
+        a.certificate = Some(Certificate {
+            bounds_attempted: 3,
+            bounds_certified: 3,
+            lemmas_checked: 10,
+            proof_bytes: 500,
+            ..Certificate::default()
+        });
+        let mut b = report(BmcResult::Unreachable);
+        b.certificate = Some(Certificate {
+            bounds_attempted: 2,
+            bounds_certified: 1, // one bound escaped certification
+            lemmas_checked: 4,
+            proof_bytes: 200,
+            ..Certificate::default()
+        });
+        let c = report(BmcResult::Unknown("cancelled".into())); // no cert
+        let r = ServiceReport::new(1, Duration::from_millis(5), vec![a, b, c]);
+        assert_eq!(r.jobs_certified, 1, "only the fully-certified job");
+        let total = r.certificate.as_ref().expect("folded certificate");
+        assert_eq!(total.bounds_attempted, 5);
+        assert_eq!(total.bounds_certified, 4);
+        assert_eq!(total.proof_bytes, 700);
+        assert!(!total.fully_certified());
+        let json = r.to_json();
+        assert!(json.contains("\"jobs_certified\":1"));
+        assert!(json.contains("\"certificate\":{\"certified\":false"));
     }
 }

@@ -7,10 +7,10 @@
 //! ```text
 //! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
 //!       [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N]
-//!       [--json] [--quiet]
+//!       [--certify] [--json] [--quiet]
 //! sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] [--bound K]
 //!       [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N]
-//!       [--within] [--json] [--quiet]
+//!       [--within] [--certify] [--witness-dir DIR] [--json] [--quiet]
 //! ```
 //!
 //! `sebmc batch` runs a whole *job list* on the multi-worker checking
@@ -34,9 +34,20 @@
 //! * `--timeout-ms N` / `--mem-mb N` — the session budget: wall clock
 //!   and a byte-based cap on the solver's clause database (`N` MiB).
 //!   Malformed numbers exit 2 instead of silently running unlimited.
+//! * `--certify` — machine-check every decided bound: SAT-backed
+//!   engines stream a binary-DRAT proof through the built-in
+//!   bounded-memory checker (Unsat bounds), witnesses are replayed
+//!   through the model simulator (Sat bounds), and the verdict carries
+//!   a certificate summary (`certificate` in `--json`, including the
+//!   exact `proof_bytes`). In batch mode a *decided but uncertified*
+//!   job fails the run (exit 1) — a certificate is part of the
+//!   contract once requested.
+//! * `--witness-dir DIR` (batch) — stream each reachable job's witness
+//!   to `DIR/jobNNN_<name>.wit` (HWMCC stimulus format); the report
+//!   keeps the path and length instead of the full trace.
 //! * `--json` — print one JSON object (verdict, bound, engine, run
-//!   stats including `peak_formula_bytes`) on stdout instead of the
-//!   HWMCC text output.
+//!   stats including `peak_formula_bytes` and `peak_proof_bytes`) on
+//!   stdout instead of the HWMCC text output.
 //!
 //! Output (without `--json`) follows the HWMCC witness convention:
 //! * `1` — the bad state is reachable, followed by `b0`, the initial
@@ -53,12 +64,13 @@ use std::time::Duration;
 
 use sebmc_repro::aiger;
 use sebmc_repro::bmc::{
-    k_induction_run, BmcOutcome, BmcResult, Budget, Engine, InductionResult, JSat, QbfBackend,
-    QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
+    k_induction_run, BmcOutcome, BmcResult, Budget, Certificate, Engine, InductionResult, JSat,
+    QbfBackend, QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
 };
 use sebmc_repro::model::{Model, Trace};
 use sebmc_repro::service::{
-    json_escape, parse_job_file, stats_json, suite_jobs, CheckService, EngineKind, ServiceConfig,
+    cert_json, json_escape, parse_job_file, stats_json, suite_jobs, CheckService, EngineKind,
+    ServiceConfig,
 };
 
 struct Options {
@@ -77,7 +89,7 @@ fn usage() -> ! {
         "usage: sebmc <circuit.aag|circuit.aig> \
          [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction] \
          [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N] \
-         [--json] [--quiet]"
+         [--certify] [--json] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -104,6 +116,7 @@ fn parse_args() -> Options {
     let mut semantics = Semantics::Exactly;
     let mut timeout_ms = None;
     let mut mem_mb = None;
+    let mut certify = false;
     let mut json = false;
     let mut quiet = false;
     while let Some(a) = args.next() {
@@ -114,6 +127,7 @@ fn parse_args() -> Options {
             "--within" => semantics = Semantics::Within,
             "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", args.next())),
             "--mem-mb" => mem_mb = Some(parse_num("mem-mb", args.next())),
+            "--certify" => certify = true,
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
@@ -132,6 +146,7 @@ fn parse_args() -> Options {
             // Byte-based cap against the solver's exact clause-arena
             // accounting (headers included).
             max_formula_bytes: mem_mb.map(|mb| mb as usize * 1024 * 1024),
+            certify,
             ..Budget::default()
         },
         json,
@@ -139,28 +154,18 @@ fn parse_args() -> Options {
     }
 }
 
-/// Prints an HWMCC-style stimulus witness.
+/// Prints an HWMCC-style stimulus witness (the same rendering the
+/// service's `--witness-dir` files use).
 fn print_witness(model: &Model, trace: &Trace) {
-    println!("1");
-    println!("b0");
-    // Initial latch values.
-    let init: String = trace.states[0]
-        .iter()
-        .map(|&b| if b { '1' } else { '0' })
-        .collect();
-    println!("{init}");
-    for step in &trace.inputs {
-        let line: String = step.iter().map(|&b| if b { '1' } else { '0' }).collect();
-        println!("{line}");
-    }
-    println!(".");
+    print!("{}", trace.to_hwmcc());
     debug_assert_eq!(model.check_trace(trace), Ok(()));
 }
 
-/// One JSON object for machine consumers: verdict, bound, engine and
-/// the full `RunStats` (cumulative over the session for `--deepen`).
-/// The `stats` object shares its schema with the batch
-/// `ServiceReport` via [`stats_json`].
+/// One JSON object for machine consumers: verdict, bound, engine, the
+/// full `RunStats` (cumulative over the session for `--deepen`) and —
+/// under `--certify` — the certificate summary. The `stats` and
+/// `certificate` objects share their schema with the batch
+/// `ServiceReport` via [`stats_json`]/[`cert_json`].
 fn print_json(
     engine: &str,
     semantics: Semantics,
@@ -168,17 +173,20 @@ fn print_json(
     reason: Option<&str>,
     bound: Option<usize>,
     stats: &RunStats,
+    cert: Option<&Certificate>,
 ) {
     let bound_s = bound.map_or("null".into(), |b| b.to_string());
     let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
+    let cert_s = cert.map_or("null".into(), cert_json);
     println!(
         "{{\"verdict\":\"{}\",\"reason\":{},\"bound\":{},\"engine\":\"{}\",\"semantics\":\"{}\",\
-         \"stats\":{}}}",
+         \"certificate\":{},\"stats\":{}}}",
         json_escape(verdict),
         reason_s,
         bound_s,
         json_escape(engine),
         semantics,
+        cert_s,
         stats_json(stats),
     );
 }
@@ -191,13 +199,16 @@ fn exit_for(result: &BmcResult) -> ExitCode {
     }
 }
 
-/// Reports one engine outcome in the selected output format.
+/// Reports one engine outcome in the selected output format. `cert`
+/// is the session-cumulative certificate (folded across bounds under
+/// `--deepen`).
 fn report(
     opts: &Options,
     model: &Model,
     bound: usize,
     out: &BmcOutcome,
     total: &RunStats,
+    cert: Option<&Certificate>,
 ) -> ExitCode {
     if !opts.quiet {
         eprintln!(
@@ -208,6 +219,22 @@ fn report(
             total.peak_formula_bytes,
             total.solver_effort
         );
+        if let Some(c) = cert {
+            eprintln!(
+                "sebmc: certificate: {} ({}/{} bounds, {} lemmas checked, {} proof B)",
+                if c.fully_certified() {
+                    "verified"
+                } else {
+                    "NOT fully certified"
+                },
+                c.bounds_certified,
+                c.bounds_attempted,
+                c.lemmas_checked,
+                c.proof_bytes
+            );
+        } else if opts.budget.certify {
+            eprintln!("sebmc: certificate: none (engine has no proof support)");
+        }
     }
     if opts.json {
         let (verdict, reason) = match &out.result {
@@ -226,6 +253,7 @@ fn report(
             reason,
             decided_bound,
             total,
+            cert,
         );
         return exit_for(&out.result);
     }
@@ -252,6 +280,7 @@ fn run_k_induction(opts: &Options, model: &Model) -> ExitCode {
                     None,
                     Some(len),
                     &stats,
+                    None,
                 );
             } else {
                 print_witness(model, &cex);
@@ -276,7 +305,15 @@ fn run_k_induction(opts: &Options, model: &Model) -> ExitCode {
             BmcResult::Unreachable => ("unreachable", Some(detail.as_str())),
             _ => ("unknown", Some(detail.as_str())),
         };
-        print_json("k-induction", opts.semantics, verdict, reason, None, &stats);
+        print_json(
+            "k-induction",
+            opts.semantics,
+            verdict,
+            reason,
+            None,
+            &stats,
+            None,
+        );
     } else {
         match &result {
             BmcResult::Unreachable => println!("0"),
@@ -290,7 +327,7 @@ fn batch_usage() -> ! {
     eprintln!(
         "usage: sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] \
          [--bound K] [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N] \
-         [--within] [--json] [--quiet]"
+         [--within] [--certify] [--witness-dir DIR] [--json] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -307,6 +344,8 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     let mut mem_mb: Option<u64> = None;
     let mut max_job_mb: Option<u64> = None;
     let mut semantics = Semantics::Exactly;
+    let mut certify = false;
+    let mut witness_dir: Option<String> = None;
     let mut json = false;
     let mut quiet = false;
     let mut it = args.into_iter();
@@ -320,6 +359,8 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             "--mem-mb" => mem_mb = Some(parse_num("mem-mb", it.next())),
             "--max-job-mb" => max_job_mb = Some(parse_num("max-job-mb", it.next())),
             "--within" => semantics = Semantics::Within,
+            "--certify" => certify = true,
+            "--witness-dir" => witness_dir = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => batch_usage(),
@@ -360,6 +401,9 @@ fn run_batch(args: Vec<String>) -> ExitCode {
                     if semantics == Semantics::Within {
                         j.semantics = Semantics::Within;
                     }
+                    // --certify is a floor, not a default: it switches
+                    // certification on for every job of the batch.
+                    j.budget.certify |= certify;
                     j
                 })
                 .collect(),
@@ -387,6 +431,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         let budget = Budget {
             timeout: timeout_ms.map(Duration::from_millis),
             max_formula_bytes: mem_mb.map(|mb| mb as usize * 1024 * 1024),
+            certify,
             ..Budget::default()
         };
         suite_jobs(small, &kinds, bound.unwrap_or(6), &budget)
@@ -399,6 +444,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         None => ServiceConfig::default(),
     };
     config.max_job_bytes = max_job_mb.map(|mb| mb as usize * 1024 * 1024);
+    config.witness_dir = witness_dir.map(Into::into);
     if !quiet {
         eprintln!(
             "sebmc: batch of {} jobs on {} workers",
@@ -406,6 +452,9 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             config.workers.max(1)
         );
     }
+    // The certificate contract holds however certification was
+    // requested — the --certify flag or a job-file `certify` option.
+    let certify = certify || jobs.iter().any(|j| j.budget.certify);
     let mut svc = CheckService::new(config);
     for job in jobs {
         svc.submit(job);
@@ -437,11 +486,37 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             report.wall,
             report.jobs_per_sec()
         );
+        if certify {
+            eprintln!(
+                "sebmc: certified {}/{} decided jobs ({} proof B checked)",
+                report.jobs_certified,
+                report.jobs.len() - report.unknown,
+                report.certificate.as_ref().map_or(0, |c| c.proof_bytes)
+            );
+        }
     }
     if json {
         println!("{}", report.to_json());
     }
-    if report.unknown > 0 {
+    // Once certification is requested, a decided job without a
+    // fully-certified certificate is a failure, exactly like an
+    // Unknown verdict: the claim was made but not machine-checked.
+    let uncertified = if certify {
+        report
+            .jobs
+            .iter()
+            .filter(|j| {
+                !j.verdict.is_unknown()
+                    && !j.certificate.as_ref().is_some_and(|c| c.fully_certified())
+            })
+            .count()
+    } else {
+        0
+    };
+    if uncertified > 0 && !quiet {
+        eprintln!("sebmc: {uncertified} decided job(s) lack a full certificate");
+    }
+    if report.unknown > 0 || uncertified > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -507,9 +582,11 @@ fn main() -> ExitCode {
     };
 
     if opts.deepen {
-        // One session, bounds 0..=K: solver state persists per bound.
+        // One session, bounds 0..=K: solver state persists per bound,
+        // and per-bound certificates fold into one session summary.
         let mut session = engine.start(&model, opts.semantics, opts.budget.clone());
         let mut skipped = 0usize;
+        let mut cert: Option<Certificate> = None;
         for k in 0..=opts.bound {
             // An unsupported bound (iterative squaring only checks
             // powers of two) is not a budget failure: keep deepening
@@ -519,6 +596,7 @@ fn main() -> ExitCode {
                 continue;
             }
             let out = session.check_bound(k);
+            Certificate::fold_into(&mut cert, out.certificate.as_ref());
             match out.result {
                 BmcResult::Unreachable => continue,
                 _ => {
@@ -526,7 +604,7 @@ fn main() -> ExitCode {
                     if !opts.quiet && out.result.is_reachable() {
                         eprintln!("sebmc: first reachable at bound {k}");
                     }
-                    return report(&opts, &model, k, &out, &total);
+                    return report(&opts, &model, k, &out, &total, cert.as_ref());
                 }
             }
         }
@@ -545,15 +623,19 @@ fn main() -> ExitCode {
         if !opts.quiet {
             eprintln!("sebmc: {result} (deepened 0..={})", opts.bound);
         }
-        let out = BmcOutcome {
-            result,
-            stats: total.clone(),
-        };
-        report(&opts, &model, opts.bound, &out, &total)
+        let out = BmcOutcome::new(result, total.clone());
+        report(&opts, &model, opts.bound, &out, &total, cert.as_ref())
     } else {
         let mut session = engine.start(&model, opts.semantics, opts.budget.clone());
         let out = session.check_bound(opts.bound);
         let total = session.cumulative_stats();
-        report(&opts, &model, opts.bound, &out, &total)
+        report(
+            &opts,
+            &model,
+            opts.bound,
+            &out,
+            &total,
+            out.certificate.as_ref(),
+        )
     }
 }

@@ -7,7 +7,11 @@
 //! dependency:
 //!
 //! * [`logic`] — literals, CNF, And-Inverter Graphs, Tseitin, DIMACS.
-//! * [`sat`] — an incremental CDCL SAT solver.
+//! * [`sat`] — an incremental CDCL SAT solver (with streaming DRAT
+//!   proof logging).
+//! * [`proof`] — verdict certification: the binary-DRAT writer and the
+//!   bounded-memory on-the-fly forward checker
+//!   ([`StreamingChecker`](proof::StreamingChecker)/[`Certificate`](proof::Certificate)).
 //! * [`qbf`] — prenex-CNF QBF representation and two QBF solvers.
 //! * [`aiger`] — AIGER (`.aag`/`.aig`) reader and writer.
 //! * [`model`] — symbolic transition systems and the benchmark suite.
@@ -38,6 +42,7 @@ pub use sebmc as bmc;
 pub use sebmc_aiger as aiger;
 pub use sebmc_logic as logic;
 pub use sebmc_model as model;
+pub use sebmc_proof as proof;
 pub use sebmc_qbf as qbf;
 pub use sebmc_sat as sat;
 pub use sebmc_service as service;

@@ -387,3 +387,118 @@ fn batch_rejects_malformed_input() {
     }
     std::fs::remove_file(path).ok();
 }
+
+#[test]
+fn certify_flag_attaches_a_certificate_to_json() {
+    let model = traffic_light();
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("certify", &aiger::to_ascii_string(&file));
+    // An Unsat deepening sweep: every bound must be machine-checked.
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "4",
+            "--deepen",
+            "--certify",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(20), "unreachable exit code");
+    let line = String::from_utf8(out.stdout).unwrap().trim().to_string();
+    assert!(
+        line.contains("\"certificate\":{\"certified\":true"),
+        "{line}"
+    );
+    assert!(line.contains("\"bounds_attempted\":5"), "{line}");
+    assert!(line.contains("\"bounds_certified\":5"), "{line}");
+    assert!(line.contains("\"failed_checks\":0"), "{line}");
+    assert!(line.contains("\"peak_proof_bytes\":"), "{line}");
+    assert!(
+        !line.contains("\"peak_proof_bytes\":0,"),
+        "exact proof size"
+    );
+    // Without --certify the field is null and no proof bytes accrue.
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "4",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    let line = String::from_utf8(out.stdout).unwrap().trim().to_string();
+    assert!(line.contains("\"certificate\":null"), "{line}");
+    assert!(line.contains("\"peak_proof_bytes\":0"), "{line}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_certify_certifies_every_job() {
+    let out = cli()
+        .args([
+            "batch",
+            "--suite",
+            "small",
+            "--bound",
+            "3",
+            "--certify",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0), "all certified, exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"jobs_certified\":13"), "{stdout}");
+    assert!(
+        stdout.contains("\"certificate\":{\"certified\":true"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"unsat_proofs\":"), "{stdout}");
+}
+
+#[test]
+fn batch_witness_dir_streams_traces_to_files() {
+    let dir = std::env::temp_dir().join(format!("sebmc-test-witdir-{}", std::process::id()));
+    let out = cli()
+        .args([
+            "batch",
+            "--suite",
+            "small",
+            "--engines",
+            "unroll",
+            "--bound",
+            "4",
+            "--witness-dir",
+            dir.to_str().unwrap(),
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"witness_path\":\""), "{stdout}");
+    assert!(stdout.contains("\"witness_steps\":"), "{stdout}");
+    // Every reachable job produced one HWMCC witness file.
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("witness dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(!files.is_empty(), "witness files written");
+    for f in &files {
+        let content = std::fs::read_to_string(f).unwrap();
+        assert!(content.starts_with("1\nb0\n"), "{content}");
+        assert!(content.ends_with(".\n"), "{content}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

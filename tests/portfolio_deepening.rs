@@ -110,7 +110,7 @@ impl Session for SlowSession {
             ..RunStats::default()
         };
         self.total.absorb(&stats);
-        BmcOutcome { result, stats }
+        BmcOutcome::new(result, stats)
     }
     fn set_cancel(&mut self, token: CancelToken) {
         self.budget.cancel = token;
