@@ -181,6 +181,14 @@ pub struct Budget {
     pub certify: bool,
     /// Cooperative cancellation; fires for every clone of this budget.
     pub cancel: CancelToken,
+    /// Stream the binary-DRAT proof of every Unsat bound to this file
+    /// in addition to (or instead of) checking it on the fly. The file
+    /// is created lazily by the first SAT-backed session; QBF engines
+    /// ignore it.
+    pub proof_out: Option<std::path::PathBuf>,
+    /// Fault-injection plan, threaded down to the solver's safe points
+    /// and consulted at engine `check_bound` entry. Inert by default.
+    pub fault: sebmc_logic::fault::FaultPlan,
 }
 
 impl Budget {
@@ -256,8 +264,48 @@ impl Budget {
             deadline: self.deadline_from(start),
             max_live_bytes: self.max_formula_bytes,
             cancel: Some(self.cancel.flag()),
+            fault: self.fault.clone(),
             ..sebmc_sat::Limits::none()
         }
+    }
+
+    /// The proof sink implied by this budget, if any: the on-the-fly
+    /// checker for `certify`, a [`sebmc_proof::DratWriter`] on
+    /// [`Budget::proof_out`] for disk export, or a tee of both. Returns
+    /// `None` (and leaves the solver sink-free) when neither is asked
+    /// for, or when the export file cannot be created — a budget is not
+    /// the place to fail a run over an unwritable path, so export
+    /// errors degrade to "no file" while certification still runs.
+    pub fn proof_sink(&self) -> Option<Box<dyn sebmc_proof::ProofSink>> {
+        let writer: Option<Box<dyn sebmc_proof::ProofSink>> =
+            self.proof_out.as_ref().and_then(|path| {
+                let file = std::fs::File::create(path).ok()?;
+                Some(
+                    Box::new(sebmc_proof::DratWriter::standard(std::io::BufWriter::new(
+                        file,
+                    ))) as Box<dyn sebmc_proof::ProofSink>,
+                )
+            });
+        match (self.certify, writer) {
+            (true, Some(w)) => Some(Box::new(sebmc_proof::TeeSink::new(
+                Box::new(sebmc_proof::StreamingChecker::new()),
+                w,
+            ))),
+            (true, None) => Some(Box::new(sebmc_proof::StreamingChecker::new())),
+            (false, Some(w)) => Some(w),
+            (false, None) => None,
+        }
+    }
+
+    /// Records a fault-injection safe-point hit at engine level,
+    /// steering injected cancellations onto this budget's token.
+    pub fn fault_hit_engine(&self) -> sebmc_logic::fault::FaultVerdict {
+        if self.fault.is_none() {
+            return sebmc_logic::fault::FaultVerdict::None;
+        }
+        let flag = self.cancel.flag();
+        self.fault
+            .hit(sebmc_logic::fault::FaultSite::Engine, Some(&*flag))
     }
 
     /// This budget lowered onto the QBF solvers' limits.
@@ -525,6 +573,7 @@ mod tests {
             max_formula_bytes: Some(4096),
             certify: false,
             cancel: CancelToken::new(),
+            ..Budget::default()
         };
         let now = Instant::now();
         let sl = b.sat_limits(now);

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_proof::{Certificate, StreamingChecker};
+use sebmc_proof::Certificate;
 use sebmc_sat::{SolveResult, Solver};
 
 use crate::engine::{BmcOutcome, BmcResult, Budget, RunStats, Semantics, Session};
@@ -76,8 +76,8 @@ impl IncrementalUnroll {
     /// replayed through [`Model::check_trace`].
     pub fn with_budget(model: &Model, semantics: Semantics, budget: Budget) -> Self {
         let mut solver = Solver::new();
-        if budget.certify {
-            solver.set_proof_sink(Box::new(StreamingChecker::new()));
+        if let Some(sink) = budget.proof_sink() {
+            solver.set_proof_sink(sink);
         }
         let mut s = IncrementalUnroll {
             model: model.clone(),
@@ -232,6 +232,9 @@ impl IncrementalUnroll {
     }
 
     fn check_bound_inner(&mut self, k: usize) -> (BmcResult, Option<bool>) {
+        if self.budget.fault_hit_engine() == sebmc_logic::fault::FaultVerdict::Oom {
+            return (BmcResult::Unknown("budget exhausted".into()), None);
+        }
         if self.budget.expired(self.started) {
             return (BmcResult::Unknown(self.budget.unknown_reason()), None);
         }

@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use sebmc_logic::{tseitin, Cnf, Lit, VarAlloc};
 use sebmc_model::{Model, Trace};
-use sebmc_proof::{Certificate, StreamingChecker};
+use sebmc_proof::Certificate;
 use sebmc_sat::{SolveResult, Solver};
 
 use crate::engine::{
@@ -261,7 +261,7 @@ struct Formula4 {
     base_lits: usize,
 }
 
-fn build_formula4(model: &Model, certify: bool) -> Formula4 {
+fn build_formula4(model: &Model, budget: &Budget) -> Formula4 {
     let n = model.num_state_vars();
     let m = model.num_inputs();
     let mut alloc = VarAlloc::new();
@@ -314,9 +314,9 @@ fn build_formula4(model: &Model, certify: bool) -> Formula4 {
     cnf.ensure_vars(alloc.num_vars());
 
     let mut solver = Solver::new();
-    if certify {
+    if let Some(sink) = budget.proof_sink() {
         // The proof must witness formula (4) from its first clause.
-        solver.set_proof_sink(Box::new(StreamingChecker::new()));
+        solver.set_proof_sink(sink);
     }
     solver.add_cnf(&cnf);
     Formula4 {
@@ -397,7 +397,7 @@ impl JSatSession {
     /// and checked on the fly; an Unreachable bound is certified iff
     /// all of its Unsat calls were.
     pub fn new(model: &Model, semantics: Semantics, config: JSatConfig, budget: Budget) -> Self {
-        let f4 = build_formula4(model, budget.certify);
+        let f4 = build_formula4(model, &budget);
         let alloc = VarAlloc::starting_at(f4.solver.num_vars());
         JSatSession {
             model: model.clone(),
@@ -444,7 +444,10 @@ impl JSatSession {
         };
         self.bound_unsat_calls = 0;
         self.bound_unsat_certified = 0;
-        let result = if self.budget.expired(self.started) {
+        let fault_oom = self.budget.fault_hit_engine() == sebmc_logic::fault::FaultVerdict::Oom;
+        let result = if fault_oom {
+            BmcResult::Unknown("budget exhausted".into())
+        } else if self.budget.expired(self.started) {
             BmcResult::Unknown(self.budget.unknown_reason())
         } else {
             self.f4

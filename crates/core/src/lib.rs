@@ -63,8 +63,8 @@ pub use incremental::{find_shortest_witness, DeepeningResult};
 pub use induction::{k_induction, k_induction_run, InductionResult, InductionRun};
 pub use jsat::{JSat, JSatConfig, JSatSession, JSatStats};
 pub use portfolio::{
-    first_decided, portfolio_stats, run_portfolio, DeepeningPortfolio, PortfolioBoundOutcome,
-    PortfolioEntry,
+    engine_panic_reason, first_decided, panic_message, portfolio_stats, run_portfolio,
+    truncate_panic_payload, DeepeningPortfolio, PortfolioBoundOutcome, PortfolioEntry,
 };
 pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear, QbfLinearSession};
 pub use sebmc_proof::Certificate;

@@ -67,7 +67,7 @@ pub fn portfolio_stats(entries: &[PortfolioEntry]) -> RunStats {
 }
 
 /// Renders a panic payload (the argument of `panic!`) as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -75,6 +75,34 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".into()
     }
+}
+
+/// Renders a contained engine panic as an *attributable* Unknown
+/// reason: `engine panicked: <engine>: <payload>`, with the payload
+/// truncated to a bounded length so a runaway `Debug` impl cannot
+/// flood a JSON report. The `engine panicked:` prefix is a stable
+/// contract relied on by the service layer's retry classification.
+pub fn engine_panic_reason(engine: &str, payload: &(dyn std::any::Any + Send)) -> String {
+    format!(
+        "engine panicked: {engine}: {}",
+        truncate_panic_payload(payload)
+    )
+}
+
+/// The panic payload as text, truncated to ~120 bytes on a char
+/// boundary with a trailing ellipsis.
+pub fn truncate_panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    const MAX: usize = 120;
+    let mut msg = panic_message(payload);
+    if msg.len() > MAX {
+        let mut cut = MAX;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        msg.truncate(cut);
+        msg.push('…');
+    }
+    msg
 }
 
 /// Runs every engine on `(model, k, semantics)` concurrently and
@@ -118,7 +146,10 @@ pub fn run_portfolio(
         let handles: Vec<_> = engines
             .into_iter()
             .map(|engine| {
-                let budget = budget.clone().with_cancel(race.clone());
+                let mut budget = budget.clone().with_cancel(race.clone());
+                // Proof export is a single-session feature: N racing
+                // sessions must not fight over one output file.
+                budget.proof_out = None;
                 let race = race.clone();
                 s.spawn(move || {
                     let name = Engine::name(engine.as_ref());
@@ -141,10 +172,7 @@ pub fn run_portfolio(
                         }
                         Err(payload) => (
                             BmcOutcome::new(
-                                BmcResult::Unknown(format!(
-                                    "engine panicked: {}",
-                                    panic_message(payload.as_ref())
-                                )),
+                                BmcResult::Unknown(engine_panic_reason(name, payload.as_ref())),
                                 RunStats::default(),
                             ),
                             RunStats::default(),
@@ -167,10 +195,7 @@ pub fn run_portfolio(
                 Err(payload) => PortfolioEntry {
                     engine: "unknown",
                     outcome: BmcOutcome::new(
-                        BmcResult::Unknown(format!(
-                            "engine panicked: {}",
-                            panic_message(payload.as_ref())
-                        )),
+                        BmcResult::Unknown(engine_panic_reason("unknown", payload.as_ref())),
                         RunStats::default(),
                     ),
                     cumulative: RunStats::default(),
@@ -307,7 +332,9 @@ impl DeepeningPortfolio {
                 let name = Engine::name(engine.as_ref());
                 let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
                 let model = model.clone();
-                let budget = budget.clone();
+                let mut budget = budget.clone();
+                // As in `run_portfolio`: one file, many sessions — no.
+                budget.proof_out = None;
                 let tx = tx.clone();
                 let join = thread::spawn(move || {
                     worker_loop(idx, engine, model, semantics, budget, cmd_rx, tx)
@@ -464,15 +491,13 @@ fn worker_loop(
 ) {
     // Even `Engine::start` may panic; a dead session keeps replying
     // Unknown so the race never hangs on a missing entry.
+    let name = Engine::name(engine.as_ref());
     let mut panic_reason: Option<String> = None;
     let mut session: Option<Box<dyn Session>> =
         match catch_unwind(AssertUnwindSafe(|| engine.start(&model, semantics, budget))) {
             Ok(s) => Some(s),
             Err(payload) => {
-                panic_reason = Some(format!(
-                    "engine panicked: {}",
-                    panic_message(payload.as_ref())
-                ));
+                panic_reason = Some(engine_panic_reason(name, payload.as_ref()));
                 None
             }
         };
@@ -529,8 +554,7 @@ fn worker_loop(
                     Err(payload) => {
                         // The session may be mid-mutation: retire it
                         // but keep its last coherent stats.
-                        let reason =
-                            format!("engine panicked: {}", panic_message(payload.as_ref()));
+                        let reason = engine_panic_reason(name, payload.as_ref());
                         panic_reason = Some(reason.clone());
                         session = None;
                         BoundReply {
@@ -767,6 +791,9 @@ mod tests {
                     reason.starts_with("engine panicked:"),
                     "unexpected reason: {reason}"
                 );
+                // Attributable from JSON output: the reason names the
+                // engine, not just the payload.
+                assert!(reason.contains("panicker"), "no engine name in: {reason}");
                 assert!(reason.contains("intentional test panic"));
             }
             other => panic!("expected Unknown, got {other}"),
@@ -774,6 +801,19 @@ mod tests {
         assert!(entries[1].outcome.result.is_reachable());
         let w = first_decided(&entries).expect("unroll still decides");
         assert_eq!(w.engine, "sat-unroll");
+    }
+
+    #[test]
+    fn panic_payload_is_truncated_for_reports() {
+        let long = "x".repeat(500);
+        let reason = engine_panic_reason("jsat", &long as &(dyn std::any::Any + Send));
+        assert!(reason.starts_with("engine panicked: jsat: "));
+        assert!(
+            reason.len() < 160,
+            "payload not truncated: {}",
+            reason.len()
+        );
+        assert!(reason.ends_with('…'));
     }
 
     // ---- DeepeningPortfolio ----

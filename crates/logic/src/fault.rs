@@ -1,0 +1,467 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is a small, dependency-free description of faults to
+//! inject at well-defined *safe points* in the checking stack: the SAT
+//! solver's budget poll, the entry of an engine's `check_bound`, and
+//! the service layer's per-attempt dispatch. Each layer calls
+//! [`FaultPlan::hit`] at its safe point; the plan counts hits per site
+//! and fires the configured fault exactly at the Nth hit, making worker
+//! panics, stalls, spurious cancellations, and byte-budget exhaustion
+//! reproducible from a seed or a textual spec.
+//!
+//! The default plan is empty and compiles down to a single `Option`
+//! check, so production paths pay (almost) nothing.
+//!
+//! # Spec grammar
+//!
+//! A plan is parsed from a comma-separated list of fault specs:
+//!
+//! ```text
+//! kind@site:hit[:millis]
+//! ```
+//!
+//! where `kind` is one of `panic`, `delay`, `cancel`, `oom`; `site` is
+//! one of `solver`, `engine`, `service`; `hit` is the 1-based safe-point
+//! hit at which the fault fires; and `millis` (delay only) is the stall
+//! length. Alternatively `seed:<u64>` derives a small random plan from a
+//! [`SplitMix64`] stream, for matrix-style stress testing.
+//!
+//! ```
+//! use sebmc_logic::fault::{FaultPlan, FaultSite, FaultVerdict};
+//!
+//! let plan: FaultPlan = "oom@solver:2".parse().unwrap();
+//! assert_eq!(plan.hit(FaultSite::Solver, None), FaultVerdict::None);
+//! assert_eq!(plan.hit(FaultSite::Solver, None), FaultVerdict::Oom);
+//! ```
+
+use crate::rng::SplitMix64;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message prefix carried by injected panics, so supervisors can tell
+/// an injected fault from a genuine defect in test assertions.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault: panic";
+
+/// Where in the stack a safe point lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The SAT solver's budget/cancellation poll.
+    Solver,
+    /// Entry of an engine session's `check_bound`.
+    Engine,
+    /// The service layer's per-attempt dispatch.
+    Service,
+}
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Solver => 0,
+            FaultSite::Engine => 1,
+            FaultSite::Service => 2,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultSite::Solver => "solver",
+            FaultSite::Engine => "engine",
+            FaultSite::Service => "service",
+        }
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the safe point (the supervisor must contain it).
+    Panic,
+    /// Stall for the given duration, polling the cancel flag so the
+    /// stall stays interruptible.
+    Delay(Duration),
+    /// Fire the caller-provided cancellation flag (a spurious cancel).
+    Cancel,
+    /// Report byte-budget exhaustion to the caller.
+    Oom,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Cancel => "cancel",
+            FaultKind::Oom => "oom",
+        }
+    }
+}
+
+/// One fault: fire `kind` at the `at_hit`-th (1-based) hit of `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The safe-point family this fault watches.
+    pub site: FaultSite,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// 1-based hit count at which the fault fires.
+    pub at_hit: u64,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}:{}",
+            self.kind.name(),
+            self.site.name(),
+            self.at_hit
+        )?;
+        if let FaultKind::Delay(d) = self.kind {
+            write!(f, ":{}", d.as_millis())?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    specs: Vec<FaultSpec>,
+    /// Per-site hit counters, indexed by `FaultSite::index`.
+    hits: [AtomicU64; 3],
+}
+
+/// What [`FaultPlan::hit`] tells its caller to do.
+///
+/// `Panic` and `Delay` are handled inside `hit` itself; `Cancel` fires
+/// the provided flag. Only `Oom` needs caller cooperation, because the
+/// byte-cap check is the caller's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum FaultVerdict {
+    /// No fault fired (or a fault was handled internally).
+    None,
+    /// Pretend the byte budget is exhausted.
+    Oom,
+}
+
+/// A shareable, thread-safe fault-injection plan.
+///
+/// Cloning is cheap and shares the hit counters, so a plan threaded
+/// through `Budget` clones into solver `Limits` still fires each fault
+/// exactly once. [`FaultPlan::none`] (the default) is inert.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<FaultState>>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every `hit` is a no-op.
+    pub fn none() -> Self {
+        FaultPlan { inner: None }
+    }
+
+    /// A plan firing the given faults.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        if specs.is_empty() {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            inner: Some(Arc::new(FaultState {
+                specs,
+                hits: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            })),
+        }
+    }
+
+    /// Derives a small plan from a seed: 1–3 faults with varied kinds,
+    /// sites and (small) hit counts. Used for matrix stress testing;
+    /// the same seed always yields the same plan.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.range_inclusive(1, 3);
+        let mut specs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let site = match rng.below(3) {
+                0 => FaultSite::Solver,
+                1 => FaultSite::Engine,
+                _ => FaultSite::Service,
+            };
+            let kind = match rng.below(4) {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Delay(Duration::from_millis(rng.range_inclusive(1, 20) as u64)),
+                2 => FaultKind::Cancel,
+                _ => FaultKind::Oom,
+            };
+            // Solver safe points are hit orders of magnitude more often
+            // than engine/service ones, so give them a wider window.
+            let at_hit = match site {
+                FaultSite::Solver => rng.range_inclusive(1, 200) as u64,
+                _ => rng.range_inclusive(1, 6) as u64,
+            };
+            specs.push(FaultSpec { site, kind, at_hit });
+        }
+        FaultPlan::new(specs)
+    }
+
+    /// True if no faults are configured.
+    pub fn is_none(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The configured faults (empty for the inert plan).
+    pub fn specs(&self) -> &[FaultSpec] {
+        self.inner.as_ref().map_or(&[], |s| &s.specs)
+    }
+
+    /// A copy of this plan with all hit counters reset to zero.
+    ///
+    /// Use when the same plan should fire independently per job: each
+    /// job gets `fresh_copy()` so one job's hits don't consume faults
+    /// meant for another.
+    pub fn fresh_copy(&self) -> Self {
+        FaultPlan::new(self.specs().to_vec())
+    }
+
+    /// Records a safe-point hit at `site` and fires any fault scheduled
+    /// for this hit. `Panic` panics here (with
+    /// [`INJECTED_PANIC_PREFIX`]); `Delay` sleeps in short slices,
+    /// returning early if `cancel` becomes true; `Cancel` stores `true`
+    /// into `cancel` (a no-op without a flag); `Oom` is returned for the
+    /// caller to treat as byte-budget exhaustion.
+    pub fn hit(&self, site: FaultSite, cancel: Option<&AtomicBool>) -> FaultVerdict {
+        let Some(state) = self.inner.as_deref() else {
+            return FaultVerdict::None;
+        };
+        let count = state.hits[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut verdict = FaultVerdict::None;
+        for spec in &state.specs {
+            if spec.site != site || spec.at_hit != count {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::Panic => {
+                    panic!("{INJECTED_PANIC_PREFIX} at {}:{}", site.name(), count);
+                }
+                FaultKind::Delay(total) => {
+                    let deadline = std::time::Instant::now() + total;
+                    loop {
+                        if let Some(flag) = cancel {
+                            if flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        let left = deadline.saturating_duration_since(std::time::Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(2)));
+                    }
+                }
+                FaultKind::Cancel => {
+                    if let Some(flag) = cancel {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                }
+                FaultKind::Oom => verdict = FaultVerdict::Oom,
+            }
+        }
+        verdict
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let specs = self.specs();
+        if specs.is_empty() {
+            return write!(f, "none");
+        }
+        for (i, s) in specs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultPlanError(String);
+
+impl fmt::Display for ParseFaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFaultPlanError {}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultPlanError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FaultPlan::none());
+        }
+        if let Some(seed) = s.strip_prefix("seed:") {
+            let seed: u64 = seed
+                .trim()
+                .parse()
+                .map_err(|_| ParseFaultPlanError(format!("bad seed '{seed}'")))?;
+            return Ok(FaultPlan::seeded(seed));
+        }
+        let mut specs = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (kind_str, rest) = part
+                .split_once('@')
+                .ok_or_else(|| ParseFaultPlanError(format!("'{part}' lacks '@site'")))?;
+            let mut fields = rest.split(':');
+            let site = match fields.next().unwrap_or("") {
+                "solver" => FaultSite::Solver,
+                "engine" => FaultSite::Engine,
+                "service" => FaultSite::Service,
+                other => {
+                    return Err(ParseFaultPlanError(format!(
+                        "unknown site '{other}' (expected solver|engine|service)"
+                    )))
+                }
+            };
+            let at_hit: u64 = fields
+                .next()
+                .ok_or_else(|| ParseFaultPlanError(format!("'{part}' lacks ':hit'")))?
+                .parse()
+                .map_err(|_| ParseFaultPlanError(format!("bad hit count in '{part}'")))?;
+            if at_hit == 0 {
+                return Err(ParseFaultPlanError(format!(
+                    "hit count in '{part}' is 1-based; 0 never fires"
+                )));
+            }
+            let kind = match kind_str {
+                "panic" => FaultKind::Panic,
+                "cancel" => FaultKind::Cancel,
+                "oom" => FaultKind::Oom,
+                "delay" => {
+                    let ms: u64 = fields
+                        .next()
+                        .ok_or_else(|| {
+                            ParseFaultPlanError(format!("delay '{part}' lacks ':millis'"))
+                        })?
+                        .parse()
+                        .map_err(|_| ParseFaultPlanError(format!("bad millis in '{part}'")))?;
+                    FaultKind::Delay(Duration::from_millis(ms))
+                }
+                other => {
+                    return Err(ParseFaultPlanError(format!(
+                        "unknown kind '{other}' (expected panic|delay|cancel|oom)"
+                    )))
+                }
+            };
+            if let Some(extra) = fields.next() {
+                return Err(ParseFaultPlanError(format!(
+                    "trailing field '{extra}' in '{part}'"
+                )));
+            }
+            specs.push(FaultSpec { site, kind, at_hit });
+        }
+        Ok(FaultPlan::new(specs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::none();
+        for _ in 0..10 {
+            assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+        }
+        assert!(p.is_none());
+        assert_eq!(p.to_string(), "none");
+    }
+
+    #[test]
+    fn oom_fires_exactly_at_nth_hit() {
+        let p: FaultPlan = "oom@solver:3".parse().unwrap();
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::Oom);
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let p: FaultPlan = "oom@engine:1".parse().unwrap();
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+        assert_eq!(p.hit(FaultSite::Engine, None), FaultVerdict::Oom);
+    }
+
+    #[test]
+    fn clones_share_counters_but_fresh_copy_rearms() {
+        let p: FaultPlan = "oom@solver:2".parse().unwrap();
+        let q = p.clone();
+        assert_eq!(p.hit(FaultSite::Solver, None), FaultVerdict::None);
+        assert_eq!(q.hit(FaultSite::Solver, None), FaultVerdict::Oom);
+        let fresh = p.fresh_copy();
+        assert_eq!(fresh.hit(FaultSite::Solver, None), FaultVerdict::None);
+        assert_eq!(fresh.hit(FaultSite::Solver, None), FaultVerdict::Oom);
+    }
+
+    #[test]
+    fn cancel_fires_provided_flag() {
+        let p: FaultPlan = "cancel@engine:1".parse().unwrap();
+        let flag = AtomicBool::new(false);
+        assert_eq!(p.hit(FaultSite::Engine, Some(&flag)), FaultVerdict::None);
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn panic_carries_injected_prefix() {
+        let p: FaultPlan = "panic@service:1".parse().unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.hit(FaultSite::Service, None);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+    }
+
+    #[test]
+    fn delay_respects_cancel_flag() {
+        let p: FaultPlan = "delay@engine:1:10000".parse().unwrap();
+        let flag = AtomicBool::new(true); // already cancelled: returns fast
+        let start = std::time::Instant::now();
+        let _ = p.hit(FaultSite::Engine, Some(&flag));
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn parse_roundtrips_and_rejects_garbage() {
+        let p: FaultPlan = "panic@engine:3,delay@solver:100:5".parse().unwrap();
+        assert_eq!(p.to_string(), "panic@engine:3,delay@solver:100:5");
+        assert_eq!(p.specs().len(), 2);
+        assert!("bogus@engine:1".parse::<FaultPlan>().is_err());
+        assert!("panic@nowhere:1".parse::<FaultPlan>().is_err());
+        assert!("panic@engine".parse::<FaultPlan>().is_err());
+        assert!("panic@engine:0".parse::<FaultPlan>().is_err());
+        assert!("panic@engine:1:9".parse::<FaultPlan>().is_err());
+        assert!("".parse::<FaultPlan>().unwrap().is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(17);
+        let b = FaultPlan::seeded(17);
+        assert_eq!(a.specs(), b.specs());
+        assert!(!a.is_none());
+        let c: FaultPlan = "seed:17".parse().unwrap();
+        assert_eq!(a.specs(), c.specs());
+    }
+}

@@ -86,9 +86,11 @@ mod checker;
 mod drat;
 mod ring;
 mod sink;
+mod tee;
 
 pub use cert::Certificate;
 pub use checker::{ForwardChecker, StreamingChecker, DEFAULT_RING_BYTES};
 pub use drat::{decode_stream, DratDecoder, DratWriter, TAG_ADD, TAG_DELETE, TAG_FINAL, TAG_ORIG};
 pub use ring::ByteRing;
 pub use sink::ProofSink;
+pub use tee::TeeSink;

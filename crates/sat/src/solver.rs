@@ -176,6 +176,9 @@ pub struct Limits {
     /// the deadline (every 64 conflicts and before each decision). When
     /// another thread stores `true`, the solve aborts with `Unknown`.
     pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Fault-injection plan, consulted at the same safe points as the
+    /// cancel flag. Inert by default; see [`sebmc_logic::fault`].
+    pub fault: sebmc_logic::fault::FaultPlan,
 }
 
 impl Limits {
@@ -1590,6 +1593,17 @@ impl Solver {
     }
 
     fn budget_exhausted(&self) -> bool {
+        if !self.limits.fault.is_none() {
+            use sebmc_logic::fault::{FaultSite, FaultVerdict};
+            // The injected cancel lands on the same flag a supervisor
+            // watches, so a spurious cancellation is indistinguishable
+            // from a real one downstream — exactly what the fault
+            // harness wants to exercise.
+            let flag = self.limits.cancel.as_deref();
+            if self.limits.fault.hit(FaultSite::Solver, flag) == FaultVerdict::Oom {
+                return true;
+            }
+        }
         if let Some(mc) = self.limits.max_conflicts {
             if self.stats.conflicts >= mc {
                 return true;

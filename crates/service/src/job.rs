@@ -90,6 +90,74 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// When and how a failed job attempt is retried.
+///
+/// An attempt *fails* when the engine (or service plumbing) panics,
+/// when a spurious cancellation fires the attempt's child token while
+/// the job and service tokens are untouched, or when the per-attempt
+/// deadline expires with job-level budget still left. Genuine verdicts
+/// — decided bounds, job/service cancellations, exhausted job budgets —
+/// are never retried.
+///
+/// Retries resume the deepening sweep at the first *undecided* bound
+/// (bounds already decided by earlier attempts are not re-checked) and
+/// run under the wall-clock budget *remaining* from the original
+/// [`Budget`], so a job's attempts can never consume more than the
+/// budget it was submitted with.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first run included); clamped to at least 1.
+    pub max_attempts: u32,
+    /// Base backoff before attempt `n+1`: `backoff * 2^(n-1)` plus
+    /// jitter. The backoff sleep polls the job/service cancel tokens,
+    /// so a waiting job stays promptly cancellable.
+    pub backoff: Duration,
+    /// Seed of the deterministic backoff jitter (SplitMix64); equal
+    /// seeds give equal retry schedules.
+    pub jitter_seed: u64,
+    /// Per-attempt wall-clock cap. An attempt cut short by this (with
+    /// job budget remaining) is retried, not failed.
+    pub attempt_timeout: Option<Duration>,
+    /// Whole-job deadline measured from the moment a worker picks the
+    /// job up, backoff included. Expiry is final, never retried.
+    pub job_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(10),
+            jitter_seed: 0,
+            attempt_timeout: None,
+            job_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` retries after the first attempt.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before the given retry (the delay between attempt
+    /// `attempt` failing and attempt `attempt + 1` starting):
+    /// exponential in the attempt number, plus up to 50% deterministic
+    /// jitter derived from `jitter_seed` and the attempt.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let base = self.backoff.saturating_mul(1u32 << shift);
+        let mut rng =
+            sebmc_logic::rng::SplitMix64::new(self.jitter_seed ^ u64::from(attempt) << 32);
+        let jitter_ms = (base.as_millis() as u64 / 2).max(1);
+        base + Duration::from_millis(rng.next_u64() % jitter_ms)
+    }
+}
+
 /// One unit of service work: deepen `model` through bounds
 /// `0..=max_bound` with the selected engines under `budget`.
 ///
@@ -116,6 +184,9 @@ pub struct Job {
     /// Per-job budget; the service may *lower* (never raise) its byte
     /// cap during admission.
     pub budget: Budget,
+    /// Retry/deadline policy for failed attempts (default: one attempt,
+    /// no deadlines).
+    pub retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Job {
@@ -142,6 +213,7 @@ impl Job {
             engines,
             max_bound,
             budget: Budget::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -154,6 +226,12 @@ impl Job {
     /// Returns `self` with the given semantics.
     pub fn with_semantics(mut self, semantics: Semantics) -> Self {
         self.semantics = semantics;
+        self
+    }
+
+    /// Returns `self` with the given retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -208,7 +286,9 @@ pub fn suite_model(name: &str) -> Option<Model> {
 ///   `jsat|unroll|qbf-linear|qbf-squaring`; two or more race per bound.
 /// * options: `timeout-ms=N`, `mem-mb=N` (budget), `within`
 ///   (within-`k` semantics), `certify` (machine-check every decided
-///   bound), `name=<label>`.
+///   bound), `name=<label>`, `retries=N` (extra attempts after a
+///   failed first one), `deadline-ms=N` (whole-job deadline),
+///   `attempt-timeout-ms=N` (per-attempt cap).
 ///
 /// Malformed lines are errors (with their line number), never silently
 /// skipped.
@@ -255,6 +335,17 @@ fn parse_job_line(line: &str) -> Result<Job, String> {
             job.budget.max_formula_bytes = Some(mb * 1024 * 1024);
         } else if let Some(v) = opt.strip_prefix("name=") {
             job.name = v.to_string();
+        } else if let Some(v) = opt.strip_prefix("retries=") {
+            let n: u32 = v.parse().map_err(|_| format!("bad retries '{v}'"))?;
+            job.retry.max_attempts = n.saturating_add(1);
+        } else if let Some(v) = opt.strip_prefix("deadline-ms=") {
+            let ms: u64 = v.parse().map_err(|_| format!("bad deadline-ms '{v}'"))?;
+            job.retry.job_deadline = Some(Duration::from_millis(ms));
+        } else if let Some(v) = opt.strip_prefix("attempt-timeout-ms=") {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("bad attempt-timeout-ms '{v}'"))?;
+            job.retry.attempt_timeout = Some(Duration::from_millis(ms));
         } else {
             return Err(format!("unknown option '{opt}'"));
         }
@@ -306,6 +397,45 @@ suite:traffic unroll 3 within mem-mb=8 name=tl certify
         assert_eq!(jobs[1].semantics, Semantics::Within);
         assert_eq!(jobs[1].budget.max_formula_bytes, Some(8 * 1024 * 1024));
         assert!(jobs[1].budget.certify);
+    }
+
+    #[test]
+    fn job_file_parses_retry_options() {
+        let jobs = parse_job_file(
+            "suite:ring_4 jsat 4 retries=2 deadline-ms=750 attempt-timeout-ms=100\n",
+        )
+        .unwrap();
+        assert_eq!(jobs[0].retry.max_attempts, 3, "retries are extra attempts");
+        assert_eq!(jobs[0].retry.job_deadline, Some(Duration::from_millis(750)));
+        assert_eq!(
+            jobs[0].retry.attempt_timeout,
+            Some(Duration::from_millis(100))
+        );
+        assert!(parse_job_file("suite:ring_4 jsat 4 retries=x\n").is_err());
+    }
+
+    #[test]
+    fn backoff_is_exponential_deterministic_and_jittered() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_millis(8),
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let a1 = p.backoff_before(1);
+        let a3 = p.backoff_before(3);
+        assert!(a1 >= Duration::from_millis(8) && a1 < Duration::from_millis(16));
+        assert!(a3 >= Duration::from_millis(32) && a3 < Duration::from_millis(64));
+        assert_eq!(a1, p.backoff_before(1), "same seed, same schedule");
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..p.clone()
+        };
+        // Different seeds may collide on one attempt, but not on all.
+        assert!(
+            (1..=3).any(|a| p.backoff_before(a) != other.backoff_before(a)),
+            "jitter must depend on the seed"
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!    the session runs under
 //!    `min(job.budget.max_formula_bytes, config.max_job_bytes)`, wired
 //!    into the SAT arena's exact live-byte accounting. The service can
-//!    only tighten a job's cap, never loosen it.
+//!    only tighten a job's cap, never loosen it. Under
+//!    [`ServiceConfig::max_total_bytes`], admission also *reserves*
+//!    aggregate memory: jobs that would push the service past the cap
+//!    are deferred, then downgraded (portfolio → first engine), and a
+//!    persistently blocked queue sheds the youngest running job — see
+//!    *Degradation* below.
 //! 3. **Run** — one engine means one deepening [`Session`](sebmc::Session)
 //!    over bounds `0..=max_bound`; several engines mean
 //!    **portfolio-level deepening**: every bound is raced across the
@@ -24,15 +29,21 @@
 //!    [`CancelToken`], the first decided verdict
 //!    is shared and the losers — solver state intact — race again at
 //!    the next bound. Bounds no engine supports are skipped, not
-//!    failed.
+//!    failed. Each job runs under a **supervisor**: a panicking
+//!    attempt is caught, recorded as a [`FailureReport`], and — under
+//!    the job's [`RetryPolicy`] — retried with exponential backoff,
+//!    *resuming at the first undecided bound* with only the wall-clock
+//!    budget left over from earlier attempts. Jobs that exhaust every
+//!    attempt are quarantined (reported, listed on
+//!    [`ServiceReport::quarantined`]), never dropped.
 //! 4. **Report** — every job ends in exactly one [`JobReport`]:
 //!    reachable (with bound and witness), unreachable through
 //!    `max_bound`, or `Unknown` (budget exhausted, cancelled, service
-//!    cancelled, or unsupported-bound skips). Cancelled and
-//!    budget-exhausted jobs are *reported*, never dropped.
-//!    [`CheckService::run`] returns a [`ServiceReport`] aggregating
-//!    all jobs (peaks maxed, effort summed, queue/solve wall-clock
-//!    split).
+//!    cancelled, shed, quarantined, or unsupported-bound skips).
+//!    Cancelled and budget-exhausted jobs are *reported*, never
+//!    dropped. [`CheckService::run`] returns a [`ServiceReport`]
+//!    aggregating all jobs (peaks maxed, effort summed, queue/solve
+//!    wall-clock split).
 //!
 //! # Cancellation
 //!
@@ -51,6 +62,30 @@
 //!
 //! The service fires only its own child tokens — a job's token is read,
 //! never fired, so caller-held budgets stay reusable.
+//!
+//! # Degradation under memory pressure
+//!
+//! With [`ServiceConfig::max_total_bytes`] set, every admitted job
+//! reserves its worst case (its per-session byte cap × its engine
+//! count; an uncapped job reserves the whole service budget). A job
+//! that does not fit is **deferred** in 2 ms steps; a portfolio job
+//! still blocked after repeated deferrals is **downgraded** to its
+//! first engine (shrinking its reservation); and when deferral has
+//! clearly stalled, the service **sheds** the youngest running job —
+//! its report says `Unknown("shed: memory pressure")`, it is counted
+//! in [`ServiceReport::jobs_shed`], and the blocked job proceeds. The
+//! whole ladder is deterministic: deferral counts, not wall clocks,
+//! drive the transitions.
+//!
+//! # Fault injection
+//!
+//! A [`sebmc_logic::fault::FaultPlan`] on a job's
+//! [`Budget`](sebmc::Budget) threads fault-injection safe points
+//! through this stack: the service's per-attempt dispatch, every
+//! engine `check_bound` entry, and the SAT solver's budget poll. The
+//! supervisor/retry/shedding machinery above is tested by injecting
+//! panics, stalls, spurious cancellations, and byte-budget exhaustion
+//! at exact safe-point hits (see `tests/fault_injection.rs`).
 //!
 //! # Example
 //!
@@ -76,22 +111,42 @@
 mod job;
 mod report;
 
-pub use job::{parse_job_file, suite_jobs, suite_model, EngineKind, Job};
-pub use report::{cert_json, json_escape, stats_json, JobReport, ServiceReport};
+pub use job::{parse_job_file, suite_jobs, suite_model, EngineKind, Job, RetryPolicy};
+pub use report::{cert_json, json_escape, stats_json, FailureReport, JobReport, ServiceReport};
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use sebmc::{BmcResult, CancelToken, Certificate, DeepeningPortfolio, RunStats};
+use sebmc::{
+    truncate_panic_payload, BmcResult, CancelToken, Certificate, DeepeningPortfolio, RunStats,
+};
+use sebmc_logic::fault::{FaultSite, FaultVerdict};
 use sebmc_model::Trace;
 
 /// How often the service's cancellation bridge polls job/service
 /// tokens while jobs are running.
 const BRIDGE_POLL: Duration = Duration::from_millis(2);
+/// How often a deferred job re-tries admission under memory pressure.
+const DEFER_POLL: Duration = Duration::from_millis(2);
+/// Deferrals before a blocked portfolio job is downgraded to its first
+/// engine.
+const DOWNGRADE_AFTER_DEFERRALS: usize = 25;
+/// Deferrals before the service starts shedding the youngest running
+/// job to unblock the queue.
+const SHED_AFTER_DEFERRALS: usize = 100;
+/// Deferral interval between repeated shed requests (a shed victim
+/// needs a few polls to wind down and release its reservation).
+const SHED_RETRY_EVERY: usize = 50;
+
+/// Locks a mutex, recovering the data from a poisoned lock: a panic on
+/// another worker must never cascade into this one.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Static configuration of a [`CheckService`].
 #[derive(Clone, Debug)]
@@ -102,12 +157,24 @@ pub struct ServiceConfig {
     /// every session's `max_formula_bytes` (taking the `min` with the
     /// job's own cap). `None` means jobs run under their own caps only.
     pub max_job_bytes: Option<usize>,
+    /// Service-wide *aggregate* byte budget: the sum of all running
+    /// jobs' reservations (per-session cap × engine count; uncapped
+    /// jobs reserve the whole budget) stays under it, via the
+    /// defer → downgrade → shed ladder (see the crate docs). `None`
+    /// disables aggregate accounting.
+    pub max_total_bytes: Option<usize>,
     /// Witness streaming: when set, each reachable job's trace is
     /// written to `<dir>/jobNNN_<name>.wit` in the HWMCC stimulus
     /// format and the [`JobReport`] keeps only the path and length —
     /// the full in-memory [`Trace`] is dropped, so a large batch's
     /// report stays small. `None` keeps traces in memory as before.
     pub witness_dir: Option<PathBuf>,
+    /// Proof export: when set, each *single-engine* job streams its
+    /// binary-DRAT proof to `<dir>/jobNNN_<name>.drat`; the file is
+    /// kept (and its path reported) only when the job sweeps to a
+    /// clean `Unreachable` verdict. Portfolio jobs skip export — N
+    /// racing sessions cannot share one proof file.
+    pub proof_dir: Option<PathBuf>,
     /// The whole-service kill switch; keep a clone
     /// ([`CancelToken::clone`]) to stop the service from outside.
     pub cancel: CancelToken,
@@ -119,7 +186,9 @@ impl ServiceConfig {
         ServiceConfig {
             workers,
             max_job_bytes: None,
+            max_total_bytes: None,
             witness_dir: None,
+            proof_dir: None,
             cancel: CancelToken::new(),
         }
     }
@@ -130,10 +199,23 @@ impl ServiceConfig {
         self
     }
 
+    /// Returns `self` with the aggregate memory budget set.
+    pub fn with_max_total_bytes(mut self, bytes: usize) -> Self {
+        self.max_total_bytes = Some(bytes);
+        self
+    }
+
     /// Returns `self` streaming witnesses into `dir` (created on first
     /// use).
     pub fn with_witness_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.witness_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns `self` exporting DRAT proofs into `dir` (created on
+    /// first use).
+    pub fn with_proof_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.proof_dir = Some(dir.into());
         self
     }
 }
@@ -153,11 +235,121 @@ struct QueuedJob {
     submitted: Instant,
 }
 
-/// A running job's tokens, registered with the cancellation bridge:
-/// fire `child` when either the job's or the service's token fires.
+/// A running attempt's tokens, registered with the cancellation
+/// bridge: fire `child` when the job's or the service's token fires,
+/// or when the memory governor sheds this job.
 struct BridgeSlot {
     job_token: CancelToken,
     child: CancelToken,
+    shed: Arc<AtomicBool>,
+}
+
+/// Aggregate-memory admission control (see the crate docs).
+///
+/// Admission is **FIFO in submission order**: a job may only reserve
+/// memory once every earlier-submitted job has been admitted (or has
+/// finished). That prevents small late jobs from starving a large
+/// early one forever — and makes the defer/downgrade/shed ladder
+/// deterministic, because the set of jobs holding reservations at any
+/// admission decision does not depend on worker scheduling.
+///
+/// With no `max_total` every call is a cheap no-op: jobs are admitted
+/// unconditionally and nothing is tracked.
+struct MemGovernor {
+    max_total: Option<usize>,
+    state: Mutex<GovState>,
+}
+
+#[derive(Default)]
+struct GovState {
+    reserved: usize,
+    seq: u64,
+    /// Submitted jobs not yet admitted (nor finished): the FIFO gate.
+    waiting: Vec<usize>,
+    running: Vec<RunningJob>,
+}
+
+struct RunningJob {
+    job_id: usize,
+    seq: u64,
+    reservation: usize,
+    shed: Arc<AtomicBool>,
+}
+
+impl MemGovernor {
+    fn new(max_total: Option<usize>, n_jobs: usize) -> Self {
+        MemGovernor {
+            max_total,
+            state: Mutex::new(GovState {
+                waiting: (0..n_jobs).collect(),
+                ..GovState::default()
+            }),
+        }
+    }
+
+    /// Reserves `reservation` bytes for the job if it is the oldest
+    /// still-waiting job and the memory fits (or nothing else is
+    /// running — a service that admits nothing is worse than one that
+    /// briefly over-commits a clamped job).
+    fn try_admit(&self, job_id: usize, reservation: usize, shed: &Arc<AtomicBool>) -> bool {
+        let Some(cap) = self.max_total else {
+            return true;
+        };
+        let mut st = lock_unpoisoned(&self.state);
+        if st.waiting.iter().min() != Some(&job_id) {
+            return false;
+        }
+        if st.reserved.saturating_add(reservation) <= cap || st.running.is_empty() {
+            st.waiting.retain(|&id| id != job_id);
+            st.reserved = st.reserved.saturating_add(reservation);
+            st.seq += 1;
+            let seq = st.seq;
+            st.running.push(RunningJob {
+                job_id,
+                seq,
+                reservation,
+                shed: shed.clone(),
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retires the job: drops its reservation and removes it from the
+    /// FIFO gate (idempotent; also correct for jobs that aborted
+    /// before ever being admitted).
+    fn release(&self, job_id: usize) {
+        if self.max_total.is_none() {
+            return;
+        }
+        let mut st = lock_unpoisoned(&self.state);
+        st.waiting.retain(|&id| id != job_id);
+        if let Some(pos) = st.running.iter().position(|r| r.job_id == job_id) {
+            let r = st.running.swap_remove(pos);
+            st.reserved = st.reserved.saturating_sub(r.reservation);
+        }
+    }
+
+    /// Last-resort load shedding: flags the *youngest* running job
+    /// (highest admission sequence) not already being shed. The bridge
+    /// fires its child token; its report becomes
+    /// `Unknown("shed: memory pressure")`.
+    fn shed_youngest(&self) -> bool {
+        let st = lock_unpoisoned(&self.state);
+        let victim = st
+            .running
+            .iter()
+            .filter(|r| !r.shed.load(Ordering::Relaxed))
+            .max_by_key(|r| r.seq);
+        match victim {
+            Some(v) => {
+                v.shed.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// The checking service: a job queue plus the worker pool that drains
@@ -206,18 +398,23 @@ impl CheckService {
             Mutex::new((0..n_jobs).map(|_| None).collect());
         let slots: Vec<Mutex<Option<BridgeSlot>>> =
             (0..workers).map(|_| Mutex::new(None)).collect();
+        let governor = MemGovernor::new(config.max_total_bytes, n_jobs);
         let pool_done = AtomicBool::new(false);
         thread::scope(|s| {
-            // The cancellation bridge: propagates per-job and
-            // whole-service cancellations into the running jobs' child
-            // tokens, promptly, without the workers having to poll.
+            // The cancellation bridge: propagates per-job cancellations,
+            // whole-service cancellations and governor shed requests
+            // into the running attempts' child tokens, promptly,
+            // without the workers having to poll.
             s.spawn(|| {
                 while !pool_done.load(Ordering::Relaxed) {
                     let service_cancelled = config.cancel.is_cancelled();
                     for slot in &slots {
-                        let guard = slot.lock().unwrap();
+                        let guard = lock_unpoisoned(slot);
                         if let Some(b) = guard.as_ref() {
-                            if service_cancelled || b.job_token.is_cancelled() {
+                            if service_cancelled
+                                || b.job_token.is_cancelled()
+                                || b.shed.load(Ordering::Relaxed)
+                            {
                                 b.child.cancel();
                             }
                         }
@@ -230,27 +427,52 @@ impl CheckService {
                     let queue = &queue;
                     let reports = &reports;
                     let config = &config;
+                    let governor = &governor;
                     let slot = &slots[wid];
                     s.spawn(move || loop {
-                        let next = queue.lock().unwrap().pop_front();
+                        let next = lock_unpoisoned(queue).pop_front();
                         let Some(q) = next else { break };
                         let queue_wait = q.submitted.elapsed();
-                        let report = if config.cancel.is_cancelled() {
-                            aborted_report(&q, "service cancelled", queue_wait)
-                        } else if q.job.budget.cancel.is_cancelled() {
-                            aborted_report(&q, "cancelled", queue_wait)
-                        } else {
-                            let child = CancelToken::new();
-                            *slot.lock().unwrap() = Some(BridgeSlot {
-                                job_token: q.job.budget.cancel_token(),
-                                child: child.clone(),
+                        // Identity for the fallback report: if the
+                        // service plumbing itself panics, the job must
+                        // still be reported by name.
+                        let id = q.id;
+                        let name = q.job.name.clone();
+                        let model = q.job.model.name().to_string();
+                        let engines: Vec<&'static str> =
+                            q.job.engines.iter().map(|e| e.build().name()).collect();
+                        let byte_cap = q.job.budget.max_formula_bytes;
+                        // The worker-level supervisor: a panic anywhere
+                        // in job processing is contained here, turned
+                        // into a quarantined report, and the loop keeps
+                        // draining the queue — one crashed job never
+                        // strands its siblings.
+                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            process_job(q, config, slot, governor, queue_wait)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            let reason = format!(
+                                "service worker panicked: {}",
+                                truncate_panic_payload(payload.as_ref())
+                            );
+                            let mut r = abort_report(
+                                id, name, model, engines, byte_cap, &reason, queue_wait, 0,
+                            );
+                            r.quarantined = true;
+                            r.failures.push(FailureReport {
+                                attempt: 1,
+                                bound_reached: None,
+                                reason,
+                                stats: RunStats::default(),
                             });
-                            let r = run_job(q, child, config, queue_wait);
-                            *slot.lock().unwrap() = None;
                             r
-                        };
-                        let id = report.job_id;
-                        reports.lock().unwrap()[id] = Some(report);
+                        });
+                        // The governor entry must die with the job even
+                        // if processing unwound mid-flight.
+                        governor.release(report.job_id);
+                        *lock_unpoisoned(slot) = None;
+                        let rid = report.job_id;
+                        lock_unpoisoned(reports)[rid] = Some(report);
                     })
                 })
                 .collect();
@@ -261,7 +483,7 @@ impl CheckService {
         });
         let jobs = reports
             .into_inner()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|r| r.expect("every submitted job produces a report"))
             .collect();
@@ -269,37 +491,90 @@ impl CheckService {
     }
 }
 
-/// A report for a job that never ran (cancelled while queued).
-fn aborted_report(q: &QueuedJob, reason: &str, queue_wait: Duration) -> JobReport {
+/// A report for a job that never solved anything (cancelled while
+/// queued or deferred, or lost to a service-layer panic): solve
+/// wall-clock is zero by construction.
+#[allow(clippy::too_many_arguments)]
+fn abort_report(
+    id: usize,
+    name: String,
+    model: String,
+    engines: Vec<&'static str>,
+    byte_cap: Option<usize>,
+    reason: &str,
+    queue_wait: Duration,
+    deferrals: usize,
+) -> JobReport {
     JobReport {
-        job_id: q.id,
-        name: q.job.name.clone(),
-        model: q.job.model.name().to_string(),
-        engines: q.job.engines.iter().map(|e| e.build().name()).collect(),
+        job_id: id,
+        name,
+        model,
+        engines,
         verdict: BmcResult::Unknown(reason.to_string()),
         bound: None,
         bounds_checked: 0,
         bounds_skipped: 0,
         winners: Vec::new(),
-        byte_cap: q.job.budget.max_formula_bytes,
+        byte_cap,
         stats: RunStats::default(),
         certificate: None,
         witness_path: None,
         witness_steps: None,
         queue_wait,
         solve_time: Duration::ZERO,
+        attempts: 0,
+        resumed_from: None,
+        deferrals,
+        downgraded: false,
+        quarantined: false,
+        failures: Vec::new(),
+        proof_path: None,
     }
 }
 
-/// Mutable accumulators of one deepening sweep (returned out of the
-/// panic-containment closure in one piece).
+fn aborted(q: &QueuedJob, reason: &str, queue_wait: Duration, deferrals: usize) -> JobReport {
+    abort_report(
+        q.id,
+        q.job.name.clone(),
+        q.job.model.name().to_string(),
+        q.job.engines.iter().map(|e| e.build().name()).collect(),
+        q.job.budget.max_formula_bytes,
+        reason,
+        queue_wait,
+        deferrals,
+    )
+}
+
+/// Mutable accumulators of one job's deepening sweep. Lives *outside*
+/// the per-attempt panic containment, so everything decided before a
+/// failure survives into the retry: the sweep resumes at
+/// [`SweepProgress::next_bound`], never at bound 0.
 #[derive(Default)]
-struct SweepState {
+struct SweepProgress {
+    /// First bound the next attempt will look at.
+    next_bound: usize,
+    /// The reachable bound, once found.
     bound: Option<usize>,
     winners: Vec<(usize, &'static str)>,
     checked: usize,
     skipped: usize,
     cert: Option<Certificate>,
+    /// Per-bound outcome stats absorbed as bounds finish: a panic can
+    /// only lose the in-flight bound's effort, not the whole attempt's.
+    stats: RunStats,
+}
+
+impl SweepProgress {
+    fn last_decided(&self) -> Option<usize> {
+        self.winners.last().map(|(k, _)| *k)
+    }
+}
+
+/// Sanitizes a job name into a filename fragment.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Streams a reachable job's witness into the configured directory,
@@ -307,24 +582,14 @@ struct SweepState {
 /// ([`Trace::to_hwmcc`]).
 fn write_witness(dir: &Path, id: usize, name: &str, trace: &Trace) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
-    let sanitized: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    let path = dir.join(format!("job{id:03}_{sanitized}.wit"));
+    let path = dir.join(format!("job{id:03}_{}.wit", sanitize_name(name)));
     std::fs::write(&path, trace.to_hwmcc())?;
     Ok(path.to_string_lossy().into_owned())
 }
 
-/// Renders a panic payload (the argument of `panic!`) as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".into()
-    }
+/// The DRAT export path for a job under the service proof directory.
+fn proof_file_path(dir: &Path, id: usize, name: &str) -> PathBuf {
+    dir.join(format!("job{id:03}_{}.drat", sanitize_name(name)))
 }
 
 /// The verdict of a clean deepening sweep that found nothing: a true
@@ -340,159 +605,254 @@ fn sweep_verdict(max_bound: usize, skipped: usize) -> BmcResult {
     }
 }
 
-/// Runs one admitted job to completion on the calling worker thread.
-///
-/// `child` is the job's effective cancel token (fired by the bridge on
-/// per-job or whole-service cancellation); the job's own token is
-/// never fired.
-fn run_job(
+/// How one attempt's outcome steers the supervisor.
+enum AttemptClass {
+    /// The job is done; report this verdict.
+    Final(BmcResult),
+    /// The attempt failed for a recoverable reason; retry if the
+    /// policy allows, quarantine otherwise.
+    Retry(String),
+}
+
+/// Runs one admitted job to completion — admission, supervised
+/// attempts, retry/backoff, and report assembly — on the calling
+/// worker thread.
+fn process_job(
     q: QueuedJob,
-    child: CancelToken,
     config: &ServiceConfig,
+    slot: &Mutex<Option<BridgeSlot>>,
+    governor: &MemGovernor,
     queue_wait: Duration,
 ) -> JobReport {
-    let QueuedJob { id, job, .. } = q;
+    // Cancelled while queued: reported (queue wait included), never
+    // run, solve wall-clock zero.
+    if config.cancel.is_cancelled() {
+        return aborted(&q, "service cancelled", queue_wait, 0);
+    }
+    if q.job.budget.cancel.is_cancelled() {
+        return aborted(&q, "cancelled", queue_wait, 0);
+    }
+
     let run_start = Instant::now();
+    let mut engines = q.job.engines.clone();
     // Admission control: the service cap can only tighten the job's.
-    let byte_cap = match (job.budget.max_formula_bytes, config.max_job_bytes) {
+    let mut byte_cap = match (q.job.budget.max_formula_bytes, config.max_job_bytes) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
     };
-    let mut budget = job.budget.clone().with_cancel(child);
-    budget.max_formula_bytes = byte_cap;
 
-    let mut bound = None;
-    let mut winners: Vec<(usize, &'static str)> = Vec::new();
-    let mut bounds_checked = 0usize;
-    let mut bounds_skipped = 0usize;
-    let mut certificate: Option<Certificate> = None;
-    let stats;
-    let engines: Vec<&'static str>;
-
-    let mut verdict = if job.engines.is_empty() {
-        engines = Vec::new();
-        stats = RunStats::default();
-        BmcResult::Unknown("no engines selected".into())
-    } else if job.engines.len() == 1 {
-        // One engine: a plain deepening session. The whole sweep runs
-        // inside a catch so a panicking engine costs *this job its
-        // verdict*, not the worker thread (an unwound worker would
-        // strand the rest of the queue and break the one-report-per-job
-        // contract).
-        let kind = job.engines[0];
-        engines = vec![kind.build().name()];
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut session = kind
-                .build()
-                .start(&job.model, job.semantics, budget.clone());
-            let mut sweep = SweepState::default();
-            let verdict = 'sweep: {
-                for k in 0..=job.max_bound {
-                    if budget.expired(run_start) {
-                        break 'sweep BmcResult::Unknown(budget.unknown_reason());
-                    }
-                    if !session.supports_bound(k) {
-                        sweep.skipped += 1;
-                        continue;
-                    }
-                    sweep.checked += 1;
-                    let out = session.check_bound(k);
-                    Certificate::fold_into(&mut sweep.cert, out.certificate.as_ref());
-                    match out.result {
-                        BmcResult::Reachable(t) => {
-                            sweep.bound = Some(k);
-                            sweep.winners.push((k, session.name()));
-                            break 'sweep BmcResult::Reachable(t);
-                        }
-                        BmcResult::Unreachable => {
-                            sweep.winners.push((k, session.name()));
-                        }
-                        BmcResult::Unknown(r) => break 'sweep BmcResult::Unknown(r),
-                    }
+    // --- Aggregate-memory admission: defer → downgrade → shed. ------
+    let shed = Arc::new(AtomicBool::new(false));
+    let mut deferrals = 0usize;
+    let mut downgraded = false;
+    if let Some(total) = governor.max_total {
+        if !engines.is_empty() {
+            let per_session = |cap: Option<usize>| cap.unwrap_or(total).min(total);
+            let mut reservation = per_session(byte_cap).saturating_mul(engines.len());
+            if reservation > total {
+                // Even alone this job over-reserves the service: clamp
+                // it up front instead of deferring forever.
+                if engines.len() > 1 {
+                    engines.truncate(1);
+                    downgraded = true;
                 }
-                sweep_verdict(job.max_bound, sweep.skipped)
-            };
-            (verdict, sweep, session.cumulative_stats())
-        }));
-        match run {
-            Ok((v, sweep, cum)) => {
-                bound = sweep.bound;
-                winners = sweep.winners;
-                bounds_checked = sweep.checked;
-                bounds_skipped = sweep.skipped;
-                certificate = sweep.cert;
-                stats = cum;
-                v
+                byte_cap = Some(per_session(byte_cap));
+                reservation = per_session(byte_cap);
             }
-            Err(payload) => {
-                stats = RunStats::default();
-                BmcResult::Unknown(format!(
-                    "engine panicked: {}",
-                    panic_message(payload.as_ref())
-                ))
+            loop {
+                if config.cancel.is_cancelled() {
+                    return aborted(&q, "service cancelled", queue_wait, deferrals);
+                }
+                if q.job.budget.cancel.is_cancelled() {
+                    return aborted(&q, "cancelled", queue_wait, deferrals);
+                }
+                if governor.try_admit(q.id, reservation, &shed) {
+                    break;
+                }
+                deferrals += 1;
+                if !downgraded && deferrals >= DOWNGRADE_AFTER_DEFERRALS && engines.len() > 1 {
+                    engines.truncate(1);
+                    downgraded = true;
+                    reservation = per_session(byte_cap);
+                    continue; // re-try admission with the smaller ask
+                }
+                if deferrals >= SHED_AFTER_DEFERRALS
+                    && (deferrals - SHED_AFTER_DEFERRALS).is_multiple_of(SHED_RETRY_EVERY)
+                {
+                    governor.shed_youngest();
+                }
+                thread::sleep(DEFER_POLL);
             }
-        }
-    } else {
-        // Several engines: portfolio-level deepening, one race per
-        // bound over the live sessions.
-        let built = job.engines.iter().map(|e| e.build()).collect();
-        let mut p = DeepeningPortfolio::start(&job.model, job.semantics, built, budget.clone());
-        engines = p.engine_names();
-        let v = 'sweep: {
-            for k in 0..=job.max_bound {
-                if budget.expired(run_start) {
-                    break 'sweep BmcResult::Unknown(budget.unknown_reason());
-                }
-                let out = p.check_bound(k);
-                if !out.supported {
-                    bounds_skipped += 1;
-                    continue;
-                }
-                bounds_checked += 1;
-                match out.winner {
-                    Some(i) => {
-                        winners.push((k, out.entries[i].engine));
-                        // The job's certificate is the chain of race
-                        // winners' per-bound certificates.
-                        Certificate::fold_into(
-                            &mut certificate,
-                            out.entries[i].outcome.certificate.as_ref(),
-                        );
-                        match &out.entries[i].outcome.result {
-                            BmcResult::Reachable(t) => {
-                                bound = Some(k);
-                                break 'sweep BmcResult::Reachable(t.clone());
-                            }
-                            _ => continue,
-                        }
-                    }
-                    // No engine decided: budget/cancellation (or every
-                    // engine retired). A deadline that expired mid-race
-                    // reaches the sessions as a fired *race* token, so
-                    // their entries all say "cancelled" — report the
-                    // job-level reason ("budget exhausted") instead.
-                    None => {
-                        break 'sweep if budget.expired(run_start) && !budget.cancel.is_cancelled() {
-                            BmcResult::Unknown(budget.unknown_reason())
-                        } else {
-                            out.verdict().clone()
-                        };
-                    }
-                }
-            }
-            sweep_verdict(job.max_bound, bounds_skipped)
-        };
-        stats = p.cumulative_stats();
-        v
-    };
-
-    // A cancellation that arrived through the service token reads
-    // better labelled as such.
-    if let BmcResult::Unknown(r) = &verdict {
-        if r == "cancelled" && config.cancel.is_cancelled() && !job.budget.cancel.is_cancelled() {
-            verdict = BmcResult::Unknown("service cancelled".into());
         }
     }
+
+    let QueuedJob { id, job, .. } = q;
+    if engines.is_empty() {
+        let mut r = abort_report(
+            id,
+            job.name.clone(),
+            job.model.name().to_string(),
+            Vec::new(),
+            byte_cap,
+            "no engines selected",
+            queue_wait,
+            deferrals,
+        );
+        r.attempts = 1;
+        return r;
+    }
+    let engine_names: Vec<&'static str> = engines.iter().map(|e| e.build().name()).collect();
+
+    // --- Supervised attempts. ----------------------------------------
+    let policy = job.retry.clone();
+    let max_attempts = policy.max_attempts.max(1);
+    let orig_timeout = job.budget.timeout;
+    let job_deadline = policy.job_deadline.map(|d| run_start + d);
+    let proof_out: Option<PathBuf> = match (&config.proof_dir, engines.len()) {
+        (Some(dir), 1) => {
+            std::fs::create_dir_all(dir).ok();
+            Some(proof_file_path(dir, id, &job.name))
+        }
+        _ => None,
+    };
+
+    let mut progress = SweepProgress::default();
+    let mut failures: Vec<FailureReport> = Vec::new();
+    let mut consumed = Duration::ZERO;
+    let mut resumed_from: Option<usize> = None;
+    let mut quarantined = false;
+    let mut attempt: u32 = 0;
+
+    let verdict: BmcResult = loop {
+        attempt += 1;
+        if attempt > 1 {
+            resumed_from = Some(progress.next_bound);
+        }
+        // Cancellations/sheds that land between attempts are final.
+        if shed.load(Ordering::Relaxed) {
+            break BmcResult::Unknown("shed: memory pressure".into());
+        }
+        if config.cancel.is_cancelled() {
+            break BmcResult::Unknown("service cancelled".into());
+        }
+        if job.budget.cancel.is_cancelled() {
+            break BmcResult::Unknown("cancelled".into());
+        }
+        // The attempt runs under whatever the *original* budget has
+        // left: retries carry forward consumed wall clock, so a job's
+        // attempts can never outspend the budget it was submitted
+        // with.
+        let remaining = orig_timeout.map(|t| t.saturating_sub(consumed));
+        if remaining == Some(Duration::ZERO) {
+            break BmcResult::Unknown("budget exhausted".into());
+        }
+        let deadline_left = job_deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        if deadline_left == Some(Duration::ZERO) {
+            break BmcResult::Unknown("deadline exceeded".into());
+        }
+        let mut attempt_timeout = remaining;
+        // Which constraint clips the attempt decides whether running
+        // into it is retryable (per-attempt cap) or final (whole-job
+        // deadline).
+        let mut attempt_clipped = false;
+        let mut deadline_clipped = false;
+        if let Some(at) = policy.attempt_timeout {
+            if attempt_timeout.is_none_or(|r| at < r) {
+                attempt_timeout = Some(at);
+                attempt_clipped = true;
+            }
+        }
+        if let Some(left) = deadline_left {
+            if attempt_timeout.is_none_or(|r| left < r) {
+                attempt_timeout = Some(left);
+                attempt_clipped = false;
+                deadline_clipped = true;
+            }
+        }
+
+        let child = CancelToken::new();
+        *lock_unpoisoned(slot) = Some(BridgeSlot {
+            job_token: job.budget.cancel_token(),
+            child: child.clone(),
+            shed: shed.clone(),
+        });
+        let mut budget = job.budget.clone().with_cancel(child.clone());
+        budget.max_formula_bytes = byte_cap;
+        budget.timeout = attempt_timeout;
+        budget.proof_out = proof_out.clone();
+
+        let attempt_start = Instant::now();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The service-layer fault-injection safe point: injected
+            // panics land inside this catch and become retryable
+            // failures, exactly like organic ones.
+            let flag = budget.cancel.flag();
+            if budget.fault.hit(FaultSite::Service, Some(&*flag)) == FaultVerdict::Oom {
+                return BmcResult::Unknown("budget exhausted".into());
+            }
+            if engines.len() == 1 {
+                run_attempt_single(engines[0], &job, &budget, &mut progress, attempt_start)
+            } else {
+                run_attempt_portfolio(&engines, &job, &budget, &mut progress, attempt_start)
+            }
+        }));
+        *lock_unpoisoned(slot) = None;
+        let attempt_elapsed = attempt_start.elapsed();
+        consumed += attempt_elapsed;
+
+        let class = match run {
+            Ok(BmcResult::Reachable(t)) => AttemptClass::Final(BmcResult::Reachable(t)),
+            Ok(BmcResult::Unreachable) => AttemptClass::Final(BmcResult::Unreachable),
+            Ok(BmcResult::Unknown(r)) => classify_unknown(
+                r,
+                &shed,
+                config,
+                &job,
+                attempt_clipped,
+                deadline_clipped,
+                attempt_elapsed,
+                attempt_timeout,
+            ),
+            Err(payload) => AttemptClass::Retry(format!(
+                "worker panicked: {}",
+                truncate_panic_payload(payload.as_ref())
+            )),
+        };
+        match class {
+            AttemptClass::Final(v) => break v,
+            AttemptClass::Retry(reason) => {
+                failures.push(FailureReport {
+                    attempt,
+                    bound_reached: progress.last_decided(),
+                    reason: reason.clone(),
+                    stats: progress.stats.clone(),
+                });
+                if attempt >= max_attempts {
+                    // The poison list: every attempt failed. The last
+                    // failure's reason becomes the verdict; nothing is
+                    // dropped.
+                    quarantined = true;
+                    break BmcResult::Unknown(reason);
+                }
+                // Exponential, jittered, *interruptible* backoff.
+                let end = Instant::now() + policy.backoff_before(attempt);
+                loop {
+                    if job.budget.cancel.is_cancelled()
+                        || config.cancel.is_cancelled()
+                        || shed.load(Ordering::Relaxed)
+                    {
+                        break;
+                    }
+                    let left = end.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    thread::sleep(left.min(BRIDGE_POLL));
+                }
+            }
+        }
+    };
+    let mut verdict = verdict;
 
     // Witness streaming: persist the trace and drop it from the
     // report. On a write error the in-memory trace is kept — a verdict
@@ -510,24 +870,195 @@ fn run_job(
         }
     }
 
+    // Proof retention: keep the exported DRAT stream only for a clean
+    // Unreachable sweep (the "Unsat-certified" case); anything else
+    // leaves no partial proof file behind.
+    let mut proof_path = None;
+    if let Some(p) = &proof_out {
+        if verdict.is_unreachable() && p.exists() {
+            proof_path = Some(p.to_string_lossy().into_owned());
+        } else {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
     JobReport {
         job_id: id,
-        name: job.name,
+        name: job.name.clone(),
         model: job.model.name().to_string(),
-        engines,
+        engines: engine_names,
         verdict,
-        bound,
-        bounds_checked,
-        bounds_skipped,
-        winners,
+        bound: progress.bound,
+        bounds_checked: progress.checked,
+        bounds_skipped: progress.skipped,
+        winners: progress.winners,
         byte_cap,
-        stats,
-        certificate,
+        stats: progress.stats,
+        certificate: progress.cert,
         witness_path,
         witness_steps,
         queue_wait,
         solve_time: run_start.elapsed(),
+        attempts: attempt,
+        resumed_from,
+        deferrals,
+        downgraded,
+        quarantined,
+        failures,
+        proof_path,
     }
+}
+
+/// Sorts an attempt's `Unknown` into final verdicts vs retryable
+/// failures. Order matters: a shed or an external cancellation
+/// *explains* a fired child token; only an unexplained one is the
+/// injected/spurious kind worth retrying.
+#[allow(clippy::too_many_arguments)]
+fn classify_unknown(
+    reason: String,
+    shed: &Arc<AtomicBool>,
+    config: &ServiceConfig,
+    job: &Job,
+    attempt_clipped: bool,
+    deadline_clipped: bool,
+    attempt_elapsed: Duration,
+    attempt_timeout: Option<Duration>,
+) -> AttemptClass {
+    if reason == "cancelled" {
+        if shed.load(Ordering::Relaxed) {
+            return AttemptClass::Final(BmcResult::Unknown("shed: memory pressure".into()));
+        }
+        if config.cancel.is_cancelled() {
+            return AttemptClass::Final(BmcResult::Unknown("service cancelled".into()));
+        }
+        if job.budget.cancel.is_cancelled() {
+            return AttemptClass::Final(BmcResult::Unknown("cancelled".into()));
+        }
+        // The attempt's child token fired, but nobody legitimate fired
+        // it: a spurious (injected or stray) cancellation.
+        return AttemptClass::Retry("spurious cancellation".into());
+    }
+    if reason == "budget exhausted" {
+        if deadline_clipped {
+            return AttemptClass::Final(BmcResult::Unknown("deadline exceeded".into()));
+        }
+        // Retry only when the *per-attempt* cap was the binding
+        // constraint and the attempt actually ran into it (a fast
+        // "budget exhausted" is the byte cap, which no retry fixes).
+        let ran_into_cap =
+            attempt_timeout.is_some_and(|t| attempt_elapsed + Duration::from_millis(5) >= t);
+        if attempt_clipped && ran_into_cap {
+            return AttemptClass::Retry("attempt deadline exceeded".into());
+        }
+        return AttemptClass::Final(BmcResult::Unknown(reason));
+    }
+    if reason.starts_with("engine panicked") {
+        return AttemptClass::Retry(reason);
+    }
+    AttemptClass::Final(BmcResult::Unknown(reason))
+}
+
+/// One attempt of a single-engine job: a fresh deepening session,
+/// swept from the first undecided bound.
+fn run_attempt_single(
+    kind: EngineKind,
+    job: &Job,
+    budget: &sebmc::Budget,
+    progress: &mut SweepProgress,
+    attempt_start: Instant,
+) -> BmcResult {
+    let mut session = kind
+        .build()
+        .start(&job.model, job.semantics, budget.clone());
+    for k in progress.next_bound..=job.max_bound {
+        if budget.expired(attempt_start) {
+            return BmcResult::Unknown(budget.unknown_reason());
+        }
+        if !session.supports_bound(k) {
+            progress.skipped += 1;
+            progress.next_bound = k + 1;
+            continue;
+        }
+        let out = session.check_bound(k);
+        progress.stats.absorb(&out.stats);
+        Certificate::fold_into(&mut progress.cert, out.certificate.as_ref());
+        match out.result {
+            BmcResult::Reachable(t) => {
+                progress.checked += 1;
+                progress.bound = Some(k);
+                progress.winners.push((k, session.name()));
+                progress.next_bound = k + 1;
+                return BmcResult::Reachable(t);
+            }
+            BmcResult::Unreachable => {
+                progress.checked += 1;
+                progress.winners.push((k, session.name()));
+                progress.next_bound = k + 1;
+            }
+            BmcResult::Unknown(r) => return BmcResult::Unknown(r),
+        }
+    }
+    sweep_verdict(job.max_bound, progress.skipped)
+}
+
+/// One attempt of a portfolio job: fresh live sessions, every bound
+/// raced from the first undecided one.
+fn run_attempt_portfolio(
+    engines: &[EngineKind],
+    job: &Job,
+    budget: &sebmc::Budget,
+    progress: &mut SweepProgress,
+    attempt_start: Instant,
+) -> BmcResult {
+    let built = engines.iter().map(|e| e.build()).collect();
+    let mut p = DeepeningPortfolio::start(&job.model, job.semantics, built, budget.clone());
+    for k in progress.next_bound..=job.max_bound {
+        if budget.expired(attempt_start) {
+            return BmcResult::Unknown(budget.unknown_reason());
+        }
+        let out = p.check_bound(k);
+        for e in &out.entries {
+            progress.stats.absorb(&e.outcome.stats);
+        }
+        if !out.supported {
+            progress.skipped += 1;
+            progress.next_bound = k + 1;
+            continue;
+        }
+        match out.winner {
+            Some(i) => {
+                progress.checked += 1;
+                progress.winners.push((k, out.entries[i].engine));
+                // The job's certificate is the chain of race winners'
+                // per-bound certificates.
+                Certificate::fold_into(
+                    &mut progress.cert,
+                    out.entries[i].outcome.certificate.as_ref(),
+                );
+                match &out.entries[i].outcome.result {
+                    BmcResult::Reachable(t) => {
+                        progress.bound = Some(k);
+                        progress.next_bound = k + 1;
+                        return BmcResult::Reachable(t.clone());
+                    }
+                    _ => progress.next_bound = k + 1,
+                }
+            }
+            // No engine decided: budget/cancellation (or every engine
+            // retired). A deadline that expired mid-race reaches the
+            // sessions as a fired *race* token, so their entries all
+            // say "cancelled" — report the job-level reason ("budget
+            // exhausted") instead.
+            None => {
+                return if budget.expired(attempt_start) && !budget.cancel.is_cancelled() {
+                    BmcResult::Unknown(budget.unknown_reason())
+                } else {
+                    out.verdict().clone()
+                };
+            }
+        }
+    }
+    sweep_verdict(job.max_bound, progress.skipped)
 }
 
 #[cfg(test)]
@@ -548,7 +1079,10 @@ mod tests {
         assert_eq!(j.bounds_checked, 5, "bounds 0..=4 checked");
         assert_eq!(j.winners.len(), 5);
         assert!(j.stats.solver_effort > 0 || j.stats.bounds_checked == 5);
+        assert_eq!(j.attempts, 1);
+        assert!(j.failures.is_empty());
         assert_eq!(r.reachable, 1);
+        assert_eq!(r.jobs_retried, 0);
     }
 
     #[test]
@@ -672,6 +1206,60 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Proof export (carried ROADMAP follow-up): with a proof dir a
+    /// single-engine Unreachable job leaves a non-empty binary-DRAT
+    /// file behind and reports its path; decided-reachable and
+    /// portfolio jobs leave nothing.
+    #[test]
+    fn proof_export_keeps_drat_files_for_unreachable_jobs() {
+        let dir = std::env::temp_dir().join(format!("sebmc-drat-{}", std::process::id()));
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_proof_dir(&dir));
+        svc.submit(Job::new(traffic_light(), vec![EngineKind::Unroll], 4));
+        svc.submit(Job::new(shift_register(4), vec![EngineKind::Unroll], 6));
+        svc.submit(Job::new(
+            traffic_light(),
+            vec![EngineKind::Unroll, EngineKind::Jsat],
+            3,
+        ));
+        let r = svc.run();
+        let unsat = &r.jobs[0];
+        assert!(unsat.verdict.is_unreachable());
+        let p = unsat.proof_path.as_ref().expect("proof path reported");
+        let bytes = std::fs::read(p).expect("proof file exists");
+        assert!(!bytes.is_empty(), "DRAT stream has content");
+        // Reachable job: no proof kept.
+        assert!(r.jobs[1].proof_path.is_none());
+        // Portfolio job: export skipped entirely.
+        assert!(r.jobs[2].proof_path.is_none());
+        let kept: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(kept.len(), 1, "only the Unsat job's file remains: {kept:?}");
+        let json = r.to_json();
+        assert!(json.contains("\"proof_path\":\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Certification and proof export compose: the tee sink checks on
+    /// the fly *and* writes the file.
+    #[test]
+    fn certify_and_proof_export_compose() {
+        let dir = std::env::temp_dir().join(format!("sebmc-drat-tee-{}", std::process::id()));
+        let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_proof_dir(&dir));
+        svc.submit(
+            Job::new(traffic_light(), vec![EngineKind::Unroll], 4)
+                .with_budget(Budget::none().with_certify(true)),
+        );
+        let r = svc.run();
+        let j = &r.jobs[0];
+        assert!(j.verdict.is_unreachable());
+        assert!(j.certificate.as_ref().unwrap().fully_certified());
+        let p = j.proof_path.as_ref().expect("proof file kept");
+        assert!(!std::fs::read(p).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// A certified batch: every decided job carries a fully-certified
     /// certificate and the aggregate counts them.
     #[test]
@@ -716,5 +1304,6 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"jobs_total\":13"));
         assert!(json.contains("\"workers\":2"));
+        assert!(json.contains("\"jobs_quarantined\":0"));
     }
 }

@@ -11,6 +11,25 @@ use std::time::Duration;
 
 use sebmc::{BmcResult, Certificate, RunStats};
 
+/// One failed attempt of a job, preserved verbatim in the job's report
+/// — a panic, spurious cancellation, or expired attempt deadline never
+/// silently discards the work that led up to it.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Which attempt failed (1-based).
+    pub attempt: u32,
+    /// The deepest bound *decided* before the failure (`None` when the
+    /// attempt failed before deciding anything).
+    pub bound_reached: Option<usize>,
+    /// Why the attempt failed: the truncated panic payload, `"spurious
+    /// cancellation"`, or `"attempt deadline exceeded"`.
+    pub reason: String,
+    /// Partial run stats accumulated by the failed attempt (per-bound
+    /// outcomes absorbed as they were decided; at most the in-flight
+    /// bound's effort is lost to a panic).
+    pub stats: RunStats,
+}
+
 /// Outcome and accounting of one job.
 #[derive(Clone, Debug)]
 pub struct JobReport {
@@ -58,8 +77,30 @@ pub struct JobReport {
     pub witness_steps: Option<usize>,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
-    /// Wall-clock time on the worker (encode + solve across bounds).
+    /// Wall-clock time on the worker (encode + solve across bounds,
+    /// plus any admission deferrals and retry backoff).
     pub solve_time: Duration,
+    /// Attempts the job took (1 for an untroubled run).
+    pub attempts: u32,
+    /// The bound the *last* retry resumed the sweep at (`None` when the
+    /// job never retried). Retries never restart from bound 0 once a
+    /// bound was decided.
+    pub resumed_from: Option<usize>,
+    /// Admission deferrals under memory pressure before the job ran.
+    pub deferrals: usize,
+    /// Whether memory pressure downgraded a portfolio job to its single
+    /// first-listed engine.
+    pub downgraded: bool,
+    /// Whether the job exhausted every attempt and was quarantined (its
+    /// id is on [`ServiceReport::quarantined`]; the verdict carries the
+    /// last failure's reason).
+    pub quarantined: bool,
+    /// Every failed attempt, in order. Empty for an untroubled run.
+    pub failures: Vec<FailureReport>,
+    /// Path of the exported DRAT proof file, when the service ran with
+    /// a proof directory and this single-engine job swept to a clean
+    /// `Unreachable` verdict.
+    pub proof_path: Option<String>,
 }
 
 impl JobReport {
@@ -103,6 +144,17 @@ pub struct ServiceReport {
     /// All job certificates folded with [`Certificate::absorb`]
     /// (`None` when no job carried one).
     pub certificate: Option<Certificate>,
+    /// Jobs that needed more than one attempt.
+    pub jobs_retried: usize,
+    /// The poison list: ids of jobs that exhausted every attempt. Their
+    /// reports are still present in [`ServiceReport::jobs`] — nothing
+    /// is dropped — this is the index of what needs human attention.
+    pub quarantined: Vec<usize>,
+    /// Jobs cancelled by the memory-pressure shedder.
+    pub jobs_shed: usize,
+    /// Portfolio jobs downgraded to a single engine under memory
+    /// pressure.
+    pub jobs_downgraded: usize,
 }
 
 impl ServiceReport {
@@ -114,6 +166,10 @@ impl ServiceReport {
         let (mut reachable, mut unreachable, mut unknown) = (0, 0, 0);
         let mut jobs_certified = 0;
         let mut certificate: Option<Certificate> = None;
+        let mut jobs_retried = 0;
+        let mut quarantined = Vec::new();
+        let mut jobs_shed = 0;
+        let mut jobs_downgraded = 0;
         for j in &jobs {
             total.absorb(&j.stats);
             queue_wait_total += j.queue_wait;
@@ -121,12 +177,26 @@ impl ServiceReport {
             match &j.verdict {
                 BmcResult::Reachable(_) => reachable += 1,
                 BmcResult::Unreachable => unreachable += 1,
-                BmcResult::Unknown(_) => unknown += 1,
+                BmcResult::Unknown(r) => {
+                    unknown += 1;
+                    if r == "shed: memory pressure" {
+                        jobs_shed += 1;
+                    }
+                }
             }
             if j.certificate.as_ref().is_some_and(|c| c.fully_certified()) {
                 jobs_certified += 1;
             }
             Certificate::fold_into(&mut certificate, j.certificate.as_ref());
+            if j.attempts > 1 {
+                jobs_retried += 1;
+            }
+            if j.quarantined {
+                quarantined.push(j.job_id);
+            }
+            if j.downgraded {
+                jobs_downgraded += 1;
+            }
         }
         ServiceReport {
             workers,
@@ -140,6 +210,10 @@ impl ServiceReport {
             unknown,
             jobs_certified,
             certificate,
+            jobs_retried,
+            quarantined,
+            jobs_shed,
+            jobs_downgraded,
         }
     }
 
@@ -154,10 +228,18 @@ impl ServiceReport {
     /// Renders the whole report as one JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024 + self.jobs.len() * 256);
+        let quarantined_ids = self
+            .quarantined
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
             "{{\"workers\":{},\"wall_ms\":{},\"jobs_total\":{},\
              \"reachable\":{},\"unreachable\":{},\"unknown\":{},\
              \"jobs_certified\":{},\"certificate\":{},\
+             \"jobs_retried\":{},\"jobs_quarantined\":{},\"quarantined\":[{quarantined_ids}],\
+             \"jobs_shed\":{},\"jobs_downgraded\":{},\
              \"queue_wait_ms_total\":{},\"solve_ms_total\":{},\
              \"jobs_per_sec\":{:.3},\"total_stats\":{},\"jobs\":[",
             self.workers,
@@ -168,6 +250,10 @@ impl ServiceReport {
             self.unknown,
             self.jobs_certified,
             opt_cert_json(&self.certificate),
+            self.jobs_retried,
+            self.quarantined.len(),
+            self.jobs_shed,
+            self.jobs_downgraded,
             self.queue_wait_total.as_millis(),
             self.solve_total.as_millis(),
             self.jobs_per_sec(),
@@ -268,12 +354,27 @@ fn job_json(j: &JobReport) -> String {
         .map(|(k, e)| format!("[{k},\"{}\"]", json_escape(e)))
         .collect::<Vec<_>>()
         .join(",");
+    let resumed_s = j.resumed_from.map_or("null".into(), |b| b.to_string());
+    let proof_s = j
+        .proof_path
+        .as_deref()
+        .map_or("null".into(), |p| format!("\"{}\"", json_escape(p)));
+    let failures = j
+        .failures
+        .iter()
+        .map(failure_json)
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
         "{{\"id\":{},\"name\":\"{}\",\"model\":\"{}\",\"engines\":[{engines}],\
          \"verdict\":\"{verdict}\",\"reason\":{reason_s},\"bound\":{bound_s},\
          \"bounds_checked\":{},\"bounds_skipped\":{},\"byte_cap\":{cap_s},\
          \"certificate\":{},\"witness_path\":{witness_s},\"witness_steps\":{steps_s},\
-         \"queue_wait_ms\":{},\"solve_ms\":{},\"winners\":[{winners}],\"stats\":{}}}",
+         \"proof_path\":{proof_s},\
+         \"queue_wait_ms\":{},\"solve_ms\":{},\
+         \"attempts\":{},\"resumed_from\":{resumed_s},\"deferrals\":{},\
+         \"downgraded\":{},\"quarantined\":{},\"failures\":[{failures}],\
+         \"winners\":[{winners}],\"stats\":{}}}",
         j.job_id,
         json_escape(&j.name),
         json_escape(&j.model),
@@ -282,7 +383,22 @@ fn job_json(j: &JobReport) -> String {
         opt_cert_json(&j.certificate),
         j.queue_wait.as_millis(),
         j.solve_time.as_millis(),
+        j.attempts,
+        j.deferrals,
+        j.downgraded,
+        j.quarantined,
         stats_json(&j.stats),
+    )
+}
+
+/// Renders one [`FailureReport`] as JSON.
+fn failure_json(f: &FailureReport) -> String {
+    let bound_s = f.bound_reached.map_or("null".into(), |b| b.to_string());
+    format!(
+        "{{\"attempt\":{},\"bound_reached\":{bound_s},\"reason\":\"{}\",\"stats\":{}}}",
+        f.attempt,
+        json_escape(&f.reason),
+        stats_json(&f.stats),
     )
 }
 
@@ -314,6 +430,13 @@ mod tests {
             witness_steps: None,
             queue_wait: Duration::from_millis(1),
             solve_time: Duration::from_millis(2),
+            attempts: 1,
+            resumed_from: None,
+            deferrals: 0,
+            downgraded: false,
+            quarantined: false,
+            failures: Vec::new(),
+            proof_path: None,
         }
     }
 
@@ -343,6 +466,46 @@ mod tests {
         assert!(json.contains("\"peak_proof_bytes\":0"));
         assert!(json.contains("\"certificate\":null"));
         assert!(json.contains("\"witness_path\":null"));
+    }
+
+    #[test]
+    fn failure_semantics_aggregate_and_render() {
+        let mut retried = report(BmcResult::Unreachable);
+        retried.attempts = 2;
+        retried.resumed_from = Some(3);
+        retried.failures.push(FailureReport {
+            attempt: 1,
+            bound_reached: Some(2),
+            reason: "engine panicked: jsat: boom".into(),
+            stats: RunStats::default(),
+        });
+        let mut quarantined = report(BmcResult::Unknown("engine panicked: jsat: boom".into()));
+        quarantined.job_id = 1;
+        quarantined.attempts = 3;
+        quarantined.quarantined = true;
+        let mut shed = report(BmcResult::Unknown("shed: memory pressure".into()));
+        shed.job_id = 2;
+        shed.deferrals = 4;
+        let mut downgraded = report(BmcResult::Unreachable);
+        downgraded.job_id = 3;
+        downgraded.downgraded = true;
+        let r = ServiceReport::new(
+            2,
+            Duration::from_millis(10),
+            vec![retried, quarantined, shed, downgraded],
+        );
+        assert_eq!(r.jobs_retried, 2, "retried + quarantined both retried");
+        assert_eq!(r.quarantined, vec![1]);
+        assert_eq!(r.jobs_shed, 1);
+        assert_eq!(r.jobs_downgraded, 1);
+        let json = r.to_json();
+        assert!(json.contains("\"jobs_quarantined\":1"));
+        assert!(json.contains("\"quarantined\":[1]"));
+        assert!(json.contains("\"jobs_shed\":1"));
+        assert!(json.contains("\"jobs_downgraded\":1"));
+        assert!(json.contains("\"resumed_from\":3"));
+        assert!(json.contains("\"failures\":[{\"attempt\":1,\"bound_reached\":2"));
+        assert!(json.contains("engine panicked: jsat: boom"));
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! ```text
 //! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
 //!       [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N]
-//!       [--certify] [--json] [--quiet]
+//!       [--certify] [--proof-out FILE] [--fault-plan PLAN] [--json] [--quiet]
 //! sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] [--bound K]
 //!       [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N]
-//!       [--within] [--certify] [--witness-dir DIR] [--json] [--quiet]
+//!       [--max-total-mb N] [--retries N] [--backoff-ms N]
+//!       [--attempt-timeout-ms N] [--deadline-ms N] [--fault-plan PLAN]
+//!       [--within] [--certify] [--witness-dir DIR] [--proof-out DIR]
+//!       [--json] [--quiet]
 //! ```
 //!
 //! `sebmc batch` runs a whole *job list* on the multi-worker checking
@@ -45,6 +48,31 @@
 //! * `--witness-dir DIR` (batch) — stream each reachable job's witness
 //!   to `DIR/jobNNN_<name>.wit` (HWMCC stimulus format); the report
 //!   keeps the path and length instead of the full trace.
+//! * `--proof-out` — export the binary-DRAT proof stream. Single mode
+//!   takes a *file* path and keeps it only when the verdict is
+//!   `Unreachable` (otherwise the partial stream is removed); batch
+//!   mode takes a *directory* and keeps `DIR/jobNNN_<name>.drat` for
+//!   every single-engine job that sweeps to `Unreachable` (portfolio
+//!   jobs skip export). Composes with `--certify`: the same stream is
+//!   checked on the fly *and* written out.
+//! * `--retries N` / `--backoff-ms N` / `--attempt-timeout-ms N` /
+//!   `--deadline-ms N` (batch) — the fault-tolerance policy applied to
+//!   every job: up to `N` retries after a crashed/stalled attempt
+//!   (exponential backoff from `--backoff-ms`, deterministic jitter),
+//!   a per-attempt wall-clock cap, and a whole-job deadline. Retries
+//!   resume at the first undecided bound and run under whatever budget
+//!   the earlier attempts left over.
+//! * `--max-total-mb N` (batch) — aggregate memory budget across all
+//!   running jobs; jobs that don't fit are deferred, then downgraded
+//!   (portfolio → first engine), and a stalled queue sheds the
+//!   youngest running job (`Unknown("shed: memory pressure")`).
+//! * `--fault-plan PLAN` — deterministic fault injection for drills
+//!   and tests (also read from `SEBMC_FAULT_PLAN` when the flag is
+//!   absent). `PLAN` is `seed:<u64>` or a comma list of
+//!   `kind@site:hit[:ms]`, e.g. `panic@engine:3,delay@solver:100:20`;
+//!   sites are `solver|engine|service`, kinds
+//!   `panic|delay|cancel|oom`. In batch mode every job gets its own
+//!   fresh copy of the plan (independent hit counters).
 //! * `--json` — print one JSON object (verdict, bound, engine, run
 //!   stats including `peak_formula_bytes` and `peak_proof_bytes`) on
 //!   stdout instead of the HWMCC text output.
@@ -67,6 +95,7 @@ use sebmc_repro::bmc::{
     k_induction_run, BmcOutcome, BmcResult, Budget, Certificate, Engine, InductionResult, JSat,
     QbfBackend, QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
 };
+use sebmc_repro::logic::fault::FaultPlan;
 use sebmc_repro::model::{Model, Trace};
 use sebmc_repro::service::{
     cert_json, json_escape, parse_job_file, stats_json, suite_jobs, CheckService, EngineKind,
@@ -89,9 +118,28 @@ fn usage() -> ! {
         "usage: sebmc <circuit.aag|circuit.aig> \
          [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction] \
          [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N] \
-         [--certify] [--json] [--quiet]"
+         [--certify] [--proof-out FILE] [--fault-plan PLAN] [--json] [--quiet]"
     );
     std::process::exit(2);
+}
+
+/// Parses a `--fault-plan` value (`seed:<u64>` or `kind@site:hit[:ms]`
+/// commas); malformed plans are a usage error, not a silent no-op.
+fn parse_fault_plan(spec: &str) -> FaultPlan {
+    spec.parse().unwrap_or_else(|e| {
+        eprintln!("sebmc: bad --fault-plan '{spec}': {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The fault plan from `--fault-plan`, falling back to the
+/// `SEBMC_FAULT_PLAN` environment variable (so drills can be switched
+/// on without touching the command line).
+fn effective_fault_plan(flag: Option<String>) -> FaultPlan {
+    match flag.or_else(|| std::env::var("SEBMC_FAULT_PLAN").ok()) {
+        Some(spec) if !spec.trim().is_empty() => parse_fault_plan(spec.trim()),
+        _ => FaultPlan::none(),
+    }
 }
 
 /// Parses the value of `--{flag}` as an integer; malformed or missing
@@ -117,6 +165,8 @@ fn parse_args() -> Options {
     let mut timeout_ms = None;
     let mut mem_mb = None;
     let mut certify = false;
+    let mut proof_out: Option<String> = None;
+    let mut fault_plan: Option<String> = None;
     let mut json = false;
     let mut quiet = false;
     while let Some(a) = args.next() {
@@ -128,6 +178,8 @@ fn parse_args() -> Options {
             "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", args.next())),
             "--mem-mb" => mem_mb = Some(parse_num("mem-mb", args.next())),
             "--certify" => certify = true,
+            "--proof-out" => proof_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--fault-plan" => fault_plan = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
@@ -147,6 +199,8 @@ fn parse_args() -> Options {
             // accounting (headers included).
             max_formula_bytes: mem_mb.map(|mb| mb as usize * 1024 * 1024),
             certify,
+            proof_out: proof_out.map(Into::into),
+            fault: effective_fault_plan(fault_plan),
             ..Budget::default()
         },
         json,
@@ -189,6 +243,22 @@ fn print_json(
         cert_s,
         stats_json(stats),
     );
+}
+
+/// Single-mode `--proof-out` retention: the exported DRAT stream is a
+/// refutation only when the verdict is `Unreachable`; anything else
+/// leaves no partial proof file behind.
+fn retain_proof(opts: &Options, result: &BmcResult) {
+    let Some(p) = &opts.budget.proof_out else {
+        return;
+    };
+    if result.is_unreachable() {
+        if !opts.quiet {
+            eprintln!("sebmc: proof written to {}", p.display());
+        }
+    } else {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 fn exit_for(result: &BmcResult) -> ExitCode {
@@ -327,7 +397,9 @@ fn batch_usage() -> ! {
     eprintln!(
         "usage: sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] \
          [--bound K] [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N] \
-         [--within] [--certify] [--witness-dir DIR] [--json] [--quiet]"
+         [--max-total-mb N] [--retries N] [--backoff-ms N] [--attempt-timeout-ms N] \
+         [--deadline-ms N] [--fault-plan PLAN] [--within] [--certify] \
+         [--witness-dir DIR] [--proof-out DIR] [--json] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -343,9 +415,16 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut mem_mb: Option<u64> = None;
     let mut max_job_mb: Option<u64> = None;
+    let mut max_total_mb: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut backoff_ms: Option<u64> = None;
+    let mut attempt_timeout_ms: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fault_plan: Option<String> = None;
     let mut semantics = Semantics::Exactly;
     let mut certify = false;
     let mut witness_dir: Option<String> = None;
+    let mut proof_dir: Option<String> = None;
     let mut json = false;
     let mut quiet = false;
     let mut it = args.into_iter();
@@ -358,9 +437,18 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", it.next())),
             "--mem-mb" => mem_mb = Some(parse_num("mem-mb", it.next())),
             "--max-job-mb" => max_job_mb = Some(parse_num("max-job-mb", it.next())),
+            "--max-total-mb" => max_total_mb = Some(parse_num("max-total-mb", it.next())),
+            "--retries" => retries = Some(parse_num("retries", it.next()) as u32),
+            "--backoff-ms" => backoff_ms = Some(parse_num("backoff-ms", it.next())),
+            "--attempt-timeout-ms" => {
+                attempt_timeout_ms = Some(parse_num("attempt-timeout-ms", it.next()));
+            }
+            "--deadline-ms" => deadline_ms = Some(parse_num("deadline-ms", it.next())),
+            "--fault-plan" => fault_plan = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--within" => semantics = Semantics::Within,
             "--certify" => certify = true,
             "--witness-dir" => witness_dir = Some(it.next().unwrap_or_else(|| batch_usage())),
+            "--proof-out" => proof_dir = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => batch_usage(),
@@ -368,6 +456,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             _ => batch_usage(),
         }
     }
+    let fault = effective_fault_plan(fault_plan);
     let jobs: Vec<sebmc_repro::service::Job> = if let Some(path) = &file {
         // Jobs-file lines carry their own models, engines and bounds;
         // silently ignoring the suite flags would mislead.
@@ -439,12 +528,39 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             .map(|j| j.with_semantics(semantics))
             .collect()
     };
+    let mut jobs = jobs;
+    for (i, j) in jobs.iter_mut().enumerate() {
+        // CLI fault-tolerance flags apply per field, to every job of
+        // the batch; jitter is seeded per job id so backoff schedules
+        // are deterministic but decorrelated across the batch.
+        if let Some(r) = retries {
+            j.retry.max_attempts = r.saturating_add(1);
+        }
+        if let Some(ms) = backoff_ms {
+            j.retry.backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = attempt_timeout_ms {
+            j.retry.attempt_timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(ms) = deadline_ms {
+            j.retry.job_deadline = Some(Duration::from_millis(ms));
+        }
+        j.retry.jitter_seed ^= i as u64;
+        // Each job arms its own copy of the plan: independent hit
+        // counters, so "panic at the 3rd engine call" means the 3rd
+        // call of *that job*, whatever the scheduling order.
+        if !fault.is_none() {
+            j.budget.fault = fault.fresh_copy();
+        }
+    }
     let mut config = match workers {
         Some(w) => ServiceConfig::with_workers(w),
         None => ServiceConfig::default(),
     };
     config.max_job_bytes = max_job_mb.map(|mb| mb as usize * 1024 * 1024);
+    config.max_total_bytes = max_total_mb.map(|mb| mb as usize * 1024 * 1024);
     config.witness_dir = witness_dir.map(Into::into);
+    config.proof_dir = proof_dir.map(Into::into);
     if !quiet {
         eprintln!(
             "sebmc: batch of {} jobs on {} workers",
@@ -464,7 +580,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
         for j in &report.jobs {
             let (verdict, reason) = j.verdict_parts();
             eprintln!(
-                "sebmc: [{:>3}] {:<20} {:<12} {} wait {:?} solve {:?} effort {}",
+                "sebmc: [{:>3}] {:<20} {:<12} {} wait {:?} solve {:?} effort {}{}",
                 j.job_id,
                 j.name,
                 verdict,
@@ -476,6 +592,15 @@ fn run_batch(args: Vec<String>) -> ExitCode {
                 j.queue_wait,
                 j.solve_time,
                 j.stats.solver_effort,
+                if j.attempts > 1 || j.quarantined {
+                    format!(
+                        " [attempts {}{}]",
+                        j.attempts,
+                        if j.quarantined { ", quarantined" } else { "" }
+                    )
+                } else {
+                    String::new()
+                },
             );
         }
         eprintln!(
@@ -486,6 +611,20 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             report.wall,
             report.jobs_per_sec()
         );
+        if report.jobs_retried
+            + report.quarantined.len()
+            + report.jobs_shed
+            + report.jobs_downgraded
+            > 0
+        {
+            eprintln!(
+                "sebmc: fault tolerance: {} retried, {} quarantined, {} shed, {} downgraded",
+                report.jobs_retried,
+                report.quarantined.len(),
+                report.jobs_shed,
+                report.jobs_downgraded
+            );
+        }
         if certify {
             eprintln!(
                 "sebmc: certified {}/{} decided jobs ({} proof B checked)",
@@ -530,7 +669,7 @@ fn main() -> ExitCode {
         raw.next();
         return run_batch(raw.collect());
     }
-    let opts = parse_args();
+    let mut opts = parse_args();
     let bytes = match std::fs::read(&opts.path) {
         Ok(b) => b,
         Err(e) => {
@@ -567,6 +706,9 @@ fn main() -> ExitCode {
     }
 
     if opts.engine == "k-induction" {
+        if opts.budget.proof_out.take().is_some() && !opts.quiet {
+            eprintln!("sebmc: --proof-out is not supported for k-induction; ignoring");
+        }
         return run_k_induction(&opts, &model);
     }
 
@@ -604,6 +746,7 @@ fn main() -> ExitCode {
                     if !opts.quiet && out.result.is_reachable() {
                         eprintln!("sebmc: first reachable at bound {k}");
                     }
+                    retain_proof(&opts, &out.result);
                     return report(&opts, &model, k, &out, &total, cert.as_ref());
                 }
             }
@@ -624,11 +767,13 @@ fn main() -> ExitCode {
             eprintln!("sebmc: {result} (deepened 0..={})", opts.bound);
         }
         let out = BmcOutcome::new(result, total.clone());
+        retain_proof(&opts, &out.result);
         report(&opts, &model, opts.bound, &out, &total, cert.as_ref())
     } else {
         let mut session = engine.start(&model, opts.semantics, opts.budget.clone());
         let out = session.check_bound(opts.bound);
         let total = session.cumulative_stats();
+        retain_proof(&opts, &out.result);
         report(
             &opts,
             &model,

@@ -467,6 +467,132 @@ fn batch_certify_certifies_every_job() {
 }
 
 #[test]
+fn proof_out_single_mode_keeps_drat_only_for_unreachable() {
+    let model = traffic_light();
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("proof-unsat", &aiger::to_ascii_string(&file));
+    let proof = std::env::temp_dir().join(format!("sebmc-test-proof-{}.drat", std::process::id()));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "4",
+            "--deepen",
+            "--proof-out",
+            proof.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(20), "unreachable exit code");
+    let bytes = std::fs::read(&proof).expect("proof file written");
+    assert!(!bytes.is_empty(), "DRAT stream has content");
+    std::fs::remove_file(&proof).ok();
+    std::fs::remove_file(path).ok();
+
+    // A reachable verdict removes the partial stream.
+    let model = shift_register(3);
+    let file = aiger::model_to_aiger(&model).expect("export");
+    let path = write_temp_aag("proof-sat", &aiger::to_ascii_string(&file));
+    let out = cli()
+        .args([
+            path.to_str().unwrap(),
+            "--engine",
+            "unroll",
+            "--bound",
+            "3",
+            "--proof-out",
+            proof.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(10));
+    assert!(!proof.exists(), "no partial proof left for a SAT verdict");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_proof_out_exports_drat_per_unsat_job() {
+    let dir = std::env::temp_dir().join(format!("sebmc-test-proofdir-{}", std::process::id()));
+    let out = cli()
+        .args([
+            "batch",
+            "--suite",
+            "small",
+            "--engines",
+            "unroll",
+            "--bound",
+            "3",
+            "--proof-out",
+            dir.to_str().unwrap(),
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"proof_path\":\""), "{stdout}");
+    // Exactly the unreachable jobs left .drat files behind.
+    let unreachable = stdout.matches("\"verdict\":\"unreachable\"").count();
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("proof dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(files.len(), unreachable, "{files:?}");
+    for f in &files {
+        assert_eq!(f.extension().and_then(|e| e.to_str()), Some("drat"));
+        assert!(!std::fs::read(f).unwrap().is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_fault_plan_with_retries_recovers_and_reports() {
+    // Every job panics at its 2nd engine safe-point hit; with retries
+    // the batch still converges to the same verdicts, and the report
+    // shows the retried attempts.
+    let out = cli()
+        .args([
+            "batch",
+            "--suite",
+            "small",
+            "--engines",
+            "unroll",
+            "--bound",
+            "3",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "1",
+            "--fault-plan",
+            "panic@engine:2",
+            "--json",
+            "--quiet",
+        ])
+        .output()
+        .expect("run sebmc batch");
+    assert_eq!(out.status.code(), Some(0), "all jobs recovered");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"jobs_total\":13"), "{stdout}");
+    assert!(stdout.contains("\"jobs_retried\":13"), "{stdout}");
+    assert!(stdout.contains("\"jobs_quarantined\":0"), "{stdout}");
+    assert!(stdout.contains("injected fault"), "{stdout}");
+
+    // A malformed plan is a usage error, not a silent no-op.
+    let bad = cli()
+        .args(["batch", "--fault-plan", "explode@engine:1", "--quiet"])
+        .output()
+        .expect("run");
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("fault-plan"), "{stderr}");
+}
+
+#[test]
 fn batch_witness_dir_streams_traces_to_files() {
     let dir = std::env::temp_dir().join(format!("sebmc-test-witdir-{}", std::process::id()));
     let out = cli()
