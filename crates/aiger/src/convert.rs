@@ -76,15 +76,11 @@ pub fn aiger_to_model(file: &AigerFile, name: &str) -> Result<Model, ConvertErro
     let mut map: Vec<Option<AigRef>> = vec![None; file.max_var as usize + 1];
     map[0] = Some(AigRef::FALSE);
     for (i, &lit) in file.inputs.iter().enumerate() {
-        let nm = names[(lit >> 1) as usize]
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("i{i}"));
+        let nm = names[(lit >> 1) as usize].map_or_else(|| format!("i{i}"), str::to_string);
         map[(lit >> 1) as usize] = Some(b.input(nm));
     }
     for (i, l) in file.latches.iter().enumerate() {
-        let nm = names[(l.lit >> 1) as usize]
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("l{i}"));
+        let nm = names[(l.lit >> 1) as usize].map_or_else(|| format!("l{i}"), str::to_string);
         map[(l.lit >> 1) as usize] = Some(b.state_var(nm));
     }
     let tr = |map: &[Option<AigRef>], lit: u32| -> AigRef {

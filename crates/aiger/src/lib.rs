@@ -29,7 +29,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod convert;
 pub mod format;

@@ -103,10 +103,10 @@ fn main() {
 
     println!("\nportfolio deepening to first reachable bound, token_ring(8), jsat+unroll");
     let per_bound = run("portfolio/deepen_per_bound_ring8", 2, 12, || {
-        assert_eq!(deepen_per_bound(8), 7)
+        assert_eq!(deepen_per_bound(8), 7);
     });
     let whole_run = run("portfolio/deepen_whole_run_ring8", 2, 12, || {
-        assert_eq!(deepen_whole_run(8), 7)
+        assert_eq!(deepen_whole_run(8), 7);
     });
     println!(
         "  per-bound racing over live sessions is {:.2}x vs whole-run races",

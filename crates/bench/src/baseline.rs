@@ -46,7 +46,7 @@ fn field_str(object: &str, key: &str) -> Option<String> {
 fn field_u128(object: &str, key: &str) -> Option<u128> {
     let digits: String = field_value(object, key)?
         .chars()
-        .take_while(|c| c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
         .collect();
     digits.parse().ok()
 }

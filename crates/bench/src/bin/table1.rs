@@ -75,7 +75,7 @@ fn main() {
         ["model"]
             .into_iter()
             .map(String::from)
-            .chain(engine_names.iter().map(|s| s.to_string())),
+            .chain(engine_names.iter().map(std::string::ToString::to_string)),
     );
     for (mi, model) in suite.iter().enumerate() {
         table.row(
@@ -88,14 +88,14 @@ fn main() {
     table.row(
         [format!("TOTAL (of {total_instances})")]
             .into_iter()
-            .chain(totals.iter().map(|t| t.to_string())),
+            .chain(totals.iter().map(std::string::ToString::to_string)),
     );
     // Exact peak clause-database bytes (arena-reported, headers
     // included, for the SAT-backed engines) — the paper's 1 GB axis.
     table.row(
         ["peak DB bytes".to_string()]
             .into_iter()
-            .chain(peak_bytes.iter().map(|b| b.to_string())),
+            .chain(peak_bytes.iter().map(std::string::ToString::to_string)),
     );
     println!();
     table.print();

@@ -10,7 +10,6 @@
 //! * `table_ablation` — jSAT design-choice ablation (E5).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod microbench;
@@ -33,12 +32,10 @@ pub fn flag(name: &str) -> Option<String> {
 
 /// Parses `--name value` as an integer, with a default.
 pub fn flag_u64(name: &str, default: u64) -> u64 {
-    flag(name)
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
-        })
-        .unwrap_or(default)
+    flag(name).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
+    })
 }
 
 /// The paper's per-instance protocol, scaled: timeout in milliseconds
@@ -48,6 +45,13 @@ pub fn budget(timeout_ms: u64, mem_mib: u64) -> Budget {
     Budget {
         timeout: Some(Duration::from_millis(timeout_ms)),
         max_formula_bytes: Some((mem_mib as usize) * 1024 * 1024),
+        // The experiment tables measure the paper's *raw* encodings;
+        // static model reduction would shrink several suite models and
+        // silently shift every baseline (including the CI perf gate's),
+        // so the harness pins it off. The reduction itself is compared
+        // against the unreduced oracle by `sebmc --no-reduce` and the
+        // reduction_oracle test suite instead.
+        reduce: false,
         ..Budget::default()
     }
 }
@@ -90,7 +94,7 @@ impl Table {
 
     /// Renders the table as Markdown.
     pub fn to_markdown(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

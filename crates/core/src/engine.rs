@@ -164,7 +164,7 @@ impl CancelToken {
 ///
 /// `Clone` shares the [`CancelToken`]: cloning a budget for several
 /// portfolio engines lets one `cancel()` stop them all.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Budget {
     /// Wall-clock budget for the whole session.
     pub timeout: Option<Duration>,
@@ -189,6 +189,25 @@ pub struct Budget {
     /// Fault-injection plan, threaded down to the solver's safe points
     /// and consulted at engine `check_bound` entry. Inert by default.
     pub fault: sebmc_logic::fault::FaultPlan,
+    /// Apply static model reduction (cone-of-influence, constant-latch
+    /// sweeping, unused-input elimination) before the engine encodes
+    /// anything, lifting any witness back to the original model. On by
+    /// default; `--no-reduce` turns it off.
+    pub reduce: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            timeout: None,
+            max_formula_bytes: None,
+            certify: false,
+            cancel: CancelToken::default(),
+            proof_out: None,
+            fault: sebmc_logic::fault::FaultPlan::default(),
+            reduce: true,
+        }
+    }
 }
 
 impl Budget {
@@ -355,6 +374,14 @@ pub struct RunStats {
     /// The stream only grows, so absorbing by maximum yields the
     /// session's total stream size.
     pub peak_proof_bytes: usize,
+    /// Latches swept as constants by static reduction (0 when
+    /// reduction is off or found nothing).
+    pub latches_swept: usize,
+    /// Latches kept in the cone of influence after static reduction
+    /// (0 when reduction did not run or changed nothing).
+    pub coi_latches: usize,
+    /// Free inputs removed as unused by static reduction.
+    pub inputs_removed: usize,
     /// Back-end solver conflicts (SAT) or decisions (QBF).
     pub solver_effort: u64,
     /// `check_bound` calls folded into this record (1 for a one-shot
@@ -376,6 +403,9 @@ impl RunStats {
         self.peak_formula_bytes = self.peak_formula_bytes.max(other.peak_formula_bytes);
         self.peak_watch_bytes = self.peak_watch_bytes.max(other.peak_watch_bytes);
         self.peak_proof_bytes = self.peak_proof_bytes.max(other.peak_proof_bytes);
+        self.latches_swept = self.latches_swept.max(other.latches_swept);
+        self.coi_latches = self.coi_latches.max(other.coi_latches);
+        self.inputs_removed = self.inputs_removed.max(other.inputs_removed);
         self.solver_effort += other.solver_effort;
         self.bounds_checked += other.bounds_checked;
     }

@@ -199,6 +199,7 @@ impl IncrementalUnroll {
             peak_proof_bytes: self.solver.stats().peak_proof_bytes,
             solver_effort: self.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
+            ..RunStats::default()
         };
         self.total.absorb(&stats);
         let certificate = self.bound_certificate(cert_before, bound_certified);

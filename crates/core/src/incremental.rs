@@ -14,6 +14,11 @@ use crate::engine::{BmcOutcome, BmcResult, Budget, Engine, RunStats, Semantics};
 
 /// Result of an iterative-deepening run. Every variant carries the
 /// session's cumulative statistics across all bounds it checked.
+// The witness-carrying variant dominates the enum's size, but one
+// `DeepeningResult` exists per deepening run (never collections of
+// them), so boxing the outcome would buy nothing and cost every
+// caller an indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum DeepeningResult {
     /// A witness was found at the given bound (the minimal one, since

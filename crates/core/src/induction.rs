@@ -160,6 +160,7 @@ fn step_case(model: &Model, k: usize, budget: &Budget, start: Instant) -> (Solve
         peak_proof_bytes: solver.stats().peak_proof_bytes,
         solver_effort: solver.stats().conflicts,
         bounds_checked: 1,
+        ..RunStats::default()
     };
     (result, stats)
 }
@@ -259,7 +260,7 @@ mod tests {
         let r = k_induction(&peterson(), 20, &Budget::none());
         match r {
             InductionResult::Proved { k } => {
-                assert!(k >= 10, "expected a deep induction proof, got {k}")
+                assert!(k >= 10, "expected a deep induction proof, got {k}");
             }
             other => panic!("expected proof, got {other:?}"),
         }

@@ -209,12 +209,10 @@ impl Engine for JSat {
     }
 
     fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
-        Box::new(JSatSession::new(
-            model,
-            semantics,
-            self.config.clone(),
-            budget,
-        ))
+        let config = self.config.clone();
+        crate::reduce::start_with_reduction(model, semantics, budget, |m, sem, b| {
+            Box::new(JSatSession::new(m, sem, config, b))
+        })
     }
 
     fn default_budget(&self) -> Budget {
@@ -475,6 +473,7 @@ impl JSatSession {
             peak_proof_bytes: self.f4.solver.stats().peak_proof_bytes,
             solver_effort: self.f4.solver.stats().conflicts - conflicts_before,
             bounds_checked: 1,
+            ..RunStats::default()
         };
         self.total.absorb(&stats);
         if let BmcResult::Reachable(Some(ref t)) = result {

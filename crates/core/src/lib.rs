@@ -42,7 +42,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod engine;
 pub mod inc_unroll;
@@ -51,6 +50,7 @@ pub mod induction;
 pub mod jsat;
 pub mod portfolio;
 pub mod qbf_enc;
+pub mod reduce;
 pub mod squaring;
 pub mod unroll;
 
@@ -67,6 +67,7 @@ pub use portfolio::{
     truncate_panic_payload, DeepeningPortfolio, PortfolioBoundOutcome, PortfolioEntry,
 };
 pub use qbf_enc::{encode_qbf_linear, QbfBackend, QbfEncoding, QbfLinear, QbfLinearSession};
+pub use reduce::{start_with_reduction, LiftingSession};
 pub use sebmc_proof::Certificate;
 pub use squaring::{encode_qbf_squaring, QbfSquaring, QbfSquaringSession};
 pub use unroll::{encode_unrolled, UnrollSat, UnrolledCnf};

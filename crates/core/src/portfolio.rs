@@ -337,7 +337,7 @@ impl DeepeningPortfolio {
                 budget.proof_out = None;
                 let tx = tx.clone();
                 let join = thread::spawn(move || {
-                    worker_loop(idx, engine, model, semantics, budget, cmd_rx, tx)
+                    worker_loop(idx, engine, model, semantics, budget, cmd_rx, tx);
                 });
                 PortfolioWorker {
                     name,

@@ -177,8 +177,7 @@ pub(crate) fn solve_qbf(
             let mut solver = ExpansionSolver::with_limits(ExpansionLimits {
                 max_matrix_literals: budget
                     .max_formula_bytes
-                    .map(|b| b / std::mem::size_of::<Lit>())
-                    .unwrap_or(10_000_000),
+                    .map_or(10_000_000, |b| b / std::mem::size_of::<Lit>()),
                 base: budget.qbf_limits(start),
             });
             let r = solver.solve(formula);
@@ -323,12 +322,10 @@ impl Engine for QbfLinear {
     }
 
     fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
-        Box::new(QbfLinearSession::new(
-            self.backend,
-            model,
-            semantics,
-            budget,
-        ))
+        let backend = self.backend;
+        crate::reduce::start_with_reduction(model, semantics, budget, |m, sem, b| {
+            Box::new(QbfLinearSession::new(backend, m, sem, b))
+        })
     }
 
     fn default_budget(&self) -> Budget {

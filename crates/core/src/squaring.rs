@@ -330,12 +330,10 @@ impl Engine for QbfSquaring {
     }
 
     fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
-        Box::new(QbfSquaringSession::new(
-            self.backend,
-            model,
-            semantics,
-            budget,
-        ))
+        let backend = self.backend;
+        crate::reduce::start_with_reduction(model, semantics, budget, |m, sem, b| {
+            Box::new(QbfSquaringSession::new(backend, m, sem, b))
+        })
     }
 
     fn default_budget(&self) -> Budget {

@@ -184,7 +184,9 @@ impl Engine for UnrollSat {
     }
 
     fn start(&self, model: &Model, semantics: Semantics, budget: Budget) -> Box<dyn Session> {
-        Box::new(IncrementalUnroll::with_budget(model, semantics, budget))
+        crate::reduce::start_with_reduction(model, semantics, budget, |m, sem, b| {
+            Box::new(IncrementalUnroll::with_budget(m, sem, b))
+        })
     }
 
     fn default_budget(&self) -> Budget {

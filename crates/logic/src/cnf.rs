@@ -190,7 +190,7 @@ impl Cnf {
 
     /// Adds an already-built clause.
     pub fn push(&mut self, clause: Clause) {
-        for l in clause.iter() {
+        for l in &clause {
             self.num_vars = self.num_vars.max(l.var().index() + 1);
         }
         self.num_literals += clause.len();
@@ -278,7 +278,7 @@ impl Cnf {
     pub fn occurring_vars(&self) -> Vec<Var> {
         let mut seen = vec![false; self.num_vars];
         for c in self.iter() {
-            for l in c.iter() {
+            for l in c {
                 seen[l.var().index()] = true;
             }
         }

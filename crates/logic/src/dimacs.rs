@@ -179,7 +179,7 @@ pub fn read<R: BufRead>(mut reader: R) -> io::Result<Cnf> {
 pub fn write<W: Write>(cnf: &Cnf, mut writer: W) -> io::Result<()> {
     writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
     for clause in cnf.iter() {
-        for lit in clause.iter() {
+        for lit in clause {
             write!(writer, "{} ", lit.to_dimacs())?;
         }
         writeln!(writer, "0")?;

@@ -170,26 +170,23 @@ impl ModelBuilder {
         let target = self.target.ok_or_else(|| BuildModelError {
             message: "no target predicate set".to_string(),
         })?;
-        let init = match self.init {
-            Some(r) => r,
-            None => {
-                // Default: all state variables are zero.
-                let mut aig = self.aig.clone();
-                let word: Vec<AigRef> = self
-                    .state_inputs
-                    .iter()
-                    .map(|&i| aig.input_ref(i))
-                    .collect();
-                let zero = aig.eq_const(&word, 0);
-                return ModelBuilder {
-                    aig,
-                    init: Some(zero),
-                    next: next.into_iter().map(Some).collect(),
-                    target: Some(target),
-                    ..self
-                }
-                .build();
+        let Some(init) = self.init else {
+            // Default: all state variables are zero.
+            let mut aig = self.aig.clone();
+            let word: Vec<AigRef> = self
+                .state_inputs
+                .iter()
+                .map(|&i| aig.input_ref(i))
+                .collect();
+            let zero = aig.eq_const(&word, 0);
+            return ModelBuilder {
+                aig,
+                init: Some(zero),
+                next: next.into_iter().map(Some).collect(),
+                target: Some(target),
+                ..self
             }
+            .build();
         };
         let model = Model {
             name: self.name,

@@ -24,7 +24,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod builder;
 pub mod builders;

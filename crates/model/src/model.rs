@@ -170,7 +170,7 @@ impl Model {
             let hold = m.aig.input_ref(m.state_inputs[i]);
             *f = m.aig.ite(stutter, hold, *f);
         }
-        for c in m.constraints.iter_mut() {
+        for c in &mut m.constraints {
             *c = m.aig.or(stutter, *c);
         }
         m.name = format!("{}+loop", m.name);

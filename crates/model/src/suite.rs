@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         for suite in [suite13(), suite13_small()] {
-            let mut names: Vec<&str> = suite.iter().map(|m| m.name()).collect();
+            let mut names: Vec<&str> = suite.iter().map(super::super::model::Model::name).collect();
             names.sort_unstable();
             let before = names.len();
             names.dedup();
@@ -93,8 +93,16 @@ mod tests {
     #[test]
     fn paper_suite_has_diverse_sizes() {
         let suite = suite13();
-        let min = suite.iter().map(|m| m.num_state_vars()).min().unwrap();
-        let max = suite.iter().map(|m| m.num_state_vars()).max().unwrap();
+        let min = suite
+            .iter()
+            .map(super::super::model::Model::num_state_vars)
+            .min()
+            .unwrap();
+        let max = suite
+            .iter()
+            .map(super::super::model::Model::num_state_vars)
+            .max()
+            .unwrap();
         assert!(min <= 4, "suite should contain small models");
         assert!(max >= 20, "suite should contain large models");
     }

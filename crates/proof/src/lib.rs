@@ -79,7 +79,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod cert;
 mod checker;

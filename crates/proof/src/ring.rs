@@ -78,7 +78,7 @@ impl ByteRing {
     pub fn read_into(&mut self, out: &mut [u8]) -> usize {
         let n = out.len().min(self.len);
         let cap = self.buf.len();
-        for slot in out[..n].iter_mut() {
+        for slot in &mut out[..n] {
             *slot = self.buf[self.head];
             self.head = (self.head + 1) % cap;
         }

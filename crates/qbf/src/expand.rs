@@ -228,7 +228,7 @@ fn substitute(
     rename: Option<&[Option<Var>]>,
 ) -> Option<Clause> {
     let mut out = Clause::new();
-    for &l in clause.iter() {
+    for &l in clause {
         if l.var() == u {
             if l.apply(value) {
                 return None; // clause satisfied

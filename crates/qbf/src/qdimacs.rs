@@ -199,7 +199,7 @@ pub fn write<W: Write>(qbf: &QbfFormula, mut writer: W) -> io::Result<()> {
         writeln!(writer, " 0")?;
     }
     for clause in m.iter() {
-        for lit in clause.iter() {
+        for lit in clause {
             write!(writer, "{} ", lit.to_dimacs())?;
         }
         writeln!(writer, "0")?;

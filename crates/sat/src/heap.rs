@@ -138,7 +138,7 @@ mod tests {
             h.insert(Var::new(i), &act);
         }
         let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&act))
-            .map(|v| v.index())
+            .map(sebmc_logic::Var::index)
             .collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
     }

@@ -31,7 +31,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod arena;
 mod heap;

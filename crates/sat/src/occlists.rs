@@ -231,10 +231,24 @@ impl OccLists {
         }
     }
 
-    /// Whether `code`'s list is dirty.
-    #[cfg(test)]
+    /// Whether `code`'s list is dirty (it may then hold watchers of
+    /// freed clauses until the next clean).
     pub(crate) fn is_dirty(&self, code: usize) -> bool {
         self.ranges[code].is_dirty()
+    }
+
+    /// The live watchers of `code`'s list, immutably — the read-only
+    /// walk the debug-mode invariant audit uses. Entries of a *dirty*
+    /// list may reference freed clauses; the caller must check
+    /// [`OccLists::is_dirty`] before dereferencing.
+    pub(crate) fn watchers(&self, code: usize) -> &[Watcher] {
+        let r = self.ranges[code];
+        &self.data[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Number of literal codes registered.
+    pub(crate) fn num_codes(&self) -> usize {
+        self.ranges.len()
     }
 
     /// Drops every watcher of `code`'s list whose clause `is_dead` and

@@ -973,13 +973,14 @@ impl Solver {
         let arena = &self.arena;
         self.watches.clean_all(|w| arena.is_freed(w.cref()));
         if self.arena.wasted_words() == 0 {
+            self.check_invariants();
             return;
         }
         let mut to = ClauseArena::with_capacity(self.arena.live_words());
-        for c in self.clauses.iter_mut() {
+        for c in &mut self.clauses {
             *c = self.arena.reloc(*c, &mut to);
         }
-        for c in self.learnt_refs.iter_mut() {
+        for c in &mut self.learnt_refs {
             *c = self.arena.reloc(*c, &mut to);
         }
         let arena = &mut self.arena;
@@ -1000,6 +1001,207 @@ impl Solver {
         self.arena = to;
         self.stats.gc_runs += 1;
         self.sync_word_stats();
+        self.check_invariants();
+    }
+
+    /// Debug-build self-audit of the solver's cross-structure
+    /// invariants, in the spirit of MiniSat's `checkWatches`.
+    ///
+    /// Verifies that the clause lists own exactly the live arena
+    /// clauses (each once, learnt flag matching its list) and that the
+    /// memory statistics agree with the arena; that every live clause
+    /// is watched exactly once on the negation of each of its first
+    /// two literals, tagged binary iff it has two, with a blocker
+    /// drawn from the clause; that stale watchers (referencing freed
+    /// clauses) only survive in lists marked dirty; that the trail,
+    /// assignment table, decision-level stack and per-variable level
+    /// bookkeeping are mutually consistent; that every reason clause
+    /// is live and still implies exactly its trail literal; and that
+    /// every unassigned variable is available to the decision heap.
+    ///
+    /// Compiled to a no-op in release builds (the body is behind a
+    /// constant branch, so it never bit-rots). Called from the
+    /// `simplify`/GC safe points and from the randomized sweep tests;
+    /// any violation panics naming the broken invariant.
+    pub fn check_invariants(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        // 1. Clause lists own exactly the live clauses, and the
+        //    clause-database statistics agree with the arena.
+        let mut live_lits = 0usize;
+        let mut listed: std::collections::HashSet<CRef> = std::collections::HashSet::new();
+        for (&cref, learnt) in self
+            .clauses
+            .iter()
+            .map(|c| (c, false))
+            .chain(self.learnt_refs.iter().map(|c| (c, true)))
+        {
+            assert!(
+                !self.arena.is_freed(cref),
+                "clause list holds a freed clause"
+            );
+            assert_eq!(
+                self.arena.is_learnt(cref),
+                learnt,
+                "clause sits in the wrong owning list"
+            );
+            assert!(listed.insert(cref), "clause listed twice");
+            let len = self.arena.len(cref);
+            assert!(len >= 2, "live clause shorter than two literals");
+            live_lits += len;
+        }
+        assert_eq!(
+            self.stats.learnts as usize,
+            self.learnt_refs.len(),
+            "learnt-clause statistic disagrees with the learnt list"
+        );
+        assert_eq!(
+            self.stats.live_lits, live_lits,
+            "live-literal statistic disagrees with the clause lists"
+        );
+        assert_eq!(
+            self.stats.live_words,
+            self.arena.live_words(),
+            "live-word statistic disagrees with the arena"
+        );
+        // 2. Watch lists, forward direction: every watcher in a clean
+        //    list references a live clause that is watched on this
+        //    list's literal, with the right binary tag and a blocker
+        //    from the clause; stale watchers only survive in dirty
+        //    lists. Live watchers are tallied for the backward check.
+        let mut watched: std::collections::HashMap<CRef, Vec<usize>> =
+            std::collections::HashMap::new();
+        for code in 0..self.watches.num_codes() {
+            let dirty = self.watches.is_dirty(code);
+            for w in self.watches.watchers(code) {
+                let cref = w.cref();
+                if self.arena.is_freed(cref) {
+                    assert!(dirty, "stale watcher survives in a clean watch list");
+                    continue;
+                }
+                assert!(
+                    listed.contains(&cref),
+                    "watcher references a live clause missing from its list"
+                );
+                let len = self.arena.len(cref);
+                assert_eq!(
+                    w.is_binary(),
+                    len == 2,
+                    "watcher's binary tag disagrees with the clause length"
+                );
+                assert!(
+                    (0..2).any(|i| (!self.arena.lit(cref, i)).code() == code),
+                    "watcher sits in a list its clause does not watch"
+                );
+                assert!(
+                    self.arena.lits(cref).any(|l| l == w.blocker),
+                    "watcher's blocker is not a literal of its clause"
+                );
+                watched.entry(cref).or_default().push(code);
+            }
+        }
+        // 2b. Backward direction: each live clause is watched exactly
+        //     once on each of `(!lit0, !lit1)`.
+        for &cref in &listed {
+            let mut codes = watched.remove(&cref).unwrap_or_default();
+            codes.sort_unstable();
+            let mut expect = vec![
+                (!self.arena.lit(cref, 0)).code(),
+                (!self.arena.lit(cref, 1)).code(),
+            ];
+            expect.sort_unstable();
+            assert_eq!(
+                codes, expect,
+                "live clause is not watched exactly on its first two literals"
+            );
+        }
+        // 3. Trail and assignment table. Every trail literal is
+        //    assigned true (and its negation false), appears once, and
+        //    its recorded level matches its position relative to the
+        //    decision-level stack; every assigned variable is on the
+        //    trail; the level stack is monotone within the trail.
+        let num_vars = self.num_vars();
+        let mut on_trail = vec![false; num_vars];
+        for (i, &l) in self.trail.iter().enumerate() {
+            assert_eq!(
+                lit_value(&self.assigns, l),
+                Value::True,
+                "trail literal is not assigned true"
+            );
+            assert_eq!(
+                lit_value(&self.assigns, !l),
+                Value::False,
+                "negation of a trail literal is not assigned false"
+            );
+            let v = l.var().index();
+            assert!(!on_trail[v], "variable appears twice on the trail");
+            on_trail[v] = true;
+            let level = self.trail_lim.iter().filter(|&&lim| lim <= i).count();
+            assert_eq!(
+                self.vardata[v].level as usize, level,
+                "trail literal's recorded level disagrees with its position"
+            );
+        }
+        for (j, &lim) in self.trail_lim.iter().enumerate() {
+            assert!(
+                lim <= self.trail.len(),
+                "decision-level mark points past the trail"
+            );
+            if j > 0 {
+                assert!(
+                    self.trail_lim[j - 1] <= lim,
+                    "decision-level marks are not monotone"
+                );
+            }
+        }
+        assert!(
+            self.qhead <= self.trail.len(),
+            "propagation head points past the trail"
+        );
+        for (v, &trailed) in on_trail.iter().enumerate() {
+            let pos = Var::new(v as u32).positive();
+            let assigned = lit_value(&self.assigns, pos) != Value::Unassigned;
+            assert_eq!(
+                assigned, trailed,
+                "assignment table disagrees with trail membership"
+            );
+            // 5. Decision heap: every unassigned variable must be
+            //    available for branching (`pick_branch_var` assigns
+            //    what it pops; `cancel_until` and `new_var` insert).
+            if !assigned {
+                assert!(
+                    self.heap.contains(pos.var()),
+                    "unassigned variable missing from the decision heap"
+                );
+            }
+        }
+        // 4. Reasons: a trail literal's reason clause must be live,
+        //    contain the literal itself (true), and have every other
+        //    literal false — i.e. it still propagates the literal.
+        for &l in &self.trail {
+            let Some(r) = self.vardata[l.var().index()].reason else {
+                continue;
+            };
+            assert!(!self.arena.is_freed(r), "reason clause has been freed");
+            let mut implied = 0usize;
+            for cl in self.arena.lits(r) {
+                if cl.var() == l.var() {
+                    assert_eq!(cl, l, "reason clause contains the trail literal negated");
+                    implied += 1;
+                } else {
+                    assert_eq!(
+                        lit_value(&self.assigns, cl),
+                        Value::False,
+                        "non-implied literal of a reason clause is not false"
+                    );
+                }
+            }
+            assert_eq!(
+                implied, 1,
+                "reason clause does not mention its literal once"
+            );
+        }
     }
 
     // ----- internal machinery -------------------------------------------------
@@ -1016,6 +1218,7 @@ impl Solver {
         self.watches.clean_all(|w| arena.is_freed(w.cref()));
         self.watches.maybe_compact();
         self.sync_word_stats();
+        self.check_invariants();
     }
 
     /// Refreshes the word-level memory statistics from the arena and

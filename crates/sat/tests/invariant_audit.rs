@@ -1,0 +1,85 @@
+//! Seeded sweep for the solver's debug-build self-audit (ISSUE 8).
+//!
+//! [`Solver::check_invariants`] already fires from the `simplify` and
+//! garbage-collection safe points of every debug-build test run; this
+//! sweep additionally invokes it *between* operations — right after
+//! clause addition, mid-incremental solves under assumptions, after an
+//! UNSAT verdict kills the solver — so the cross-structure invariants
+//! (clause-list/arena/stats agreement, two-watcher discipline, trail
+//! and reason consistency, heap completeness) are checked in states
+//! the safe points never see.
+//!
+//! The workspace is dependency-free, so instead of proptest the sweep
+//! runs over a deterministic [`SplitMix64`] stream — reproducible from
+//! the case number on failure.
+
+use sebmc_logic::rng::SplitMix64;
+use sebmc_logic::{Lit, Var};
+use sebmc_sat::{SolveResult, Solver};
+
+fn random_clause(rng: &mut SplitMix64, n: usize) -> Vec<Lit> {
+    let len = rng.range_inclusive(1, 4);
+    (0..len)
+        .map(|_| Var::new(rng.below(n) as u32).lit(rng.coin()))
+        .collect()
+}
+
+#[test]
+fn audit_passes_between_every_operation_of_a_random_sweep() {
+    for case in 0..40u64 {
+        let mut rng = SplitMix64::new(0x5eed_0008 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let n = rng.range_inclusive(6, 12);
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        s.check_invariants();
+        // An aggressive learnt cap keeps reduce_db (lazy watcher
+        // deletion, locked/glue protection) constantly in play.
+        s.set_max_learnts(1.0);
+        for _round in 0..5 {
+            for _ in 0..rng.range_inclusive(2, 8) {
+                s.add_clause(random_clause(&mut rng, n));
+                s.check_invariants();
+            }
+            if !s.is_ok() {
+                break;
+            }
+            let _ = match rng.below(3) {
+                0 => s.solve(),
+                1 => {
+                    let mut assumptions = Vec::new();
+                    for _ in 0..rng.range_inclusive(1, 3) {
+                        assumptions.push(Var::new(rng.below(n) as u32).lit(rng.coin()));
+                    }
+                    s.solve_with(&assumptions)
+                }
+                _ => {
+                    s.simplify();
+                    SolveResult::Unknown
+                }
+            };
+            s.check_invariants();
+            if rng.coin() {
+                s.garbage_collect();
+                s.check_invariants();
+            }
+        }
+        // The audit must also hold for a dead (UNSAT-at-level-0)
+        // solver: the clause lists still own exactly the live clauses.
+        s.check_invariants();
+    }
+}
+
+#[test]
+fn audit_passes_on_a_fresh_and_on_a_trivially_unsat_solver() {
+    let mut s = Solver::new();
+    s.check_invariants();
+    let a = s.new_var().positive();
+    let b = s.new_var().positive();
+    s.add_clause([a, b]);
+    s.check_invariants();
+    s.add_clause([!a]);
+    s.add_clause([!b]);
+    s.check_invariants();
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    s.check_invariants();
+}

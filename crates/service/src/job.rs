@@ -288,7 +288,8 @@ pub fn suite_model(name: &str) -> Option<Model> {
 ///   (within-`k` semantics), `certify` (machine-check every decided
 ///   bound), `name=<label>`, `retries=N` (extra attempts after a
 ///   failed first one), `deadline-ms=N` (whole-job deadline),
-///   `attempt-timeout-ms=N` (per-attempt cap).
+///   `attempt-timeout-ms=N` (per-attempt cap), `no-reduce` (skip the
+///   static model reduction normally applied at admission).
 ///
 /// Malformed lines are errors (with their line number), never silently
 /// skipped.
@@ -327,6 +328,8 @@ fn parse_job_line(line: &str) -> Result<Job, String> {
             job.semantics = Semantics::Within;
         } else if opt == "certify" {
             job.budget.certify = true;
+        } else if opt == "no-reduce" {
+            job.budget.reduce = false;
         } else if let Some(v) = opt.strip_prefix("timeout-ms=") {
             let ms: u64 = v.parse().map_err(|_| format!("bad timeout-ms '{v}'"))?;
             job.budget.timeout = Some(Duration::from_millis(ms));

@@ -106,7 +106,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod job;
 mod report;
@@ -145,7 +144,7 @@ const SHED_RETRY_EVERY: usize = 50;
 /// Locks a mutex, recovering the data from a poisoned lock: a panic on
 /// another worker must never cascade into this one.
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Static configuration of a [`CheckService`].
@@ -483,7 +482,7 @@ impl CheckService {
         });
         let jobs = reports
             .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .into_iter()
             .map(|r| r.expect("every submitted job produces a report"))
             .collect();
@@ -618,7 +617,7 @@ enum AttemptClass {
 /// attempts, retry/backoff, and report assembly — on the calling
 /// worker thread.
 fn process_job(
-    q: QueuedJob,
+    mut q: QueuedJob,
     config: &ServiceConfig,
     slot: &Mutex<Option<BridgeSlot>>,
     governor: &MemGovernor,
@@ -634,6 +633,25 @@ fn process_job(
     }
 
     let run_start = Instant::now();
+    // Admission-time static reduction: runs once, *before* the memory
+    // governor, so reservations and every attempt's encoding see the
+    // post-reduction cone. The attempts' budgets carry `reduce =
+    // false` so no session re-runs the analysis on the already-reduced
+    // model; the winning witness is lifted back below.
+    let mut recon: Option<sebmc_analysis::Reconstruction> = None;
+    let mut reduction_counters = (0usize, 0usize, 0usize);
+    if q.job.budget.reduce {
+        q.job.budget.reduce = false;
+        if let Some(red) = sebmc_analysis::reduce(&q.job.model) {
+            reduction_counters = (
+                red.analysis.latches_swept(),
+                red.analysis.coi_latches,
+                red.analysis.inputs_removed(),
+            );
+            q.job.model = red.model;
+            recon = Some(red.recon);
+        }
+    }
     let mut engines = q.job.engines.clone();
     // Admission control: the service cap can only tighten the job's.
     let mut byte_cap = match (q.job.budget.max_formula_bytes, config.max_job_bytes) {
@@ -717,6 +735,11 @@ fn process_job(
     };
 
     let mut progress = SweepProgress::default();
+    (
+        progress.stats.latches_swept,
+        progress.stats.coi_latches,
+        progress.stats.inputs_removed,
+    ) = reduction_counters;
     let mut failures: Vec<FailureReport> = Vec::new();
     let mut consumed = Duration::ZERO;
     let mut resumed_from: Option<usize> = None;
@@ -853,6 +876,23 @@ fn process_job(
         }
     };
     let mut verdict = verdict;
+
+    // Lift the winning witness from the reduced model back to the
+    // original variable order before anything downstream (witness
+    // streaming, certification replay) sees it. A failed lift is a
+    // reduction bug: degrade to Unknown rather than surface a trace
+    // the submitted model rejects.
+    if let Some(recon) = &recon {
+        if let BmcResult::Reachable(Some(reduced_trace)) = &verdict {
+            verdict = match recon.lift_trace(reduced_trace) {
+                Ok(lifted) => match recon.original().check_trace(&lifted) {
+                    Ok(()) => BmcResult::Reachable(Some(lifted)),
+                    Err(why) => BmcResult::Unknown(format!("reduction lift failed: {why}")),
+                },
+                Err(why) => BmcResult::Unknown(format!("reduction lift failed: {why}")),
+            };
+        }
+    }
 
     // Witness streaming: persist the trace and drop it from the
     // report. On a write error the in-memory trace is kept — a verdict
@@ -1010,7 +1050,7 @@ fn run_attempt_portfolio(
     progress: &mut SweepProgress,
     attempt_start: Instant,
 ) -> BmcResult {
-    let built = engines.iter().map(|e| e.build()).collect();
+    let built = engines.iter().map(job::EngineKind::build).collect();
     let mut p = DeepeningPortfolio::start(&job.model, job.semantics, built, budget.clone());
     for k in progress.next_bound..=job.max_bound {
         if budget.expired(attempt_start) {

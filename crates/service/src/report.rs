@@ -184,7 +184,10 @@ impl ServiceReport {
                     }
                 }
             }
-            if j.certificate.as_ref().is_some_and(|c| c.fully_certified()) {
+            if j.certificate
+                .as_ref()
+                .is_some_and(sebmc::Certificate::fully_certified)
+            {
                 jobs_certified += 1;
             }
             Certificate::fold_into(&mut certificate, j.certificate.as_ref());
@@ -231,7 +234,7 @@ impl ServiceReport {
         let quarantined_ids = self
             .quarantined
             .iter()
-            .map(|id| id.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>()
             .join(",");
         out.push_str(&format!(
@@ -290,7 +293,8 @@ pub fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"duration_ms\":{},\"encode_vars\":{},\"encode_clauses\":{},\
          \"encode_lits\":{},\"peak_formula_lits\":{},\"peak_formula_bytes\":{},\
-         \"peak_watch_bytes\":{},\"peak_proof_bytes\":{},\"solver_effort\":{},\
+         \"peak_watch_bytes\":{},\"peak_proof_bytes\":{},\"latches_swept\":{},\
+         \"coi_latches\":{},\"inputs_removed\":{},\"solver_effort\":{},\
          \"bounds_checked\":{}}}",
         s.duration.as_millis(),
         s.encode_vars,
@@ -300,6 +304,9 @@ pub fn stats_json(s: &RunStats) -> String {
         s.peak_formula_bytes,
         s.peak_watch_bytes,
         s.peak_proof_bytes,
+        s.latches_swept,
+        s.coi_latches,
+        s.inputs_removed,
         s.solver_effort,
         s.bounds_checked,
     )

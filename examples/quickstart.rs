@@ -42,7 +42,7 @@ fn main() {
 
     for k in [8usize, 15, 16] {
         println!("bound k = {k} (exactly-k semantics):");
-        for engine in engines.iter_mut() {
+        for engine in &mut engines {
             let out = engine.check(&model, k, Semantics::Exactly);
             println!(
                 "  {:<22} -> {:<22} [{:>8.1?}, formula {} lits, effort {}]",

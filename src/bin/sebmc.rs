@@ -7,13 +7,15 @@
 //! ```text
 //! sebmc <circuit.aag|circuit.aig> [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction]
 //!       [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N]
-//!       [--certify] [--proof-out FILE] [--fault-plan PLAN] [--json] [--quiet]
+//!       [--certify] [--proof-out FILE] [--no-reduce] [--fault-plan PLAN]
+//!       [--json] [--quiet]
 //! sebmc batch [jobs.txt] [--suite small|paper] [--engines LIST] [--bound K]
 //!       [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N]
 //!       [--max-total-mb N] [--retries N] [--backoff-ms N]
 //!       [--attempt-timeout-ms N] [--deadline-ms N] [--fault-plan PLAN]
 //!       [--within] [--certify] [--witness-dir DIR] [--proof-out DIR]
-//!       [--json] [--quiet]
+//!       [--no-reduce] [--json] [--quiet]
+//! sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]
 //! ```
 //!
 //! `sebmc batch` runs a whole *job list* on the multi-worker checking
@@ -73,9 +75,21 @@
 //!   sites are `solver|engine|service`, kinds
 //!   `panic|delay|cancel|oom`. In batch mode every job gets its own
 //!   fresh copy of the plan (independent hit counters).
+//! * `--no-reduce` — skip the static model reduction
+//!   (cone-of-influence, constant-latch sweeping, unused-input
+//!   elimination) that otherwise runs before any engine encodes
+//!   anything. With reduction on, witnesses are lifted back to the
+//!   original circuit's variable order and the run stats report
+//!   `latches_swept`/`coi_latches`/`inputs_removed`.
 //! * `--json` — print one JSON object (verdict, bound, engine, run
 //!   stats including `peak_formula_bytes` and `peak_proof_bytes`) on
 //!   stdout instead of the HWMCC text output.
+//!
+//! `sebmc analyze` prints the static-analysis diagnostics report for
+//! one circuit (or built-in suite model, `suite:<name>`) without
+//! solving anything: per-root cone-of-influence sizes, constant
+//! latches with their values, unused inputs, the latch fan-in
+//! histogram and the transition-cone size before/after reduction.
 //!
 //! Output (without `--json`) follows the HWMCC witness convention:
 //! * `1` — the bad state is reachable, followed by `b0`, the initial
@@ -118,7 +132,9 @@ fn usage() -> ! {
         "usage: sebmc <circuit.aag|circuit.aig> \
          [--engine jsat|unroll|qbf-linear|qbf-squaring|k-induction] \
          [--bound K] [--deepen] [--within] [--timeout-ms N] [--mem-mb N] \
-         [--certify] [--proof-out FILE] [--fault-plan PLAN] [--json] [--quiet]"
+         [--certify] [--proof-out FILE] [--no-reduce] [--fault-plan PLAN] \
+         [--json] [--quiet]\n\
+       sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]"
     );
     std::process::exit(2);
 }
@@ -167,6 +183,7 @@ fn parse_args() -> Options {
     let mut certify = false;
     let mut proof_out: Option<String> = None;
     let mut fault_plan: Option<String> = None;
+    let mut reduce = true;
     let mut json = false;
     let mut quiet = false;
     while let Some(a) = args.next() {
@@ -178,6 +195,7 @@ fn parse_args() -> Options {
             "--timeout-ms" => timeout_ms = Some(parse_num("timeout-ms", args.next())),
             "--mem-mb" => mem_mb = Some(parse_num("mem-mb", args.next())),
             "--certify" => certify = true,
+            "--no-reduce" => reduce = false,
             "--proof-out" => proof_out = Some(args.next().unwrap_or_else(|| usage())),
             "--fault-plan" => fault_plan = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => json = true,
@@ -201,6 +219,7 @@ fn parse_args() -> Options {
             certify,
             proof_out: proof_out.map(Into::into),
             fault: effective_fault_plan(fault_plan),
+            reduce,
             ..Budget::default()
         },
         json,
@@ -399,7 +418,7 @@ fn batch_usage() -> ! {
          [--bound K] [--workers N] [--timeout-ms N] [--mem-mb N] [--max-job-mb N] \
          [--max-total-mb N] [--retries N] [--backoff-ms N] [--attempt-timeout-ms N] \
          [--deadline-ms N] [--fault-plan PLAN] [--within] [--certify] \
-         [--witness-dir DIR] [--proof-out DIR] [--json] [--quiet]"
+         [--witness-dir DIR] [--proof-out DIR] [--no-reduce] [--json] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -423,6 +442,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     let mut fault_plan: Option<String> = None;
     let mut semantics = Semantics::Exactly;
     let mut certify = false;
+    let mut reduce = true;
     let mut witness_dir: Option<String> = None;
     let mut proof_dir: Option<String> = None;
     let mut json = false;
@@ -447,6 +467,7 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             "--fault-plan" => fault_plan = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--within" => semantics = Semantics::Within,
             "--certify" => certify = true,
+            "--no-reduce" => reduce = false,
             "--witness-dir" => witness_dir = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--proof-out" => proof_dir = Some(it.next().unwrap_or_else(|| batch_usage())),
             "--json" => json = true,
@@ -546,6 +567,11 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             j.retry.job_deadline = Some(Duration::from_millis(ms));
         }
         j.retry.jitter_seed ^= i as u64;
+        // --no-reduce overrides every job: the flag exists to compare
+        // against the unreduced oracle, which only works batch-wide.
+        if !reduce {
+            j.budget.reduce = false;
+        }
         // Each job arms its own copy of the plan: independent hit
         // counters, so "panic at the 3rd engine call" means the 3rd
         // call of *that job*, whatever the scheduling order.
@@ -646,7 +672,10 @@ fn run_batch(args: Vec<String>) -> ExitCode {
             .iter()
             .filter(|j| {
                 !j.verdict.is_unknown()
-                    && !j.certificate.as_ref().is_some_and(|c| c.fully_certified())
+                    && !j
+                        .certificate
+                        .as_ref()
+                        .is_some_and(Certificate::fully_certified)
             })
             .count()
     } else {
@@ -662,12 +691,74 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Loads a model from an AIGER path or a built-in suite name
+/// (`suite:<name>`), exiting 2 on failure — shared by `analyze` and
+/// potential future subcommands.
+fn load_model(spec: &str) -> Model {
+    if let Some(name) = spec.strip_prefix("suite:") {
+        return sebmc_repro::service::suite_model(name).unwrap_or_else(|| {
+            eprintln!("sebmc: no built-in suite model named '{name}'");
+            std::process::exit(2);
+        });
+    }
+    let bytes = std::fs::read(spec).unwrap_or_else(|e| {
+        eprintln!("sebmc: cannot read '{spec}': {e}");
+        std::process::exit(2);
+    });
+    let file = aiger::parse_auto(&bytes).unwrap_or_else(|e| {
+        eprintln!("sebmc: {e}");
+        std::process::exit(2);
+    });
+    aiger::aiger_to_model(&file, spec).unwrap_or_else(|e| {
+        eprintln!("sebmc: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `sebmc analyze`: print the static-analysis diagnostics report for
+/// one model, without solving anything. Exit code 0.
+fn run_analyze(args: Vec<String>) -> ExitCode {
+    let mut spec: Option<String> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]");
+                return ExitCode::from(2);
+            }
+            other if spec.is_none() && !other.starts_with('-') => spec = Some(other.to_string()),
+            other => {
+                eprintln!("sebmc: analyze: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(spec) = spec else {
+        eprintln!("usage: sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]");
+        return ExitCode::from(2);
+    };
+    let model = load_model(&spec);
+    let analysis = sebmc_repro::analysis::analyze(&model);
+    if json {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.render(&model));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    // The `batch` subcommand has its own argument grammar.
+    // The `batch` and `analyze` subcommands have their own argument
+    // grammars.
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("batch") {
         raw.next();
         return run_batch(raw.collect());
+    }
+    if raw.peek().map(String::as_str) == Some("analyze") {
+        raw.next();
+        return run_analyze(raw.collect());
     }
     let mut opts = parse_args();
     let bytes = match std::fs::read(&opts.path) {

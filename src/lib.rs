@@ -15,6 +15,10 @@
 //! * [`qbf`] — prenex-CNF QBF representation and two QBF solvers.
 //! * [`aiger`] — AIGER (`.aag`/`.aig`) reader and writer.
 //! * [`model`] — symbolic transition systems and the benchmark suite.
+//! * [`analysis`] — static model analysis: cone-of-influence
+//!   reduction, constant-latch sweeping, unused-input elimination and
+//!   witness lifting
+//!   ([`analyze`](analysis::analyze)/[`reduce`](analysis::reduce)/[`Reconstruction`](analysis::Reconstruction)).
 //! * [`bmc`] — the paper's contribution: the three bounded-reachability
 //!   encodings and the special-purpose jSAT decision procedure, behind
 //!   a session-based incremental engine API
@@ -40,6 +44,7 @@
 
 pub use sebmc as bmc;
 pub use sebmc_aiger as aiger;
+pub use sebmc_analysis as analysis;
 pub use sebmc_logic as logic;
 pub use sebmc_model as model;
 pub use sebmc_proof as proof;

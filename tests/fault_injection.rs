@@ -358,3 +358,93 @@ fn seeded_fault_matrix_never_loses_a_job() {
         }
     }
 }
+
+/// Crash-mid-write drill for the DRAT export path (ISSUE 8): an
+/// injected panic kills an attempt while the proof stream is partially
+/// written to `--proof-out`; the retry's fresh session re-creates
+/// (truncates) the file. The contract is all-or-nothing: either no
+/// proof file survives the run, or the surviving file is a complete,
+/// uncorrupted stream. Exported files are *standard* binary DRAT
+/// (original clauses skipped, finalizations written as additions), so
+/// the offline check is byte-level completeness — every byte decodes
+/// and the stream ends at a record boundary — while semantic validity
+/// comes from `--certify`'s on-the-fly checker teeing off the same
+/// stream the file receives.
+#[test]
+fn proof_export_survives_a_crash_mid_write() {
+    use sebmc_repro::proof::{decode_stream, DratDecoder, TAG_ADD, TAG_DELETE};
+    let dir = std::env::temp_dir().join(format!("sebmc-drat-crash-{}", std::process::id()));
+    let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_proof_dir(&dir));
+    // Engine safe point fires once per check_bound: hits 1 and 2
+    // decide bounds 0 and 1 (writing proof records along the way);
+    // hit 3 panics at bound 2's entry, mid-stream.
+    let mut budget = budget_with_fault("panic@engine:3");
+    budget.certify = true;
+    svc.submit(
+        Job::new(traffic_light(), vec![EngineKind::Unroll], 4)
+            .with_budget(budget)
+            .with_retry(retries(2)),
+    );
+    let r = svc.run();
+    let j = &r.jobs[0];
+    assert!(j.verdict.is_unreachable(), "retry recovered: {}", j.verdict);
+    assert_eq!(j.attempts, 2, "one crash, one clean retry");
+    // The tee'd on-the-fly checker saw the same records the file got:
+    // the retry's stream proves every bound it decided.
+    let cert = j.certificate.as_ref().expect("certified run");
+    assert!(cert.fully_certified(), "{cert:?}");
+    let p = j
+        .proof_path
+        .as_ref()
+        .expect("unreachable sweep keeps its proof file");
+    let bytes = std::fs::read(p).expect("proof file readable");
+    assert!(!bytes.is_empty());
+
+    // Byte level: every byte decodes, nothing is truncated mid-record.
+    let mut dec = DratDecoder::new();
+    let mut records = 0usize;
+    for &b in &bytes {
+        if dec.feed(b) {
+            records += 1;
+            let lits = dec.take_lits();
+            dec.recycle(lits);
+        }
+    }
+    assert!(dec.at_boundary(), "stream truncated mid-record");
+    assert_eq!(dec.corrupt_bytes(), 0, "stream contains corrupt bytes");
+    assert!(records > 0);
+    // Standard-DRAT shape: additions and deletions only.
+    for (tag, _) in decode_stream(&bytes) {
+        assert!(
+            tag == TAG_ADD || tag == TAG_DELETE,
+            "unexpected record tag {tag} in a standard-DRAT export"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The complementary outcome of the crash drill: when the crashed
+/// attempt is the *last* one (no retries left), the job ends Unknown
+/// and the partially-written proof file must not survive — a
+/// truncated stream on disk is worse than none.
+#[test]
+fn exhausted_retries_leave_no_partial_proof_file() {
+    let dir = std::env::temp_dir().join(format!("sebmc-drat-crash-gone-{}", std::process::id()));
+    let mut svc = CheckService::new(ServiceConfig::with_workers(1).with_proof_dir(&dir));
+    svc.submit(
+        Job::new(traffic_light(), vec![EngineKind::Unroll], 4)
+            .with_budget(budget_with_fault("panic@engine:3,panic@engine:1")),
+    );
+    let r = svc.run();
+    let j = &r.jobs[0];
+    assert!(j.verdict.is_unknown(), "no retries: {}", j.verdict);
+    assert!(j.proof_path.is_none());
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .map(|d| d.map(|e| e.unwrap().path()).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "partial proof left behind: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

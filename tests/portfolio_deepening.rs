@@ -36,7 +36,7 @@ fn per_bound_verdicts_agree_with_the_oracle_across_the_suite() {
                             "{} bound {k}: {} says reachable",
                             model.name(),
                             e.engine
-                        )
+                        );
                     }
                     BmcResult::Unreachable => {
                         assert!(
@@ -44,7 +44,7 @@ fn per_bound_verdicts_agree_with_the_oracle_across_the_suite() {
                             "{} bound {k}: {} says unreachable",
                             model.name(),
                             e.engine
-                        )
+                        );
                     }
                     // Cancelled losers decided nothing — that is fine.
                     BmcResult::Unknown(_) => {}
