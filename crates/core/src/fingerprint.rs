@@ -1,0 +1,136 @@
+//! Structural model fingerprinting for the service result cache.
+//!
+//! The cache in `sebmc serve` must answer "have I already checked this
+//! exact problem?" for models that may arrive under different names or
+//! from different files. The fingerprint therefore hashes the model's
+//! *structure* — AIG node graph, input roles, init/target/constraint
+//! cones and the next-state functions — and deliberately ignores the
+//! model name and any state/input label strings.
+//!
+//! The hash is 64-bit FNV-1a over a canonical byte stream. Two models
+//! built by identical construction sequences always collide (that is
+//! the point); distinct structures collide with probability ≈ 2⁻⁶⁴,
+//! which is acceptable for a cache (a false hit would re-serve a
+//! verdict for a different design, so the stream includes every field
+//! that affects checking semantics).
+
+use sebmc_logic::AigRef;
+use sebmc_model::Model;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher over little-endian words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn aig_ref(&mut self, r: AigRef) {
+        self.word(r.code() as u64);
+    }
+}
+
+/// Hashes the checking-relevant structure of `model` to 64 bits.
+///
+/// Included: input counts and roles (state vs. free, in order), every
+/// AND node's fanin pair, the init / target refs, all invariant
+/// constraint refs, and each state variable's next-state function.
+/// Excluded: the model name and all display labels, so renamed copies
+/// of the same design share a fingerprint.
+pub fn model_fingerprint(model: &Model) -> u64 {
+    let mut h = Fnv::new();
+    let aig = model.aig();
+
+    h.word(model.num_state_vars() as u64);
+    h.word(model.num_inputs() as u64);
+    for &i in model.state_input_indices() {
+        h.byte(1);
+        h.word(i as u64);
+    }
+    for &i in model.free_input_indices() {
+        h.byte(2);
+        h.word(i as u64);
+    }
+
+    h.word(aig.num_nodes() as u64);
+    for node in 0..aig.num_nodes() {
+        if let Some((a, b)) = aig.and_fanins(node) {
+            h.byte(3);
+            h.aig_ref(a);
+            h.aig_ref(b);
+        } else if let Some(idx) = aig.input_index(node) {
+            h.byte(4);
+            h.word(idx as u64);
+        } else {
+            h.byte(5); // constant-false node
+        }
+    }
+
+    h.byte(6);
+    h.aig_ref(model.init_ref());
+    h.byte(7);
+    h.aig_ref(model.target_ref());
+    for &c in model.constraint_refs() {
+        h.byte(8);
+        h.aig_ref(c);
+    }
+    for &n in model.next_refs() {
+        h.byte(9);
+        h.aig_ref(n);
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebmc_model::builders;
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        let a = builders::counter_with_reset(4);
+        let b = builders::counter_with_reset(4);
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&b));
+    }
+
+    #[test]
+    fn distinguishes_structures() {
+        let a = builders::counter_with_reset(4);
+        let b = builders::counter_with_reset(5);
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&b));
+    }
+
+    #[test]
+    fn distinguishes_builder_families() {
+        let models = [
+            builders::counter_with_reset(3),
+            builders::counter_with_enable(3),
+            builders::shift_register(3),
+            builders::gray_counter(3),
+            builders::traffic_light(),
+            builders::peterson(),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for m in &models {
+            assert!(
+                seen.insert(model_fingerprint(m)),
+                "fingerprint collision for {}",
+                m.name()
+            );
+        }
+    }
+}

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fingerprint;
 pub mod inc_unroll;
 pub mod incremental;
 pub mod induction;
@@ -58,6 +59,7 @@ pub use engine::{
     one_shot, BmcOutcome, BmcResult, BoundedChecker, Budget, CancelToken, Engine, RunStats,
     Semantics, Session,
 };
+pub use fingerprint::model_fingerprint;
 pub use inc_unroll::IncrementalUnroll;
 pub use incremental::{find_shortest_witness, DeepeningResult};
 pub use induction::{k_induction, k_induction_run, InductionResult, InductionRun};

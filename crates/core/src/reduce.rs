@@ -1,4 +1,5 @@
-//! Static model reduction applied transparently at [`Engine::start`].
+//! Static model reduction applied transparently at
+//! [`Engine::start`](crate::engine::Engine::start).
 //!
 //! Every engine routes its `start` through
 //! [`start_with_reduction`]: when [`Budget::reduce`] is on and the

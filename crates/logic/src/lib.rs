@@ -44,6 +44,7 @@ pub mod aig;
 pub mod cnf;
 pub mod dimacs;
 pub mod fault;
+pub mod json;
 pub mod lit;
 pub mod rng;
 pub mod tseitin;

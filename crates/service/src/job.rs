@@ -4,7 +4,10 @@
 //! semantics, an engine selection, a bound range to deepen through,
 //! and a [`Budget`]. Job lists can be built programmatically
 //! ([`suite_jobs`] wraps the built-in benchmark suite) or parsed from
-//! a plain-text job file ([`parse_job_file`]).
+//! a plain-text job file ([`parse_job_file`], a thin wrapper around
+//! [`JobSpec::parse_line`](crate::JobSpec::parse_line) — the same
+//! [`JobSpec`](crate::JobSpec) that the CLI builds and the wire
+//! protocol transmits).
 
 use std::time::Duration;
 
@@ -12,6 +15,10 @@ use sebmc::{
     Budget, CancelToken, Engine, JSat, QbfBackend, QbfLinear, QbfSquaring, Semantics, UnrollSat,
 };
 use sebmc_model::{suite, Model};
+
+/// The priority a job gets when none is specified: the middle of the
+/// 0..=9 range, leaving headroom in both directions.
+pub const DEFAULT_PRIORITY: u8 = 4;
 
 /// The engines a job may select. Unlike `Box<dyn Engine>`, the kind is
 /// `Copy` and buildable on any worker thread, which is what a queued
@@ -104,7 +111,7 @@ impl std::fmt::Display for EngineKind {
 /// run under the wall-clock budget *remaining* from the original
 /// [`Budget`], so a job's attempts can never consume more than the
 /// budget it was submitted with.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (first run included); clamped to at least 1.
     pub max_attempts: u32,
@@ -187,6 +194,10 @@ pub struct Job {
     /// Retry/deadline policy for failed attempts (default: one attempt,
     /// no deadlines).
     pub retry: RetryPolicy,
+    /// Scheduling priority, `0` (lowest) ..= `9` (highest, default
+    /// [`DEFAULT_PRIORITY`]). The queue ages waiting jobs upward so
+    /// low-priority jobs cannot starve.
+    pub priority: u8,
 }
 
 impl std::fmt::Debug for Job {
@@ -214,6 +225,7 @@ impl Job {
             max_bound,
             budget: Budget::none(),
             retry: RetryPolicy::default(),
+            priority: DEFAULT_PRIORITY,
         }
     }
 
@@ -232,6 +244,13 @@ impl Job {
     /// Returns `self` with the given retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Returns `self` with the given scheduling priority (clamped to
+    /// 0..=9).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority.min(9);
         self
     }
 }
@@ -286,13 +305,16 @@ pub fn suite_model(name: &str) -> Option<Model> {
 ///   `jsat|unroll|qbf-linear|qbf-squaring`; two or more race per bound.
 /// * options: `timeout-ms=N`, `mem-mb=N` (budget), `within`
 ///   (within-`k` semantics), `certify` (machine-check every decided
-///   bound), `name=<label>`, `retries=N` (extra attempts after a
-///   failed first one), `deadline-ms=N` (whole-job deadline),
-///   `attempt-timeout-ms=N` (per-attempt cap), `no-reduce` (skip the
-///   static model reduction normally applied at admission).
+///   bound), `name=<label>`, `priority=N` (scheduling priority 0–9),
+///   `retries=N` (extra attempts after a failed first one),
+///   `backoff-ms=N` (base retry backoff), `deadline-ms=N` (whole-job
+///   deadline), `attempt-timeout-ms=N` (per-attempt cap), `no-reduce`
+///   (skip the static model reduction normally applied at admission).
 ///
-/// Malformed lines are errors (with their line number), never silently
-/// skipped.
+/// Each line parses to a [`crate::JobSpec`] — the same description the
+/// CLI builds and the `sebmc serve` wire protocol transmits — and is
+/// materialised with [`crate::JobSpec::into_job`]. Malformed lines are
+/// errors (with their line number), never silently skipped.
 pub fn parse_job_file(text: &str) -> Result<Vec<Job>, String> {
     let mut jobs = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -300,60 +322,12 @@ pub fn parse_job_file(text: &str) -> Result<Vec<Job>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        jobs.push(parse_job_line(line).map_err(|e| format!("job file line {}: {e}", lineno + 1))?);
+        let job = crate::JobSpec::parse_line(line)
+            .and_then(crate::JobSpec::into_job)
+            .map_err(|e| format!("job file line {}: {e}", lineno + 1))?;
+        jobs.push(job);
     }
     Ok(jobs)
-}
-
-fn parse_job_line(line: &str) -> Result<Job, String> {
-    let mut fields = line.split_whitespace();
-    let model_spec = fields.next().ok_or("missing model")?;
-    let engines = EngineKind::parse_list(fields.next().ok_or("missing engine list")?)?;
-    let bound_s = fields.next().ok_or("missing max bound")?;
-    let max_bound: usize = bound_s
-        .parse()
-        .map_err(|_| format!("bad max bound '{bound_s}'"))?;
-    let model = if let Some(name) = model_spec.strip_prefix("suite:") {
-        suite_model(name).ok_or_else(|| format!("no built-in suite model named '{name}'"))?
-    } else {
-        let bytes = std::fs::read(model_spec)
-            .map_err(|e| format!("cannot read AIGER file '{model_spec}': {e}"))?;
-        let file = sebmc_aiger::parse_auto(&bytes).map_err(|e| format!("'{model_spec}': {e}"))?;
-        sebmc_aiger::aiger_to_model(&file, model_spec)
-            .map_err(|e| format!("'{model_spec}': {e}"))?
-    };
-    let mut job = Job::new(model, engines, max_bound);
-    for opt in fields {
-        if opt == "within" {
-            job.semantics = Semantics::Within;
-        } else if opt == "certify" {
-            job.budget.certify = true;
-        } else if opt == "no-reduce" {
-            job.budget.reduce = false;
-        } else if let Some(v) = opt.strip_prefix("timeout-ms=") {
-            let ms: u64 = v.parse().map_err(|_| format!("bad timeout-ms '{v}'"))?;
-            job.budget.timeout = Some(Duration::from_millis(ms));
-        } else if let Some(v) = opt.strip_prefix("mem-mb=") {
-            let mb: usize = v.parse().map_err(|_| format!("bad mem-mb '{v}'"))?;
-            job.budget.max_formula_bytes = Some(mb * 1024 * 1024);
-        } else if let Some(v) = opt.strip_prefix("name=") {
-            job.name = v.to_string();
-        } else if let Some(v) = opt.strip_prefix("retries=") {
-            let n: u32 = v.parse().map_err(|_| format!("bad retries '{v}'"))?;
-            job.retry.max_attempts = n.saturating_add(1);
-        } else if let Some(v) = opt.strip_prefix("deadline-ms=") {
-            let ms: u64 = v.parse().map_err(|_| format!("bad deadline-ms '{v}'"))?;
-            job.retry.job_deadline = Some(Duration::from_millis(ms));
-        } else if let Some(v) = opt.strip_prefix("attempt-timeout-ms=") {
-            let ms: u64 = v
-                .parse()
-                .map_err(|_| format!("bad attempt-timeout-ms '{v}'"))?;
-            job.retry.attempt_timeout = Some(Duration::from_millis(ms));
-        } else {
-            return Err(format!("unknown option '{opt}'"));
-        }
-    }
-    Ok(job)
 }
 
 #[cfg(test)]

@@ -107,18 +107,34 @@
 
 #![forbid(unsafe_code)]
 
+mod cache;
+mod handle;
 mod job;
+mod protocol;
+mod queue;
 mod report;
+pub mod serve;
+mod spec;
 
-pub use job::{parse_job_file, suite_jobs, suite_model, EngineKind, Job, RetryPolicy};
-pub use report::{cert_json, json_escape, stats_json, FailureReport, JobReport, ServiceReport};
+pub use cache::{CacheKey, ResultCache};
+pub use handle::{ServiceHandle, ShutdownMode, SubmitError};
+pub use job::{
+    parse_job_file, suite_jobs, suite_model, EngineKind, Job, RetryPolicy, DEFAULT_PRIORITY,
+};
+pub use protocol::{frames, LineEvent, LineReader, WireClient};
+pub use report::{
+    cert_json, job_json, json_escape, stats_json, FailureReport, JobReport, ServiceReport,
+};
+pub use serve::{serve_on, ServeOptions, ServeSummary};
+pub use spec::JobSpec;
 
-use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
+
+use crate::queue::PendingJob;
 
 use sebmc::{
     truncate_panic_payload, BmcResult, CancelToken, Certificate, DeepeningPortfolio, RunStats,
@@ -128,7 +144,7 @@ use sebmc_model::Trace;
 
 /// How often the service's cancellation bridge polls job/service
 /// tokens while jobs are running.
-const BRIDGE_POLL: Duration = Duration::from_millis(2);
+pub(crate) const BRIDGE_POLL: Duration = Duration::from_millis(2);
 /// How often a deferred job re-tries admission under memory pressure.
 const DEFER_POLL: Duration = Duration::from_millis(2);
 /// Deferrals before a blocked portfolio job is downgraded to its first
@@ -143,7 +159,7 @@ const SHED_RETRY_EVERY: usize = 50;
 
 /// Locks a mutex, recovering the data from a poisoned lock: a panic on
 /// another worker must never cascade into this one.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -177,7 +193,31 @@ pub struct ServiceConfig {
     /// The whole-service kill switch; keep a clone
     /// ([`CancelToken::clone`]) to stop the service from outside.
     pub cancel: CancelToken,
+    /// Retry/deadline policy applied at submission to every job whose
+    /// own policy is the default — per-job policies always win. `None`
+    /// leaves default-policy jobs untouched.
+    pub retry_defaults: Option<RetryPolicy>,
+    /// Result-cache byte budget: decided verdicts are cached keyed on
+    /// `(model fingerprint, semantics, bound, certify, reduce)` and
+    /// duplicate submissions are answered without solving (see
+    /// [`ResultCache`]). `None` disables the cache (the batch-mode
+    /// default; `sebmc serve` enables it).
+    pub result_cache_bytes: Option<usize>,
+    /// Queue-depth cap for overload shedding: submissions beyond this
+    /// many *pending* (not yet running) jobs are rejected with
+    /// [`SubmitError::Overloaded`] instead of queued. `None` accepts
+    /// unboundedly.
+    pub max_queue_depth: Option<usize>,
+    /// Priority aging interval: a waiting job gains one effective
+    /// priority level (toward the maximum of 9) per this much queue
+    /// wait, so low-priority jobs cannot starve behind a stream of
+    /// high-priority traffic.
+    pub priority_aging: Duration,
 }
+
+/// Default [`ServiceConfig::priority_aging`]: one level per 250 ms
+/// waited, so a priority-0 job outranks everything within ~2.5 s.
+pub const DEFAULT_PRIORITY_AGING: Duration = Duration::from_millis(250);
 
 impl ServiceConfig {
     /// A config with the given pool size and no service byte cap.
@@ -189,6 +229,10 @@ impl ServiceConfig {
             witness_dir: None,
             proof_dir: None,
             cancel: CancelToken::new(),
+            retry_defaults: None,
+            result_cache_bytes: None,
+            max_queue_depth: None,
+            priority_aging: DEFAULT_PRIORITY_AGING,
         }
     }
 
@@ -217,6 +261,40 @@ impl ServiceConfig {
         self.proof_dir = Some(dir.into());
         self
     }
+
+    /// Returns `self` with the given whole-service cancel token (so
+    /// callers stop reaching into the `cancel` field to share one).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Returns `self` applying `policy` to every submitted job whose
+    /// retry policy is still the default.
+    pub fn with_retry_defaults(mut self, policy: RetryPolicy) -> Self {
+        self.retry_defaults = Some(policy);
+        self
+    }
+
+    /// Returns `self` with a result cache of the given byte budget.
+    pub fn with_result_cache_bytes(mut self, bytes: usize) -> Self {
+        self.result_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns `self` rejecting submissions once this many jobs are
+    /// pending.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth);
+        self
+    }
+
+    /// Returns `self` with the given priority aging interval
+    /// (`Duration::ZERO` disables aging).
+    pub fn with_priority_aging(mut self, aging: Duration) -> Self {
+        self.priority_aging = aging;
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -227,34 +305,33 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A job with its submission timestamp (queue-wait accounting).
-struct QueuedJob {
-    id: usize,
-    job: Job,
-    submitted: Instant,
-}
-
 /// A running attempt's tokens, registered with the cancellation
 /// bridge: fire `child` when the job's or the service's token fires,
 /// or when the memory governor sheds this job.
-struct BridgeSlot {
-    job_token: CancelToken,
-    child: CancelToken,
-    shed: Arc<AtomicBool>,
+pub(crate) struct BridgeSlot {
+    pub(crate) job_token: CancelToken,
+    pub(crate) child: CancelToken,
+    pub(crate) shed: Arc<AtomicBool>,
 }
 
 /// Aggregate-memory admission control (see the crate docs).
 ///
-/// Admission is **FIFO in submission order**: a job may only reserve
-/// memory once every earlier-submitted job has been admitted (or has
-/// finished). That prevents small late jobs from starving a large
-/// early one forever — and makes the defer/downgrade/shed ladder
-/// deterministic, because the set of jobs holding reservations at any
-/// admission decision does not depend on worker scheduling.
+/// Admission is **FIFO in pickup order**: when the queue hands a job
+/// to a worker it is *enrolled* here with a monotonically increasing
+/// ticket, and a job may only reserve memory once every
+/// earlier-ticketed job has been admitted (or has finished). That
+/// prevents small late jobs from starving a large early one forever —
+/// and makes the defer/downgrade/shed ladder deterministic, because
+/// the set of jobs holding reservations at any admission decision
+/// does not depend on worker scheduling. With all-default priorities
+/// the pickup order *is* the submission order, so the PR 6 fault
+/// drills keep their exact semantics; with mixed priorities the gate
+/// follows the scheduler's order instead of penalising a
+/// queue-jumping job.
 ///
 /// With no `max_total` every call is a cheap no-op: jobs are admitted
 /// unconditionally and nothing is tracked.
-struct MemGovernor {
+pub(crate) struct MemGovernor {
     max_total: Option<usize>,
     state: Mutex<GovState>,
 }
@@ -263,8 +340,9 @@ struct MemGovernor {
 struct GovState {
     reserved: usize,
     seq: u64,
-    /// Submitted jobs not yet admitted (nor finished): the FIFO gate.
-    waiting: Vec<usize>,
+    /// Picked-up jobs not yet admitted (nor finished), as
+    /// `(ticket, job_id)`: the FIFO gate.
+    waiting: Vec<(u64, usize)>,
     running: Vec<RunningJob>,
 }
 
@@ -276,18 +354,25 @@ struct RunningJob {
 }
 
 impl MemGovernor {
-    fn new(max_total: Option<usize>, n_jobs: usize) -> Self {
+    pub(crate) fn new(max_total: Option<usize>) -> Self {
         MemGovernor {
             max_total,
-            state: Mutex::new(GovState {
-                waiting: (0..n_jobs).collect(),
-                ..GovState::default()
-            }),
+            state: Mutex::new(GovState::default()),
         }
     }
 
-    /// Reserves `reservation` bytes for the job if it is the oldest
-    /// still-waiting job and the memory fits (or nothing else is
+    /// Registers a picked-up job under its pickup ticket. Called under
+    /// the queue lock (so tickets and pickup order agree) before the
+    /// job's worker first calls [`MemGovernor::try_admit`].
+    pub(crate) fn enroll(&self, job_id: usize, ticket: u64) {
+        if self.max_total.is_none() {
+            return;
+        }
+        lock_unpoisoned(&self.state).waiting.push((ticket, job_id));
+    }
+
+    /// Reserves `reservation` bytes for the job if it holds the oldest
+    /// still-waiting ticket and the memory fits (or nothing else is
     /// running — a service that admits nothing is worse than one that
     /// briefly over-commits a clamped job).
     fn try_admit(&self, job_id: usize, reservation: usize, shed: &Arc<AtomicBool>) -> bool {
@@ -295,11 +380,11 @@ impl MemGovernor {
             return true;
         };
         let mut st = lock_unpoisoned(&self.state);
-        if st.waiting.iter().min() != Some(&job_id) {
+        if st.waiting.iter().min().map(|&(_, id)| id) != Some(job_id) {
             return false;
         }
         if st.reserved.saturating_add(reservation) <= cap || st.running.is_empty() {
-            st.waiting.retain(|&id| id != job_id);
+            st.waiting.retain(|&(_, id)| id != job_id);
             st.reserved = st.reserved.saturating_add(reservation);
             st.seq += 1;
             let seq = st.seq;
@@ -318,12 +403,12 @@ impl MemGovernor {
     /// Retires the job: drops its reservation and removes it from the
     /// FIFO gate (idempotent; also correct for jobs that aborted
     /// before ever being admitted).
-    fn release(&self, job_id: usize) {
+    pub(crate) fn release(&self, job_id: usize) {
         if self.max_total.is_none() {
             return;
         }
         let mut st = lock_unpoisoned(&self.state);
-        st.waiting.retain(|&id| id != job_id);
+        st.waiting.retain(|&(_, id)| id != job_id);
         if let Some(pos) = st.running.iter().position(|r| r.job_id == job_id) {
             let r = st.running.swap_remove(pos);
             st.reserved = st.reserved.saturating_sub(r.reservation);
@@ -334,7 +419,7 @@ impl MemGovernor {
     /// (highest admission sequence) not already being shed. The bridge
     /// fires its child token; its report becomes
     /// `Unknown("shed: memory pressure")`.
-    fn shed_youngest(&self) -> bool {
+    pub(crate) fn shed_youngest(&self) -> bool {
         let st = lock_unpoisoned(&self.state);
         let victim = st
             .running
@@ -351,11 +436,21 @@ impl MemGovernor {
     }
 }
 
-/// The checking service: a job queue plus the worker pool that drains
-/// it. See the [crate docs](crate) for the job lifecycle.
+/// The batch-mode face of the checking service: collect jobs, then
+/// [`CheckService::run`] them all to one [`ServiceReport`].
+///
+/// Since PR 9 this is a thin **compatibility wrapper** over
+/// [`ServiceHandle`] — submission, scheduling, admission, supervision
+/// and reporting all happen on the handle's long-lived worker pool, so
+/// there is exactly one execution path whether the service runs a
+/// batch, is driven programmatically, or serves a socket (`sebmc
+/// serve`). New code that wants to keep workers alive across jobs,
+/// stream results as they finish, or shut down gracefully should use
+/// [`ServiceHandle`] directly; `run(self)` remains for the one-shot
+/// "submit everything, wait for everything" shape.
 pub struct CheckService {
     config: ServiceConfig,
-    jobs: Vec<QueuedJob>,
+    jobs: Vec<(Job, Instant)>,
 }
 
 impl CheckService {
@@ -370,13 +465,8 @@ impl CheckService {
     /// Enqueues a job and returns its id (its index in
     /// [`ServiceReport::jobs`]). The queue-wait clock starts now.
     pub fn submit(&mut self, job: Job) -> usize {
-        let id = self.jobs.len();
-        self.jobs.push(QueuedJob {
-            id,
-            job,
-            submitted: Instant::now(),
-        });
-        id
+        self.jobs.push((job, Instant::now()));
+        self.jobs.len() - 1
     }
 
     /// Number of jobs submitted so far.
@@ -387,106 +477,37 @@ impl CheckService {
     /// Drains the queue on the worker pool and returns the aggregate
     /// report. Blocks until every job is finished (or cancelled —
     /// cancelled jobs still get reports).
+    ///
+    /// Implementation: a paused [`ServiceHandle`] is started, every
+    /// collected job is submitted (with its original submission
+    /// timestamp, so queue-wait accounting is unchanged), the workers
+    /// are released, and the handle is gracefully shut down once every
+    /// report is in. Starting paused guarantees the whole batch is
+    /// visible to the scheduler and the memory governor before the
+    /// first pickup, exactly like the pre-handle implementation.
     pub fn run(self) -> ServiceReport {
         let CheckService { config, jobs } = self;
         let workers = config.workers.max(1);
-        let n_jobs = jobs.len();
         let run_start = Instant::now();
-        let queue: Mutex<VecDeque<QueuedJob>> = Mutex::new(jobs.into());
-        let reports: Mutex<Vec<Option<JobReport>>> =
-            Mutex::new((0..n_jobs).map(|_| None).collect());
-        let slots: Vec<Mutex<Option<BridgeSlot>>> =
-            (0..workers).map(|_| Mutex::new(None)).collect();
-        let governor = MemGovernor::new(config.max_total_bytes, n_jobs);
-        let pool_done = AtomicBool::new(false);
-        thread::scope(|s| {
-            // The cancellation bridge: propagates per-job cancellations,
-            // whole-service cancellations and governor shed requests
-            // into the running attempts' child tokens, promptly,
-            // without the workers having to poll.
-            s.spawn(|| {
-                while !pool_done.load(Ordering::Relaxed) {
-                    let service_cancelled = config.cancel.is_cancelled();
-                    for slot in &slots {
-                        let guard = lock_unpoisoned(slot);
-                        if let Some(b) = guard.as_ref() {
-                            if service_cancelled
-                                || b.job_token.is_cancelled()
-                                || b.shed.load(Ordering::Relaxed)
-                            {
-                                b.child.cancel();
-                            }
-                        }
-                    }
-                    thread::sleep(BRIDGE_POLL);
-                }
-            });
-            let handles: Vec<_> = (0..workers)
-                .map(|wid| {
-                    let queue = &queue;
-                    let reports = &reports;
-                    let config = &config;
-                    let governor = &governor;
-                    let slot = &slots[wid];
-                    s.spawn(move || loop {
-                        let next = lock_unpoisoned(queue).pop_front();
-                        let Some(q) = next else { break };
-                        let queue_wait = q.submitted.elapsed();
-                        // Identity for the fallback report: if the
-                        // service plumbing itself panics, the job must
-                        // still be reported by name.
-                        let id = q.id;
-                        let name = q.job.name.clone();
-                        let model = q.job.model.name().to_string();
-                        let engines: Vec<&'static str> =
-                            q.job.engines.iter().map(|e| e.build().name()).collect();
-                        let byte_cap = q.job.budget.max_formula_bytes;
-                        // The worker-level supervisor: a panic anywhere
-                        // in job processing is contained here, turned
-                        // into a quarantined report, and the loop keeps
-                        // draining the queue — one crashed job never
-                        // strands its siblings.
-                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            process_job(q, config, slot, governor, queue_wait)
-                        }))
-                        .unwrap_or_else(|payload| {
-                            let reason = format!(
-                                "service worker panicked: {}",
-                                truncate_panic_payload(payload.as_ref())
-                            );
-                            let mut r = abort_report(
-                                id, name, model, engines, byte_cap, &reason, queue_wait, 0,
-                            );
-                            r.quarantined = true;
-                            r.failures.push(FailureReport {
-                                attempt: 1,
-                                bound_reached: None,
-                                reason,
-                                stats: RunStats::default(),
-                            });
-                            r
-                        });
-                        // The governor entry must die with the job even
-                        // if processing unwound mid-flight.
-                        governor.release(report.job_id);
-                        *lock_unpoisoned(slot) = None;
-                        let rid = report.job_id;
-                        lock_unpoisoned(reports)[rid] = Some(report);
-                    })
-                })
-                .collect();
-            for h in handles {
-                let _ = h.join();
-            }
-            pool_done.store(true, Ordering::Relaxed);
-        });
-        let jobs = reports
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .into_iter()
-            .map(|r| r.expect("every submitted job produces a report"))
-            .collect();
-        ServiceReport::new(workers, run_start.elapsed(), jobs)
+        let handle = ServiceHandle::start_paused(config);
+        let n_jobs = jobs.len();
+        for (job, submitted) in jobs {
+            handle
+                .submit_at(job, 0, submitted)
+                .expect("a fresh handle accepts submissions");
+        }
+        handle.resume();
+        let mut reports = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            reports.push(
+                handle
+                    .next_report(None)
+                    .expect("every submitted job produces a report"),
+            );
+        }
+        handle.shutdown(ShutdownMode::Graceful);
+        reports.sort_by_key(|r| r.job_id);
+        ServiceReport::new(workers, run_start.elapsed(), reports)
     }
 }
 
@@ -494,7 +515,7 @@ impl CheckService {
 /// queued or deferred, or lost to a service-layer panic): solve
 /// wall-clock is zero by construction.
 #[allow(clippy::too_many_arguments)]
-fn abort_report(
+pub(crate) fn abort_report(
     id: usize,
     name: String,
     model: String,
@@ -503,6 +524,7 @@ fn abort_report(
     reason: &str,
     queue_wait: Duration,
     deferrals: usize,
+    priority: u8,
 ) -> JobReport {
     JobReport {
         job_id: id,
@@ -528,10 +550,12 @@ fn abort_report(
         quarantined: false,
         failures: Vec::new(),
         proof_path: None,
+        cached: false,
+        priority,
     }
 }
 
-fn aborted(q: &QueuedJob, reason: &str, queue_wait: Duration, deferrals: usize) -> JobReport {
+fn aborted(q: &PendingJob, reason: &str, queue_wait: Duration, deferrals: usize) -> JobReport {
     abort_report(
         q.id,
         q.job.name.clone(),
@@ -541,6 +565,7 @@ fn aborted(q: &QueuedJob, reason: &str, queue_wait: Duration, deferrals: usize) 
         reason,
         queue_wait,
         deferrals,
+        q.job.priority,
     )
 }
 
@@ -616,8 +641,8 @@ enum AttemptClass {
 /// Runs one admitted job to completion — admission, supervised
 /// attempts, retry/backoff, and report assembly — on the calling
 /// worker thread.
-fn process_job(
-    mut q: QueuedJob,
+pub(crate) fn process_job(
+    mut q: PendingJob,
     config: &ServiceConfig,
     slot: &Mutex<Option<BridgeSlot>>,
     governor: &MemGovernor,
@@ -704,7 +729,7 @@ fn process_job(
         }
     }
 
-    let QueuedJob { id, job, .. } = q;
+    let PendingJob { id, job, .. } = q;
     if engines.is_empty() {
         let mut r = abort_report(
             id,
@@ -715,6 +740,7 @@ fn process_job(
             "no engines selected",
             queue_wait,
             deferrals,
+            job.priority,
         );
         r.attempts = 1;
         return r;
@@ -946,6 +972,8 @@ fn process_job(
         quarantined,
         failures,
         proof_path,
+        cached: false,
+        priority: job.priority,
     }
 }
 

@@ -101,6 +101,14 @@ pub struct JobReport {
     /// a proof directory and this single-engine job swept to a clean
     /// `Unreachable` verdict.
     pub proof_path: Option<String>,
+    /// Whether this report was answered from the result cache: the
+    /// verdict, bound, winners, certificate and artifact paths are the
+    /// cold run's, `stats.solver_effort` is zero (no solving
+    /// happened), and `engines` names the engines of the run that
+    /// produced the verdict, not the ones this submission asked for.
+    pub cached: bool,
+    /// The scheduling priority the job was submitted with (0..=9).
+    pub priority: u8,
 }
 
 impl JobReport {
@@ -155,6 +163,8 @@ pub struct ServiceReport {
     /// Portfolio jobs downgraded to a single engine under memory
     /// pressure.
     pub jobs_downgraded: usize,
+    /// Jobs answered from the result cache (no solver effort spent).
+    pub jobs_cached: usize,
 }
 
 impl ServiceReport {
@@ -170,6 +180,7 @@ impl ServiceReport {
         let mut quarantined = Vec::new();
         let mut jobs_shed = 0;
         let mut jobs_downgraded = 0;
+        let mut jobs_cached = 0;
         for j in &jobs {
             total.absorb(&j.stats);
             queue_wait_total += j.queue_wait;
@@ -200,6 +211,9 @@ impl ServiceReport {
             if j.downgraded {
                 jobs_downgraded += 1;
             }
+            if j.cached {
+                jobs_cached += 1;
+            }
         }
         ServiceReport {
             workers,
@@ -217,6 +231,7 @@ impl ServiceReport {
             quarantined,
             jobs_shed,
             jobs_downgraded,
+            jobs_cached,
         }
     }
 
@@ -242,7 +257,7 @@ impl ServiceReport {
              \"reachable\":{},\"unreachable\":{},\"unknown\":{},\
              \"jobs_certified\":{},\"certificate\":{},\
              \"jobs_retried\":{},\"jobs_quarantined\":{},\"quarantined\":[{quarantined_ids}],\
-             \"jobs_shed\":{},\"jobs_downgraded\":{},\
+             \"jobs_shed\":{},\"jobs_downgraded\":{},\"jobs_cached\":{},\
              \"queue_wait_ms_total\":{},\"solve_ms_total\":{},\
              \"jobs_per_sec\":{:.3},\"total_stats\":{},\"jobs\":[",
             self.workers,
@@ -257,6 +272,7 @@ impl ServiceReport {
             self.quarantined.len(),
             self.jobs_shed,
             self.jobs_downgraded,
+            self.jobs_cached,
             self.queue_wait_total.as_millis(),
             self.solve_total.as_millis(),
             self.jobs_per_sec(),
@@ -339,7 +355,10 @@ fn opt_cert_json(c: &Option<Certificate>) -> String {
     c.as_ref().map_or("null".into(), cert_json)
 }
 
-fn job_json(j: &JobReport) -> String {
+/// Renders one [`JobReport`] as a JSON object — the shape the batch
+/// report embeds under `"jobs"` and the wire protocol pushes as the
+/// `"report"` payload of a result frame.
+pub fn job_json(j: &JobReport) -> String {
     let (verdict, reason) = j.verdict_parts();
     let reason_s = reason.map_or("null".into(), |r| format!("\"{}\"", json_escape(r)));
     let bound_s = j.bound.map_or("null".into(), |b| b.to_string());
@@ -380,7 +399,8 @@ fn job_json(j: &JobReport) -> String {
          \"proof_path\":{proof_s},\
          \"queue_wait_ms\":{},\"solve_ms\":{},\
          \"attempts\":{},\"resumed_from\":{resumed_s},\"deferrals\":{},\
-         \"downgraded\":{},\"quarantined\":{},\"failures\":[{failures}],\
+         \"downgraded\":{},\"quarantined\":{},\"cached\":{},\"priority\":{},\
+         \"failures\":[{failures}],\
          \"winners\":[{winners}],\"stats\":{}}}",
         j.job_id,
         json_escape(&j.name),
@@ -394,6 +414,8 @@ fn job_json(j: &JobReport) -> String {
         j.deferrals,
         j.downgraded,
         j.quarantined,
+        j.cached,
+        j.priority,
         stats_json(&j.stats),
     )
 }
@@ -444,6 +466,8 @@ mod tests {
             quarantined: false,
             failures: Vec::new(),
             proof_path: None,
+            cached: false,
+            priority: 4,
         }
     }
 
@@ -513,6 +537,20 @@ mod tests {
         assert!(json.contains("\"resumed_from\":3"));
         assert!(json.contains("\"failures\":[{\"attempt\":1,\"bound_reached\":2"));
         assert!(json.contains("engine panicked: jsat: boom"));
+    }
+
+    #[test]
+    fn cached_jobs_are_counted_and_rendered() {
+        let mut hit = report(BmcResult::Unreachable);
+        hit.cached = true;
+        hit.priority = 9;
+        let cold = report(BmcResult::Unreachable);
+        let r = ServiceReport::new(1, Duration::from_millis(5), vec![hit, cold]);
+        assert_eq!(r.jobs_cached, 1);
+        let json = r.to_json();
+        assert!(json.contains("\"jobs_cached\":1"));
+        assert!(json.contains("\"cached\":true"));
+        assert!(json.contains("\"priority\":9"));
     }
 
     #[test]

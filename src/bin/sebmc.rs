@@ -16,6 +16,11 @@
 //!       [--within] [--certify] [--witness-dir DIR] [--proof-out DIR]
 //!       [--no-reduce] [--json] [--quiet]
 //! sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]
+//! sebmc serve [--addr HOST:PORT] [--workers N] [--cache-mb N] [--no-cache]
+//!       [--max-queue N] [--max-job-mb N] [--max-total-mb N] [--aging-ms N]
+//!       [--witness-dir DIR] [--proof-out DIR] [--quiet]
+//! sebmc client --addr HOST:PORT [JOBLINE ...] [--ping]
+//!       [--shutdown graceful|now] [--timeout-s N] [--quiet]
 //! ```
 //!
 //! `sebmc batch` runs a whole *job list* on the multi-worker checking
@@ -91,6 +96,28 @@
 //! latches with their values, unused inputs, the latch fan-in
 //! histogram and the transition-cone size before/after reduction.
 //!
+//! `sebmc serve` runs the checking service as an always-on daemon on a
+//! TCP socket, speaking the line-delimited JSON protocol of
+//! `docs/protocol.md`: clients submit jobs (the `JobSpec` JSON
+//! encoding), the scheduler orders them by priority/deadline/fairness
+//! with aging, decided verdicts land in a result cache (default
+//! 64 MiB, `--no-cache` to disable) so duplicate submissions are
+//! answered without solving, and `--max-queue` sheds overload with a
+//! clean protocol error instead of queueing unboundedly. The first
+//! stdout line is `sebmc: listening on <addr>` (scrape it when binding
+//! port 0); the last is the run-summary JSON, printed after a client
+//! sends `{"op":"shutdown"}` and the drain completes.
+//!
+//! `sebmc client` drives a running daemon: each positional argument is
+//! one job-file line (same grammar as `sebmc batch` job files —
+//! `suite:` models resolve and AIGER paths are read *on the server*),
+//! submitted in order; every report is printed as one JSON line on
+//! stdout as it arrives. `--ping` round-trips a health check first,
+//! `--shutdown graceful|now` asks the daemon to stop after the
+//! reports are in. Exit code: 0 when every job decided, 1 when any
+//! verdict was `unknown` or a submission was refused, 2 for usage or
+//! protocol errors.
+//!
 //! Output (without `--json`) follows the HWMCC witness convention:
 //! * `1` — the bad state is reachable, followed by `b0`, the initial
 //!   latch values, one input-vector line per step, and `.`;
@@ -110,10 +137,11 @@ use sebmc_repro::bmc::{
     QbfBackend, QbfLinear, QbfSquaring, RunStats, Semantics, UnrollSat,
 };
 use sebmc_repro::logic::fault::FaultPlan;
+use sebmc_repro::logic::json::Json;
 use sebmc_repro::model::{Model, Trace};
 use sebmc_repro::service::{
-    cert_json, json_escape, parse_job_file, stats_json, suite_jobs, CheckService, EngineKind,
-    ServiceConfig,
+    cert_json, json_escape, parse_job_file, serve_on, stats_json, suite_jobs, CheckService,
+    EngineKind, JobSpec, ServeOptions, ServiceConfig, WireClient,
 };
 
 struct Options {
@@ -691,6 +719,218 @@ fn run_batch(args: Vec<String>) -> ExitCode {
     }
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: sebmc serve [--addr HOST:PORT] [--workers N] [--cache-mb N] \
+         [--no-cache] [--max-queue N] [--max-job-mb N] [--max-total-mb N] \
+         [--aging-ms N] [--witness-dir DIR] [--proof-out DIR] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+/// `sebmc serve`: the always-on checking daemon (see the module docs).
+fn run_serve(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:3935".to_string();
+    let mut workers: Option<usize> = None;
+    let mut cache_mb: u64 = 64;
+    let mut no_cache = false;
+    let mut max_queue: Option<usize> = Some(1024);
+    let mut max_job_mb: Option<u64> = None;
+    let mut max_total_mb: Option<u64> = None;
+    let mut aging_ms: Option<u64> = None;
+    let mut witness_dir: Option<String> = None;
+    let mut proof_dir: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| serve_usage()),
+            "--workers" => workers = Some(parse_num("workers", it.next()) as usize),
+            "--cache-mb" => cache_mb = parse_num("cache-mb", it.next()),
+            "--no-cache" => no_cache = true,
+            "--max-queue" => max_queue = Some(parse_num("max-queue", it.next()) as usize),
+            "--max-job-mb" => max_job_mb = Some(parse_num("max-job-mb", it.next())),
+            "--max-total-mb" => max_total_mb = Some(parse_num("max-total-mb", it.next())),
+            "--aging-ms" => aging_ms = Some(parse_num("aging-ms", it.next())),
+            "--witness-dir" => witness_dir = Some(it.next().unwrap_or_else(|| serve_usage())),
+            "--proof-out" => proof_dir = Some(it.next().unwrap_or_else(|| serve_usage())),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => serve_usage(),
+            _ => serve_usage(),
+        }
+    }
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sebmc: cannot bind '{addr}': {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map_or_else(|_| addr.clone(), |a| a.to_string());
+    let mut config = match workers {
+        Some(w) => ServiceConfig::with_workers(w),
+        None => ServiceConfig::default(),
+    };
+    if !no_cache && cache_mb > 0 {
+        config.result_cache_bytes = Some(cache_mb as usize * 1024 * 1024);
+    }
+    config.max_queue_depth = max_queue;
+    config.max_job_bytes = max_job_mb.map(|mb| mb as usize * 1024 * 1024);
+    config.max_total_bytes = max_total_mb.map(|mb| mb as usize * 1024 * 1024);
+    config.witness_dir = witness_dir.map(Into::into);
+    config.proof_dir = proof_dir.map(Into::into);
+    if let Some(ms) = aging_ms {
+        config.priority_aging = Duration::from_millis(ms);
+    }
+    if !quiet {
+        eprintln!(
+            "sebmc: serving on {local} with {} workers (cache {})",
+            config.workers.max(1),
+            config
+                .result_cache_bytes
+                .map_or("off".to_string(), |b| format!("{} MiB", b / (1024 * 1024)))
+        );
+    }
+    // The scrape line: CI and scripts bind port 0 and read the real
+    // address from here.
+    println!("sebmc: listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match serve_on(listener, config, ServeOptions::default()) {
+        Ok(summary) => {
+            println!("{}", summary.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sebmc: serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn client_usage() -> ! {
+    eprintln!(
+        "usage: sebmc client --addr HOST:PORT [JOBLINE ...] [--ping] \
+         [--shutdown graceful|now] [--timeout-s N] [--quiet]\n\
+         each JOBLINE is one job-file line, e.g. \
+         'suite:token_ring4 jsat,unroll 6 priority=9'"
+    );
+    std::process::exit(2);
+}
+
+/// `sebmc client`: submit job lines to a running daemon and print the
+/// report JSON lines as they arrive (see the module docs).
+fn run_client(args: Vec<String>) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut lines: Vec<String> = Vec::new();
+    let mut ping = false;
+    let mut shutdown: Option<String> = None;
+    let mut timeout_s: u64 = 600;
+    let mut quiet = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| client_usage())),
+            "--ping" => ping = true,
+            "--shutdown" => {
+                let mode = it.next().unwrap_or_else(|| client_usage());
+                if mode != "graceful" && mode != "now" {
+                    eprintln!("sebmc: --shutdown expects graceful|now, got '{mode}'");
+                    return ExitCode::from(2);
+                }
+                shutdown = Some(mode);
+            }
+            "--timeout-s" => timeout_s = parse_num("timeout-s", it.next()),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => client_usage(),
+            other if !other.starts_with('-') => lines.push(other.to_string()),
+            _ => client_usage(),
+        }
+    }
+    let Some(addr) = addr else { client_usage() };
+    let mut wire = match WireClient::connect(&addr) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sebmc: cannot connect to '{addr}': {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        eprintln!("sebmc: connected to {addr} ({})", wire.hello);
+    }
+    if ping {
+        if let Err(e) = wire.ping() {
+            eprintln!("sebmc: ping failed: {e}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!("sebmc: pong");
+        }
+    }
+    let mut refused = false;
+    let mut expected = 0usize;
+    for line in &lines {
+        let spec = match JobSpec::parse_line(line) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sebmc: bad job line '{line}': {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match wire.submit(&spec) {
+            Err(e) => {
+                eprintln!("sebmc: submit failed: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(Err(msg)) => {
+                eprintln!("sebmc: submission refused: {msg}");
+                refused = true;
+            }
+            Ok(Ok(id)) => {
+                expected += 1;
+                if !quiet {
+                    eprintln!("sebmc: job {id} accepted");
+                }
+            }
+        }
+    }
+    let mut unknown = 0usize;
+    for _ in 0..expected {
+        match wire.next_report(Some(Duration::from_secs(timeout_s))) {
+            Err(e) => {
+                eprintln!("sebmc: lost connection waiting for reports: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(None) => {
+                eprintln!("sebmc: timed out waiting for reports after {timeout_s}s");
+                return ExitCode::from(2);
+            }
+            Ok(Some(job)) => {
+                if job.get("verdict").and_then(Json::as_str) == Some("unknown") {
+                    unknown += 1;
+                }
+                println!("{job}");
+            }
+        }
+    }
+    if let Some(mode) = shutdown {
+        if let Err(e) = wire.shutdown(&mode) {
+            eprintln!("sebmc: shutdown request failed: {e}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!("sebmc: server acknowledged {mode} shutdown");
+        }
+    }
+    if refused || unknown > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Loads a model from an AIGER path or a built-in suite name
 /// (`suite:<name>`), exiting 2 on failure — shared by `analyze` and
 /// potential future subcommands.
@@ -759,6 +999,14 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("analyze") {
         raw.next();
         return run_analyze(raw.collect());
+    }
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return run_serve(raw.collect());
+    }
+    if raw.peek().map(String::as_str) == Some("client") {
+        raw.next();
+        return run_client(raw.collect());
     }
     let mut opts = parse_args();
     let bytes = match std::fs::read(&opts.path) {

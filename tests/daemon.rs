@@ -1,0 +1,208 @@
+//! The `sebmc serve` daemon, driven in-process over real TCP sockets
+//! with the in-tree wire client.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use sebmc_repro::logic::json::Json;
+use sebmc_repro::service::{
+    serve_on, JobSpec, LineEvent, LineReader, ServeOptions, ServeSummary, ServiceConfig, WireClient,
+};
+
+/// Binds a loopback listener and runs the daemon on a background
+/// thread; returns the address and the join handle yielding the
+/// summary.
+fn spawn_daemon(config: ServiceConfig) -> (String, std::thread::JoinHandle<ServeSummary>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = std::thread::spawn(move || {
+        serve_on(listener, config, ServeOptions::default()).expect("serve runs")
+    });
+    (addr, server)
+}
+
+fn spec(line: &str) -> JobSpec {
+    JobSpec::parse_line(line).expect("job line parses")
+}
+
+#[test]
+fn daemon_serves_duplicates_from_cache_and_shuts_down_gracefully() {
+    let (addr, server) =
+        spawn_daemon(ServiceConfig::with_workers(2).with_result_cache_bytes(8 << 20));
+    let mut wire = WireClient::connect(&addr).expect("connect");
+    assert_eq!(
+        wire.hello.get("cache").and_then(Json::as_bool),
+        Some(true),
+        "hello advertises the cache"
+    );
+    wire.ping().expect("ping round-trips");
+
+    let id0 = wire
+        .submit(&spec("suite:ring_4 jsat,unroll 6 priority=9"))
+        .expect("submit io")
+        .expect("accepted");
+    let cold = wire
+        .next_report(Some(Duration::from_secs(120)))
+        .expect("report io")
+        .expect("cold report arrives");
+    assert_eq!(cold.get("id").and_then(Json::as_u64), Some(id0 as u64));
+    assert_eq!(
+        cold.get("verdict").and_then(Json::as_str),
+        Some("reachable")
+    );
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(cold.get("priority").and_then(Json::as_u64), Some(9));
+    // (No assert on the cold run's solver_effort: effort counts
+    // conflicts, and a tiny instance can legitimately solve with
+    // zero, depending on which racing engine wins each bound.)
+
+    // The duplicate: same model/semantics/bound/certify — answered
+    // from the cache, zero solver effort, identical verdict.
+    let id1 = wire
+        .submit(&spec("suite:ring_4 jsat,unroll 6"))
+        .expect("submit io")
+        .expect("accepted");
+    let hit = wire
+        .next_report(Some(Duration::from_secs(120)))
+        .expect("report io")
+        .expect("cached report arrives");
+    assert_eq!(hit.get("id").and_then(Json::as_u64), Some(id1 as u64));
+    assert_eq!(hit.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        hit.get("stats")
+            .and_then(|s| s.get("solver_effort"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "a cache hit costs no solver effort"
+    );
+    assert_eq!(
+        hit.get("verdict").and_then(Json::as_str),
+        cold.get("verdict").and_then(Json::as_str),
+        "identical verdict"
+    );
+    assert_eq!(
+        hit.get("bound").and_then(Json::as_u64),
+        cold.get("bound").and_then(Json::as_u64)
+    );
+    assert_eq!(
+        hit.get("certificate").map(Json::to_string),
+        cold.get("certificate").map(Json::to_string),
+        "identical certificate summary"
+    );
+
+    // A different-priority mix still round-trips.
+    wire.submit(&spec("suite:traffic unroll 3 priority=0"))
+        .expect("submit io")
+        .expect("accepted");
+    let third = wire
+        .next_report(Some(Duration::from_secs(120)))
+        .expect("report io")
+        .expect("third report");
+    assert_eq!(third.get("priority").and_then(Json::as_u64), Some(0));
+
+    wire.shutdown("graceful").expect("shutdown acked");
+    let summary = server.join().expect("server thread joins");
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.jobs_submitted, 3);
+    assert_eq!(summary.jobs_rejected, 0);
+    assert_eq!(summary.reports_delivered, 3);
+    assert!(summary.leftover.is_empty(), "every report was delivered");
+    assert_eq!(summary.cache, Some((1, 2)));
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs_and_rejects_new_submissions() {
+    let (addr, server) = spawn_daemon(ServiceConfig::with_workers(1));
+    let mut wire = WireClient::connect(&addr).expect("connect");
+    // Whether or not this finishes before the shutdown frame lands,
+    // the server must answer the pipelined post-shutdown submission
+    // with a refusal (it drains buffered frames before closing).
+    wire.submit(&spec("suite:ring_12 jsat 11"))
+        .expect("submit io")
+        .expect("accepted");
+    wire.shutdown("graceful").expect("shutdown acked");
+    let refusal = wire
+        .submit(&spec("suite:traffic unroll 3"))
+        .expect("submit io")
+        .expect_err("no new work after shutdown");
+    assert_eq!(refusal, "shutting down");
+    // The in-flight job still drains to a report over this connection.
+    let report = wire
+        .next_report(Some(Duration::from_secs(120)))
+        .expect("report io")
+        .expect("drained report");
+    assert_ne!(
+        report.get("verdict").and_then(Json::as_str),
+        Some("unknown"),
+        "graceful shutdown runs the in-flight job to completion"
+    );
+    let summary = server.join().expect("server thread joins");
+    assert_eq!(summary.jobs_submitted, 1);
+    assert_eq!(summary.jobs_rejected, 1);
+    assert_eq!(summary.reports_delivered, 1);
+    assert!(summary.leftover.is_empty(), "no job dropped");
+}
+
+#[test]
+fn malformed_frames_get_protocol_errors_not_disconnects() {
+    let (addr, server) = spawn_daemon(ServiceConfig::with_workers(1));
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = LineReader::new(stream.try_clone().expect("clone"));
+    let read_frame = |reader: &mut LineReader<TcpStream>| -> Json {
+        match reader.read_line() {
+            LineEvent::Line(l) => Json::parse(&l).expect("server frames parse"),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    };
+    assert_eq!(
+        read_frame(&mut reader).get("op").and_then(Json::as_str),
+        Some("hello")
+    );
+    for (bad, expect_in_message) in [
+        ("this is not json", "bad frame"),
+        ("{\"op\":\"frobnicate\"}", "unknown op"),
+        ("{\"model\":\"suite:ring_4\"}", "missing"),
+    ] {
+        stream.write_all(bad.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.get("op").and_then(Json::as_str), Some("error"));
+        let message = reply
+            .get("message")
+            .and_then(Json::as_str)
+            .expect("error message");
+        assert!(
+            message.contains(expect_in_message),
+            "message '{message}' should mention '{expect_in_message}'"
+        );
+    }
+    stream
+        .write_all(b"{\"op\":\"shutdown\",\"mode\":\"now\"}\n")
+        .expect("write");
+    assert_eq!(
+        read_frame(&mut reader).get("op").and_then(Json::as_str),
+        Some("shutdown_ack")
+    );
+    let summary = server.join().expect("server thread joins");
+    assert_eq!(summary.jobs_submitted, 0);
+    assert_eq!(summary.jobs_rejected, 1, "the malformed submission");
+}
+
+#[test]
+fn full_queue_refuses_submissions_with_overload_error() {
+    let (addr, server) = spawn_daemon(ServiceConfig::with_workers(1).with_max_queue_depth(0));
+    let mut wire = WireClient::connect(&addr).expect("connect");
+    let refusal = wire
+        .submit(&spec("suite:ring_4 jsat 6"))
+        .expect("submit io")
+        .expect_err("depth-0 queue accepts nothing");
+    assert_eq!(refusal, "overloaded: queue full");
+    wire.shutdown("now").expect("shutdown acked");
+    let summary = server.join().expect("server thread joins");
+    assert_eq!(summary.jobs_submitted, 0);
+    assert_eq!(summary.jobs_rejected, 1);
+}

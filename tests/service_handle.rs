@@ -1,0 +1,181 @@
+//! The long-lived `ServiceHandle` API: result cache, priorities,
+//! graceful shutdown, overload shedding.
+
+use std::time::Duration;
+
+use sebmc_repro::bmc::{BmcResult, Budget, Semantics};
+use sebmc_repro::model::builders::{token_ring, traffic_light};
+use sebmc_repro::service::{
+    EngineKind, Job, ServiceConfig, ServiceHandle, ShutdownMode, SubmitError,
+};
+
+fn ring_job() -> Job {
+    Job::new(token_ring(4), vec![EngineKind::Jsat], 6)
+}
+
+#[test]
+fn duplicate_submission_is_answered_from_cache_with_zero_solver_effort() {
+    let handle =
+        ServiceHandle::start(ServiceConfig::with_workers(1).with_result_cache_bytes(1 << 20));
+    let cold_id = handle.submit(ring_job()).expect("accepts");
+    let cold = handle
+        .next_report(Some(Duration::from_secs(60)))
+        .expect("cold report");
+    assert_eq!(cold.job_id, cold_id);
+    assert!(!cold.cached, "first run actually solves");
+    assert!(cold.stats.bounds_checked > 0, "cold run checks bounds");
+    assert!(cold.verdict.is_reachable());
+
+    let hit_id = handle.submit(ring_job()).expect("accepts");
+    let hit = handle
+        .next_report(Some(Duration::from_secs(60)))
+        .expect("hit report");
+    assert_eq!(hit.job_id, hit_id);
+    assert!(hit.cached, "duplicate answered from cache");
+    assert_eq!(hit.stats.solver_effort, 0, "zero solver effort on a hit");
+    assert_eq!(hit.verdict.is_reachable(), cold.verdict.is_reachable());
+    assert_eq!(hit.bound, cold.bound, "identical verdict bound");
+    assert_eq!(hit.winners, cold.winners);
+    assert_eq!(handle.cache_stats(), Some((1, 1)));
+    handle.shutdown(ShutdownMode::Graceful);
+}
+
+#[test]
+fn differing_bound_semantics_or_certify_miss_the_cache() {
+    let handle =
+        ServiceHandle::start(ServiceConfig::with_workers(1).with_result_cache_bytes(1 << 20));
+    handle.submit(ring_job()).expect("accepts");
+    assert!(
+        !handle
+            .next_report(Some(Duration::from_secs(60)))
+            .expect("report")
+            .cached
+    );
+
+    let mut deeper = ring_job();
+    deeper.max_bound = 7;
+    let within = ring_job().with_semantics(Semantics::Within);
+    let certified = ring_job().with_budget(Budget::none().with_certify(true));
+    for job in [deeper, within, certified] {
+        handle.submit(job).expect("accepts");
+        let r = handle
+            .next_report(Some(Duration::from_secs(60)))
+            .expect("report");
+        assert!(!r.cached, "differing key field must miss: job {}", r.job_id);
+    }
+    let (hits, misses) = handle.cache_stats().expect("cache enabled");
+    assert_eq!(hits, 0, "no variant may hit");
+    assert_eq!(misses, 4, "cold run + three variants all missed");
+    handle.shutdown(ShutdownMode::Graceful);
+}
+
+#[test]
+fn priority_nine_is_picked_before_a_queue_of_priority_zero() {
+    // One worker, pickup paused, aging disabled: the scheduler's pick
+    // order is observable through each job's queue wait. The urgent
+    // job is submitted *last* (its wait clock starts latest) but must
+    // be picked *first* (its wait ends earliest) — so its queue wait
+    // is strictly the smallest iff it jumped the whole queue. This
+    // holds however slowly the test thread itself is scheduled.
+    let handle = ServiceHandle::start_paused(
+        ServiceConfig::with_workers(1).with_priority_aging(Duration::ZERO),
+    );
+    let mut low_ids = Vec::new();
+    for _ in 0..3 {
+        low_ids.push(handle.submit(ring_job().with_priority(0)).expect("accepts"));
+    }
+    let urgent = handle.submit(ring_job().with_priority(9)).expect("accepts");
+    handle.resume();
+
+    let reports = handle.shutdown(ShutdownMode::Graceful);
+    assert_eq!(reports.len(), 4);
+    let wait_of = |id: usize| {
+        reports
+            .iter()
+            .find(|r| r.job_id == id)
+            .expect("job reported")
+            .queue_wait
+    };
+    for &low in &low_ids {
+        assert!(
+            wait_of(urgent) < wait_of(low),
+            "the priority-9 job submitted behind a full priority-0 queue \
+             runs first (urgent waited {:?}, job {} waited {:?})",
+            wait_of(urgent),
+            low,
+            wait_of(low)
+        );
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_every_queued_job_to_a_report() {
+    let handle = ServiceHandle::start(ServiceConfig::with_workers(2));
+    let n = 6;
+    for i in 0..n {
+        let job = if i % 2 == 0 {
+            ring_job()
+        } else {
+            Job::new(traffic_light(), vec![EngineKind::Unroll], 3)
+        };
+        handle.submit(job).expect("accepts");
+    }
+    let leftover = handle.shutdown(ShutdownMode::Graceful);
+    assert_eq!(leftover.len(), n, "every job drained to a report");
+    for (i, r) in leftover.iter().enumerate() {
+        assert_eq!(r.job_id, i, "sorted by job id");
+        assert!(
+            !matches!(&r.verdict, BmcResult::Unknown(_)),
+            "graceful shutdown runs queued jobs to completion, job {} got {:?}",
+            r.job_id,
+            r.verdict
+        );
+    }
+    // The listener-facing contract: no new work after shutdown began.
+    assert!(!handle.is_accepting());
+    match handle.submit(ring_job()) {
+        Err(SubmitError::ShuttingDown(job)) => {
+            assert_eq!(job.name, "ring_4", "refused job handed back intact");
+        }
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    assert_eq!(handle.outstanding(), 0);
+}
+
+#[test]
+fn immediate_shutdown_still_reports_every_job() {
+    // Paused: nothing starts, so `Now` must fail the whole queue as
+    // service-cancelled — reported, never dropped.
+    let handle = ServiceHandle::start_paused(ServiceConfig::with_workers(1));
+    let n = 4;
+    for _ in 0..n {
+        handle.submit(ring_job()).expect("accepts");
+    }
+    let leftover = handle.shutdown(ShutdownMode::Now);
+    assert_eq!(leftover.len(), n, "one report per job through Now shutdown");
+    for r in &leftover {
+        assert_eq!(
+            r.verdict,
+            BmcResult::Unknown("service cancelled".into()),
+            "queued jobs are cancelled, not run"
+        );
+        assert_eq!(r.solve_time, Duration::ZERO);
+    }
+}
+
+#[test]
+fn queue_depth_cap_sheds_overload_with_a_clean_error() {
+    let handle =
+        ServiceHandle::start_paused(ServiceConfig::with_workers(1).with_max_queue_depth(1));
+    handle.submit(ring_job()).expect("first fits");
+    match handle.submit(ring_job().with_priority(7)) {
+        Err(SubmitError::Overloaded(job)) => {
+            assert_eq!(job.priority, 7, "refused job handed back intact");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(handle.pending(), 1);
+    handle.resume();
+    let leftover = handle.shutdown(ShutdownMode::Graceful);
+    assert_eq!(leftover.len(), 1, "the accepted job still completes");
+}
