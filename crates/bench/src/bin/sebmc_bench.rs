@@ -4,19 +4,21 @@
 //! workloads of `cargo bench --bench propagation`, built from
 //! [`sebmc_bench::workloads`]) and compares the fresh medians against
 //! the checked-in baselines (`BENCH_pr1.json`, `BENCH_pr3.json`,
-//! `BENCH_pr5.json`). Absolute nanoseconds drift between machines, so
+//! `BENCH_pr5.json`, `BENCH_pr10.json`). Absolute nanoseconds drift
+//! between machines, so
 //! the tolerance is deliberately generous: the gate fails only on a
 //! **> 1.5×** slowdown against the *slowest* checked-in baseline for
 //! each bench.
 //!
-//! The proof-logging workloads (`proof/*`, PR 5) are **record-only**:
-//! they predate no baseline — their job is to document the cost of
-//! logging on vs. off, not to gate. They are measured, printed and
-//! written to `--out`, but never fail the run and never exit 2 when a
-//! baseline is missing. The logging-**off** configuration is gated
-//! indirectly: the propagation/watch workloads above run with no sink
-//! installed, so a regression in the disabled-logging hot path trips
-//! the ordinary gate.
+//! The proof-logging workloads (`proof/*`, PR 5) and the telemetry
+//! workloads (`telemetry/*`, PR 10) are **record-only**: they predate
+//! no baseline — their job is to document the cost of the feature on
+//! vs. off, not to gate. They are measured, printed and written to
+//! `--out`, but never fail the run and never exit 2 when a baseline
+//! is missing. The **off** configurations are gated indirectly: the
+//! propagation/watch workloads above run with no proof sink and no
+//! progress sink installed, so a regression in either disabled hot
+//! path trips the ordinary gate.
 //!
 //! ```text
 //! sebmc_bench [--samples N] [--tolerance-pct P] [--out FILE]
@@ -40,15 +42,27 @@ use sebmc_bench::microbench::{run, Sample};
 use sebmc_bench::workloads::{chain_instance, churn_instance, pigeonhole_instance};
 use sebmc_bench::{flag, flag_u64};
 use sebmc_proof::StreamingChecker;
-use sebmc_sat::SolveResult;
+use sebmc_sat::{Limits, SolveResult};
+use sebmc_telemetry::Telemetry;
 
 /// The checked-in baseline files, in the order they were minted.
-const BASELINE_FILES: [&str; 3] = ["BENCH_pr1.json", "BENCH_pr3.json", "BENCH_pr5.json"];
+const BASELINE_FILES: [&str; 4] = [
+    "BENCH_pr1.json",
+    "BENCH_pr3.json",
+    "BENCH_pr5.json",
+    "BENCH_pr10.json",
+];
 
 /// Benches that are measured and recorded but never gate: the PR 5
-/// proof-logging workloads have no pre-logging baseline to regress
-/// against (the feature did not exist), so their medians inform only.
-const RECORD_ONLY: [&str; 2] = ["proof/php76_log_off", "proof/php76_log_checked"];
+/// proof-logging and PR 10 telemetry workloads have no pre-feature
+/// baseline to regress against (the feature did not exist), so their
+/// medians inform only.
+const RECORD_ONLY: [&str; 4] = [
+    "proof/php76_log_off",
+    "proof/php76_log_checked",
+    "telemetry/chain30k_progress_off",
+    "telemetry/chain30k_progress_on",
+];
 
 /// The slowest median any checked-in baseline records for `name`
 /// (machines differ; the gate must not fail because the CI runner is
@@ -93,6 +107,17 @@ fn main() -> ExitCode {
     assert_eq!(dense.solve_with(&dense_heads), SolveResult::Sat);
     let (mut churn, churn_heads) = churn_instance(4000, 8);
     assert_eq!(churn.solve_with(&churn_heads), SolveResult::Sat);
+    // Record-only (PR 10): the chain workload again, once with the
+    // default uninstalled progress handle and once with a live sink.
+    let (mut tel_off, tel_off_heads) = chain_instance(300, 100);
+    assert_eq!(tel_off.solve_with(&tel_off_heads), SolveResult::Sat);
+    let (mut tel_on, tel_on_heads) = chain_instance(300, 100);
+    let telemetry = std::sync::Arc::new(Telemetry::new());
+    tel_on.set_limits(Limits {
+        progress: telemetry.progress_handle(),
+        ..Limits::none()
+    });
+    assert_eq!(tel_on.solve_with(&tel_on_heads), SolveResult::Sat);
 
     let fresh: Vec<Sample> = vec![
         run("propagation/binary_chain_30k", 3, samples, || {
@@ -114,6 +139,13 @@ fn main() -> ExitCode {
             let mut s = pigeonhole_instance(7, 6, Some(Box::new(StreamingChecker::new())));
             assert_eq!(s.solve(), SolveResult::Unsat);
             assert!(s.proof_certifies(&[]));
+        }),
+        // Record-only (PR 10): solver progress sampling off vs. on.
+        run("telemetry/chain30k_progress_off", 3, samples, || {
+            tel_off.solve_with(&tel_off_heads)
+        }),
+        run("telemetry/chain30k_progress_on", 3, samples, || {
+            tel_on.solve_with(&tel_on_heads)
         }),
     ];
 

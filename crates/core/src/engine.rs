@@ -194,6 +194,10 @@ pub struct Budget {
     /// anything, lifting any witness back to the original model. On by
     /// default; `--no-reduce` turns it off.
     pub reduce: bool,
+    /// Progress sink, threaded down to the SAT solver's safe points
+    /// and notified at engine `check_bound` entry. Inert by default —
+    /// same one-branch contract as the proof hooks.
+    pub progress: sebmc_telemetry::ProgressHandle,
 }
 
 impl Default for Budget {
@@ -206,6 +210,7 @@ impl Default for Budget {
             proof_out: None,
             fault: sebmc_logic::fault::FaultPlan::default(),
             reduce: true,
+            progress: sebmc_telemetry::ProgressHandle::default(),
         }
     }
 }
@@ -284,6 +289,7 @@ impl Budget {
             max_live_bytes: self.max_formula_bytes,
             cancel: Some(self.cancel.flag()),
             fault: self.fault.clone(),
+            progress: self.progress.clone(),
             ..sebmc_sat::Limits::none()
         }
     }

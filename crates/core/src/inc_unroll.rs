@@ -233,6 +233,7 @@ impl IncrementalUnroll {
     }
 
     fn check_bound_inner(&mut self, k: usize) -> (BmcResult, Option<bool>) {
+        self.budget.progress.on_bound("unroll", k);
         if self.budget.fault_hit_engine() == sebmc_logic::fault::FaultVerdict::Oom {
             return (BmcResult::Unknown("budget exhausted".into()), None);
         }

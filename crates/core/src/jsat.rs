@@ -433,6 +433,7 @@ impl JSatSession {
     /// Decides bound `k`, reusing the formula, learnt clauses and
     /// failed-state cache from earlier bounds.
     pub fn check_bound(&mut self, k: usize) -> BmcOutcome {
+        self.budget.progress.on_bound("jsat", k);
         let call_start = Instant::now();
         let conflicts_before = self.f4.solver.stats().conflicts;
         let cert_before = if self.budget.certify {

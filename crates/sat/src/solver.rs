@@ -179,6 +179,11 @@ pub struct Limits {
     /// Fault-injection plan, consulted at the same safe points as the
     /// cancel flag. Inert by default; see [`sebmc_logic::fault`].
     pub fault: sebmc_logic::fault::FaultPlan,
+    /// Progress sink, polled at the per-64-conflicts safe point and
+    /// once at solve exit. Inert by default: an uninstalled handle
+    /// costs one `Option` branch per poll, same contract as the proof
+    /// hooks.
+    pub progress: sebmc_telemetry::ProgressHandle,
 }
 
 impl Limits {
@@ -329,6 +334,9 @@ pub struct Solver {
     /// (`reduce_db`/`simplify` delete clauses in bulk; one fresh `Vec`
     /// per deletion would be needless churn).
     proof_scratch: Vec<Lit>,
+    /// `(conflicts, propagations, restarts)` at the previous progress
+    /// poll: samples carry deltas, so a sink can derive rates.
+    progress_marks: (u64, u64, u64),
 }
 
 impl Default for Solver {
@@ -366,6 +374,7 @@ impl Solver {
             lbd_counter: 0,
             proof: None,
             proof_scratch: Vec::new(),
+            progress_marks: (0, 0, 0),
         }
     }
 
@@ -653,6 +662,10 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        // Tail sample: flush whatever accumulated since the last
+        // 64-conflict poll, so short solves (or the final stretch of a
+        // long one) still reach the sink.
+        self.poll_progress();
         result
     }
 
@@ -1795,6 +1808,35 @@ impl Solver {
         })
     }
 
+    /// Reports a progress sample to the installed sink, if any.
+    ///
+    /// Shares the per-64-conflicts safe point with `budget_exhausted`
+    /// (plus one call at solve exit to flush the tail), so the
+    /// uninstalled cost is exactly one `Option` branch — no extra
+    /// polling cadence, no timestamping.
+    fn poll_progress(&mut self) {
+        // Clone the sink out first: reporting borrows solver state
+        // immutably while the marks update needs `&mut self`.
+        let Some(sink) = self.limits.progress.sink() else {
+            return;
+        };
+        let now = (
+            self.stats.conflicts,
+            self.stats.propagations,
+            self.stats.restarts,
+        );
+        let marks = self.progress_marks;
+        self.progress_marks = now;
+        sink.progress(&sebmc_telemetry::Progress {
+            conflicts: now.0 - marks.0,
+            propagations: now.1 - marks.1,
+            restarts: now.2 - marks.2,
+            trail_depth: self.trail.len(),
+            learnts: self.learnt_refs.len(),
+            live_bytes: self.stats.live_bytes(),
+        });
+    }
+
     fn budget_exhausted(&self) -> bool {
         if !self.limits.fault.is_none() {
             use sebmc_logic::fault::{FaultSite, FaultVerdict};
@@ -1865,9 +1907,12 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
-                if self.stats.conflicts.is_multiple_of(64) && self.budget_exhausted() {
-                    self.cancel_until(0);
-                    return SearchOutcome::Unknown;
+                if self.stats.conflicts.is_multiple_of(64) {
+                    self.poll_progress();
+                    if self.budget_exhausted() {
+                        self.cancel_until(0);
+                        return SearchOutcome::Unknown;
+                    }
                 }
             } else {
                 if conflicts_here >= restart_budget {

@@ -68,6 +68,7 @@ pub struct ResultCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Estimated in-memory footprint of a cached report: strings, winners,
@@ -100,6 +101,7 @@ impl ResultCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -121,6 +123,11 @@ impl ResultCache {
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries evicted to make room, since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Whether this report is eligible for caching: a decided verdict
@@ -162,20 +169,22 @@ impl ResultCache {
     }
 
     /// Inserts a finished report under `key`, evicting least-recently-
-    /// used entries until it fits. Uncacheable reports and reports
-    /// larger than the whole budget are ignored.
-    pub fn insert(&mut self, key: CacheKey, report: &JobReport) {
+    /// used entries until it fits; returns how many entries were
+    /// evicted. Uncacheable reports and reports larger than the whole
+    /// budget are ignored (and evict nothing).
+    pub fn insert(&mut self, key: CacheKey, report: &JobReport) -> usize {
         if !Self::cacheable(report) {
-            return;
+            return 0;
         }
         let bytes = entry_bytes(report);
         if bytes > self.max_total_bytes {
-            return;
+            return 0;
         }
         self.tick += 1;
         if let Some(old) = self.entries.remove(&key) {
             self.used_bytes -= old.bytes;
         }
+        let mut evicted_now = 0usize;
         while self.used_bytes + bytes > self.max_total_bytes {
             let Some(victim) = self
                 .entries
@@ -187,6 +196,8 @@ impl ResultCache {
             };
             let evicted = self.entries.remove(&victim).expect("victim present");
             self.used_bytes -= evicted.bytes;
+            self.evictions += 1;
+            evicted_now += 1;
         }
         let mut stored = report.clone();
         stored.cached = false;
@@ -199,6 +210,7 @@ impl ResultCache {
             },
         );
         self.used_bytes += bytes;
+        evicted_now
     }
 }
 
@@ -306,7 +318,8 @@ mod tests {
         assert!(c.used_bytes() <= c.max_total_bytes);
         // Touch key 1 so key 2 is the LRU victim.
         assert!(c.lookup(&key(1), 9, "touch").is_some());
-        c.insert(key(3), &decided(3));
+        assert_eq!(c.insert(key(3), &decided(3)), 1, "one entry evicted");
+        assert_eq!(c.evictions(), 1);
         assert_eq!(c.len(), 2);
         assert!(c.used_bytes() <= c.max_total_bytes, "accounting holds");
         assert!(c.lookup(&key(2), 9, "gone").is_none(), "LRU evicted");

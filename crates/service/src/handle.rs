@@ -103,6 +103,12 @@ struct QueueState {
     running: HashMap<u64, usize>,
     /// Jobs currently on a worker, total.
     in_flight: usize,
+    /// Highest pending-queue depth ever observed (always tracked, so
+    /// [`crate::ServiceReport`] can publish it with or without
+    /// telemetry).
+    high_water: usize,
+    /// Queue pops by *effective* (post-aging) priority level 0..=9.
+    pops: [u64; 10],
 }
 
 /// Everything the workers, the bridge, and the handle share.
@@ -168,6 +174,8 @@ impl ServiceHandle {
                 next_ticket: 0,
                 running: HashMap::new(),
                 in_flight: 0,
+                high_water: 0,
+                pops: [0; 10],
             }),
             queue_cv: Condvar::new(),
             done: Mutex::new(HashMap::new()),
@@ -243,12 +251,19 @@ impl ServiceHandle {
             certify: job.budget.certify,
             reduce: job.budget.reduce,
         });
+        let telemetry = shared.config.telemetry.as_deref();
         let mut st = lock_unpoisoned(&shared.queue);
         if !st.accepting {
+            if let Some(t) = telemetry {
+                t.metrics.jobs_rejected.inc();
+            }
             return Err(SubmitError::ShuttingDown(Box::new(job)));
         }
         if let Some(depth) = shared.config.max_queue_depth {
             if st.pending.len() >= depth {
+                if let Some(t) = telemetry {
+                    t.metrics.jobs_rejected.inc();
+                }
                 return Err(SubmitError::Overloaded(Box::new(job)));
             }
         }
@@ -258,6 +273,15 @@ impl ServiceHandle {
             if let Some(mut hit) = lock_unpoisoned(cache).lookup(key, id, &job.name) {
                 hit.priority = job.priority;
                 drop(st);
+                if let Some(t) = telemetry {
+                    t.metrics.jobs_submitted.inc();
+                    t.metrics.jobs_cached.inc();
+                    t.metrics.cache_hits.inc();
+                    t.trace(
+                        "cache_hit",
+                        &[("job", id.into()), ("name", job.name.as_str().into())],
+                    );
+                }
                 lock_unpoisoned(&shared.done).insert(id, hit);
                 self.shared.done_cv.notify_all();
                 return Ok(id);
@@ -265,6 +289,21 @@ impl ServiceHandle {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
+        if let Some(t) = telemetry {
+            t.metrics.jobs_submitted.inc();
+            if cache_key.is_some() {
+                t.metrics.cache_misses.inc();
+            }
+            t.trace(
+                "submit",
+                &[
+                    ("job", id.into()),
+                    ("name", job.name.as_str().into()),
+                    ("priority", u64::from(job.priority).into()),
+                    ("client", client.into()),
+                ],
+            );
+        }
         st.pending.push(PendingJob {
             id,
             job,
@@ -273,6 +312,12 @@ impl ServiceHandle {
             seq,
             cache_key,
         });
+        let depth = st.pending.len();
+        st.high_water = st.high_water.max(depth);
+        if let Some(t) = telemetry {
+            t.metrics.queue_depth.set(depth as u64);
+            t.metrics.queue_depth_high_water.set_max(depth as u64);
+        }
         drop(st);
         self.shared.queue_cv.notify_all();
         Ok(id)
@@ -359,6 +404,14 @@ impl ServiceHandle {
             .map(|c| lock_unpoisoned(c).stats())
     }
 
+    /// Queue scheduling telemetry: the pending-queue's high-water mark
+    /// and per-effective-priority pop counts (always tracked,
+    /// independent of [`ServiceConfig::telemetry`]).
+    pub fn queue_telemetry(&self) -> (usize, [u64; 10]) {
+        let st = lock_unpoisoned(&self.shared.queue);
+        (st.high_water, st.pops)
+    }
+
     /// Stops the service and returns every finished-but-uncollected
     /// report, sorted by job id. Graceful mode runs the backlog to
     /// completion first; Now mode cancels it (every queued and running
@@ -426,11 +479,26 @@ fn worker_loop(shared: &Shared, wid: usize) {
                 let Some(p) = pending.pop(now, shared.config.priority_aging, running) else {
                     continue;
                 };
+                let eff = p.effective_priority(now, shared.config.priority_aging);
+                st.pops[usize::from(eff)] += 1;
                 let ticket = st.next_ticket;
                 st.next_ticket += 1;
                 shared.governor.enroll(p.id, ticket);
                 *st.running.entry(p.client).or_insert(0) += 1;
                 st.in_flight += 1;
+                if let Some(t) = shared.config.telemetry.as_deref() {
+                    t.metrics.queue_pops[usize::from(eff)].inc();
+                    t.metrics.queue_depth.set(st.pending.len() as u64);
+                    t.metrics.jobs_in_flight.add(1);
+                    t.trace(
+                        "pop",
+                        &[
+                            ("job", p.id.into()),
+                            ("client", p.client.into()),
+                            ("eff_priority", u64::from(eff).into()),
+                        ],
+                    );
+                }
                 break p;
             }
         };
@@ -477,8 +545,39 @@ fn worker_loop(shared: &Shared, wid: usize) {
         });
         shared.governor.release(id);
         *lock_unpoisoned(&shared.slots[wid]) = None;
+        let mut evicted = 0usize;
         if let (Some(cache), Some(key)) = (&shared.cache, cache_key) {
-            lock_unpoisoned(cache).insert(key, &report);
+            evicted = lock_unpoisoned(cache).insert(key, &report);
+        }
+        if let Some(t) = shared.config.telemetry.as_deref() {
+            t.metrics.jobs_completed.inc();
+            t.metrics.jobs_in_flight.sub(1);
+            t.metrics.cache_evictions.add(evicted as u64);
+            t.metrics
+                .queue_wait_ms
+                .record(queue_wait.as_millis() as u64);
+            t.metrics
+                .solve_latency_ms
+                .record(report.solve_time.as_millis() as u64);
+            t.metrics
+                .jobs_retried
+                .add(u64::from(report.attempts.saturating_sub(1)));
+            if report.quarantined {
+                t.metrics.jobs_quarantined.inc();
+            }
+            if matches!(&report.verdict, sebmc::BmcResult::Unknown(r) if r == "shed: memory pressure")
+            {
+                t.metrics.jobs_shed.inc();
+            }
+            t.metrics
+                .peak_arena_bytes
+                .set_max(report.stats.peak_formula_bytes as u64);
+            t.metrics
+                .peak_watch_bytes
+                .set_max(report.stats.peak_watch_bytes as u64);
+            t.metrics
+                .peak_proof_bytes
+                .set_max(report.stats.peak_proof_bytes as u64);
         }
         {
             let mut st = lock_unpoisoned(&shared.queue);
@@ -513,5 +612,127 @@ fn bridge_loop(shared: &Shared) {
             }
         }
         thread::sleep(crate::BRIDGE_POLL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::EngineKind;
+    use sebmc::Budget;
+    use sebmc_model::builders::traffic_light;
+    use sebmc_telemetry::Telemetry;
+    use std::io::Write;
+
+    /// A `Write` the test reads back after the trace sink flushes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock_unpoisoned(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn job(priority: u8) -> Job {
+        Job::new(traffic_light(), vec![EngineKind::Jsat], 2).with_priority(priority)
+    }
+
+    fn num_field(line: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\":");
+        let at = line.find(&pat).expect("field present") + pat.len();
+        line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("numeric field")
+    }
+
+    /// `(job, eff_priority)` of every `"pop"` trace event, in order —
+    /// the scheduler's actual pickup sequence, no timing involved.
+    fn pop_order(buf: &SharedBuf) -> Vec<(usize, u64)> {
+        let bytes = lock_unpoisoned(&buf.0).clone();
+        String::from_utf8(bytes)
+            .expect("trace is utf-8")
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"pop\""))
+            .map(|l| (num_field(l, "job") as usize, num_field(l, "eff_priority")))
+            .collect()
+    }
+
+    #[test]
+    fn aging_lifts_a_starved_job_to_the_front_of_pickup() {
+        let buf = SharedBuf::default();
+        let telemetry = Arc::new(Telemetry::with_trace_writer(Box::new(buf.clone())));
+        let handle = ServiceHandle::start_paused(
+            ServiceConfig::with_workers(1)
+                .with_priority_aging(Duration::from_millis(250))
+                .with_telemetry(Arc::clone(&telemetry)),
+        );
+        // Backdated 10 s: the priority-0 job has aged 0 → 9, so it
+        // must outrank the fresh priority-8 job submitted after it.
+        let starved = handle
+            .submit_at(job(0), 0, Instant::now() - Duration::from_secs(10))
+            .expect("accepts");
+        let fresh = handle
+            .submit_at(job(8), 0, Instant::now())
+            .expect("accepts");
+        handle.resume();
+        handle.shutdown(ShutdownMode::Graceful);
+        telemetry.flush();
+        let order = pop_order(&buf);
+        assert_eq!(
+            order,
+            vec![(starved, 9), (fresh, 8)],
+            "aged 0→9 is picked before fresh 8"
+        );
+        let (high_water, pops) = handle.queue_telemetry();
+        assert_eq!(high_water, 2, "both jobs queued while paused");
+        assert_eq!(pops[9], 1, "the starved job popped at its aged level");
+        assert_eq!(pops[8], 1);
+        assert_eq!(pops.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn pickup_prefers_the_less_loaded_client_at_equal_priority() {
+        let buf = SharedBuf::default();
+        let telemetry = Arc::new(Telemetry::with_trace_writer(Box::new(buf.clone())));
+        let handle = ServiceHandle::start(
+            ServiceConfig::with_workers(2)
+                .with_priority_aging(Duration::ZERO)
+                .with_telemetry(Arc::clone(&telemetry)),
+        );
+        // Client 1 occupies a worker: its job stalls 500 ms at the
+        // first engine safe point (the delay polls its cancel token,
+        // so shutdown stays prompt even if assertions fail).
+        let mut held_budget = Budget::none();
+        held_budget.fault = "delay@engine:1:500".parse().expect("fault plan");
+        let held = handle
+            .submit_for_client(job(4).with_budget(held_budget), 1)
+            .expect("accepts");
+        // Wait (not sleep-and-hope) until it is actually on a worker.
+        while lock_unpoisoned(&handle.shared.queue).in_flight == 0 {
+            thread::yield_now();
+        }
+        // Hold pickup while both contenders queue, so the tie-break is
+        // decided by load, not by arrival timing.
+        lock_unpoisoned(&handle.shared.queue).paused = true;
+        let same_client = handle.submit_for_client(job(4), 1).expect("accepts");
+        let other_client = handle.submit_for_client(job(4), 2).expect("accepts");
+        handle.resume();
+        handle.shutdown(ShutdownMode::Graceful);
+        telemetry.flush();
+        let order: Vec<usize> = pop_order(&buf).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(
+            order,
+            vec![held, other_client, same_client],
+            "with client 1 already running a job, client 2's equal-priority \
+             submission wins the tie-break despite its later sequence number"
+        );
     }
 }

@@ -125,6 +125,7 @@ pub use protocol::{frames, LineEvent, LineReader, WireClient};
 pub use report::{
     cert_json, job_json, json_escape, stats_json, FailureReport, JobReport, ServiceReport,
 };
+pub use sebmc_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 pub use serve::{serve_on, ServeOptions, ServeSummary};
 pub use spec::JobSpec;
 
@@ -213,6 +214,12 @@ pub struct ServiceConfig {
     /// wait, so low-priority jobs cannot starve behind a stream of
     /// high-priority traffic.
     pub priority_aging: Duration,
+    /// Shared telemetry: metrics counters at every queue/cache/worker
+    /// transition, optional JSONL span tracing, and solver progress
+    /// sinks installed on every attempt's budget. `None` (the default)
+    /// records nothing — every instrumentation site is one `Option`
+    /// branch.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Default [`ServiceConfig::priority_aging`]: one level per 250 ms
@@ -233,6 +240,7 @@ impl ServiceConfig {
             result_cache_bytes: None,
             max_queue_depth: None,
             priority_aging: DEFAULT_PRIORITY_AGING,
+            telemetry: None,
         }
     }
 
@@ -293,6 +301,12 @@ impl ServiceConfig {
     /// (`Duration::ZERO` disables aging).
     pub fn with_priority_aging(mut self, aging: Duration) -> Self {
         self.priority_aging = aging;
+        self
+    }
+
+    /// Returns `self` recording into the given telemetry instance.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -505,9 +519,11 @@ impl CheckService {
                     .expect("every submitted job produces a report"),
             );
         }
+        let (queue_high_water, queue_pops) = handle.queue_telemetry();
         handle.shutdown(ShutdownMode::Graceful);
         reports.sort_by_key(|r| r.job_id);
         ServiceReport::new(workers, run_start.elapsed(), reports)
+            .with_queue_telemetry(queue_high_water, queue_pops)
     }
 }
 
@@ -779,6 +795,9 @@ pub(crate) fn process_job(
         }
         // Cancellations/sheds that land between attempts are final.
         if shed.load(Ordering::Relaxed) {
+            if let Some(t) = &config.telemetry {
+                t.trace("shed", &[("job", id.into()), ("attempt", attempt.into())]);
+            }
             break BmcResult::Unknown("shed: memory pressure".into());
         }
         if config.cancel.is_cancelled() {
@@ -829,6 +848,20 @@ pub(crate) fn process_job(
         budget.max_formula_bytes = byte_cap;
         budget.timeout = attempt_timeout;
         budget.proof_out = proof_out.clone();
+        // The service attempt dispatch is the third progress safe
+        // point: every attempt's budget reports into the shared
+        // telemetry (solver polls, engine bound transitions).
+        if let Some(t) = &config.telemetry {
+            budget.progress = t.progress_handle();
+            t.trace(
+                "attempt_start",
+                &[
+                    ("job", id.into()),
+                    ("attempt", attempt.into()),
+                    ("resume_bound", progress.next_bound.into()),
+                ],
+            );
+        }
 
         let attempt_start = Instant::now();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -868,8 +901,31 @@ pub(crate) fn process_job(
             )),
         };
         match class {
-            AttemptClass::Final(v) => break v,
+            AttemptClass::Final(v) => {
+                if let Some(t) = &config.telemetry {
+                    t.trace(
+                        "attempt_end",
+                        &[
+                            ("job", id.into()),
+                            ("attempt", attempt.into()),
+                            ("outcome", "final".into()),
+                        ],
+                    );
+                }
+                break v;
+            }
             AttemptClass::Retry(reason) => {
+                if let Some(t) = &config.telemetry {
+                    t.trace(
+                        "attempt_end",
+                        &[
+                            ("job", id.into()),
+                            ("attempt", attempt.into()),
+                            ("outcome", "retry".into()),
+                            ("reason", reason.as_str().into()),
+                        ],
+                    );
+                }
                 failures.push(FailureReport {
                     attempt,
                     bound_reached: progress.last_decided(),
@@ -881,10 +937,31 @@ pub(crate) fn process_job(
                     // failure's reason becomes the verdict; nothing is
                     // dropped.
                     quarantined = true;
+                    if let Some(t) = &config.telemetry {
+                        t.trace(
+                            "quarantine",
+                            &[
+                                ("job", id.into()),
+                                ("attempts", attempt.into()),
+                                ("reason", reason.as_str().into()),
+                            ],
+                        );
+                    }
                     break BmcResult::Unknown(reason);
                 }
                 // Exponential, jittered, *interruptible* backoff.
-                let end = Instant::now() + policy.backoff_before(attempt);
+                let pause = policy.backoff_before(attempt);
+                if let Some(t) = &config.telemetry {
+                    t.trace(
+                        "backoff",
+                        &[
+                            ("job", id.into()),
+                            ("attempt", attempt.into()),
+                            ("ms", (pause.as_millis() as u64).into()),
+                        ],
+                    );
+                }
+                let end = Instant::now() + pause;
                 loop {
                     if job.budget.cancel.is_cancelled()
                         || config.cancel.is_cancelled()

@@ -94,6 +94,13 @@ pub mod frames {
             crate::report::job_json(r)
         )
     }
+
+    /// Response to `stats`: the daemon's telemetry snapshot
+    /// (`snapshot` is [`sebmc_telemetry::Telemetry::snapshot_json`] —
+    /// `{"uptime_ms":…,"metrics":{…}}`).
+    pub fn stats(snapshot: &str) -> String {
+        format!("{{\"op\":\"stats\",\"snapshot\":{snapshot}}}")
+    }
 }
 
 /// What one [`LineReader::read_line`] call produced.
@@ -320,6 +327,20 @@ impl WireClient {
         }
     }
 
+    /// Round-trips a `stats` command; returns the snapshot payload
+    /// (`{"uptime_ms":…,"metrics":{…}}`).
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.send_line(&obj(vec![("op", Json::Str("stats".into()))]).to_string())?;
+        let resp = self.read_response(Some(Duration::from_secs(10)))?;
+        if resp.get("op").and_then(Json::as_str) == Some("stats") {
+            resp.get("snapshot")
+                .cloned()
+                .ok_or_else(|| io_err(format!("stats frame without snapshot: {resp}")))
+        } else {
+            Err(io_err(format!("unexpected response to stats: {resp}")))
+        }
+    }
+
     /// Round-trips a `ping`.
     pub fn ping(&mut self) -> io::Result<()> {
         self.send_line(&obj(vec![("op", Json::Str("ping".into()))]).to_string())?;
@@ -393,6 +414,7 @@ mod tests {
             frames::error("overloaded: queue full"),
             frames::pong(),
             frames::shutdown_ack("graceful"),
+            frames::stats("{\"uptime_ms\":12,\"metrics\":{\"jobs_submitted\":3}}"),
         ] {
             assert!(!f.contains('\n'), "frame must be one line: {f}");
             let parsed = Json::parse(&f).expect("frame parses");

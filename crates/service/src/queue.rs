@@ -50,7 +50,7 @@ pub(crate) struct PendingJob {
 impl PendingJob {
     /// The job's priority after aging: one level per `aging` interval
     /// waited, capped at 9.
-    fn effective_priority(&self, now: Instant, aging: Duration) -> u8 {
+    pub(crate) fn effective_priority(&self, now: Instant, aging: Duration) -> u8 {
         let waited = now.saturating_duration_since(self.submitted);
         let levels = if aging.is_zero() {
             0

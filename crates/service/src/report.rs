@@ -165,6 +165,12 @@ pub struct ServiceReport {
     pub jobs_downgraded: usize,
     /// Jobs answered from the result cache (no solver effort spent).
     pub jobs_cached: usize,
+    /// Highest pending-queue depth the run ever reached (0 when the
+    /// aggregate was built without queue telemetry).
+    pub queue_high_water: usize,
+    /// Queue pops by *effective* (post-aging) priority level 0..=9 —
+    /// how the scheduler actually spent its pickups.
+    pub queue_pops: [u64; 10],
 }
 
 impl ServiceReport {
@@ -232,7 +238,18 @@ impl ServiceReport {
             jobs_shed,
             jobs_downgraded,
             jobs_cached,
+            queue_high_water: 0,
+            queue_pops: [0; 10],
         }
+    }
+
+    /// Attaches the scheduler's queue telemetry (see
+    /// [`crate::ServiceHandle::queue_telemetry`]).
+    #[must_use]
+    pub fn with_queue_telemetry(mut self, high_water: usize, pops: [u64; 10]) -> Self {
+        self.queue_high_water = high_water;
+        self.queue_pops = pops;
+        self
     }
 
     /// Jobs per second of wall clock (throughput of this run).
@@ -258,6 +275,7 @@ impl ServiceReport {
              \"jobs_certified\":{},\"certificate\":{},\
              \"jobs_retried\":{},\"jobs_quarantined\":{},\"quarantined\":[{quarantined_ids}],\
              \"jobs_shed\":{},\"jobs_downgraded\":{},\"jobs_cached\":{},\
+             \"queue_high_water\":{},\"queue_pops\":[{pops}],\
              \"queue_wait_ms_total\":{},\"solve_ms_total\":{},\
              \"jobs_per_sec\":{:.3},\"total_stats\":{},\"jobs\":[",
             self.workers,
@@ -273,10 +291,17 @@ impl ServiceReport {
             self.jobs_shed,
             self.jobs_downgraded,
             self.jobs_cached,
+            self.queue_high_water,
             self.queue_wait_total.as_millis(),
             self.solve_total.as_millis(),
             self.jobs_per_sec(),
             stats_json(&self.total),
+            pops = self
+                .queue_pops
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
         ));
         for (i, j) in self.jobs.iter().enumerate() {
             if i > 0 {
@@ -551,6 +576,24 @@ mod tests {
         assert!(json.contains("\"jobs_cached\":1"));
         assert!(json.contains("\"cached\":true"));
         assert!(json.contains("\"priority\":9"));
+    }
+
+    #[test]
+    fn queue_telemetry_rides_the_aggregate() {
+        let r = ServiceReport::new(
+            1,
+            Duration::from_millis(5),
+            vec![report(BmcResult::Unreachable)],
+        );
+        assert_eq!(r.queue_high_water, 0, "zero without telemetry attached");
+        let mut pops = [0u64; 10];
+        pops[4] = 3;
+        pops[9] = 1;
+        let r = r.with_queue_telemetry(7, pops);
+        assert_eq!(r.queue_high_water, 7);
+        let json = r.to_json();
+        assert!(json.contains("\"queue_high_water\":7"));
+        assert!(json.contains("\"queue_pops\":[0,0,0,0,3,0,0,0,0,1]"));
     }
 
     #[test]

@@ -26,9 +26,10 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sebmc_logic::json::Json;
+use sebmc_telemetry::Telemetry;
 
 use crate::handle::{ServiceHandle, ShutdownMode};
 use crate::protocol::{frames, LineEvent, LineReader};
@@ -81,6 +82,8 @@ pub struct ServeSummary {
     pub leftover: Vec<JobReport>,
     /// Result-cache `(hits, misses)`, when the cache was enabled.
     pub cache: Option<(u64, u64)>,
+    /// How long the server ran, accept to drained.
+    pub uptime: Duration,
 }
 
 impl ServeSummary {
@@ -90,8 +93,9 @@ impl ServeSummary {
             format!("{{\"hits\":{h},\"misses\":{m}}}")
         });
         format!(
-            "{{\"connections\":{},\"jobs_submitted\":{},\"jobs_rejected\":{},\
+            "{{\"uptime_ms\":{},\"connections\":{},\"jobs_submitted\":{},\"jobs_rejected\":{},\
              \"reports_delivered\":{},\"leftover\":{},\"cache\":{}}}",
+            self.uptime.as_millis(),
             self.connections,
             self.jobs_submitted,
             self.jobs_rejected,
@@ -115,13 +119,24 @@ struct Counters {
 /// run's summary. The listener is consumed and closed on shutdown.
 pub fn serve_on(
     listener: TcpListener,
-    config: ServiceConfig,
+    mut config: ServiceConfig,
     opts: ServeOptions,
 ) -> io::Result<ServeSummary> {
     listener.set_nonblocking(true)?;
     let workers = config.workers.max(1);
     let cache_enabled = config.result_cache_bytes.is_some();
     let cancel = config.cancel.clone();
+    // The daemon always carries telemetry — the `stats` frame must
+    // answer even when the operator configured none.
+    let telemetry = match &config.telemetry {
+        Some(t) => Arc::clone(t),
+        None => {
+            let t = Arc::new(Telemetry::new());
+            config.telemetry = Some(Arc::clone(&t));
+            t
+        }
+    };
+    let started = Instant::now();
     let handle = Arc::new(ServiceHandle::start(config));
     let stop = Arc::new(AtomicU8::new(RUN));
     let counters = Arc::new(Counters::default());
@@ -138,6 +153,7 @@ pub fn serve_on(
                 let handle = Arc::clone(&handle);
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
+                let telemetry = Arc::clone(&telemetry);
                 let read_timeout = opts.client_read_timeout;
                 conns.push(
                     thread::Builder::new()
@@ -149,6 +165,7 @@ pub fn serve_on(
                                 &handle,
                                 &stop,
                                 &counters,
+                                &telemetry,
                                 workers,
                                 cache_enabled,
                                 read_timeout,
@@ -157,7 +174,12 @@ pub fn serve_on(
                         .expect("spawn connection thread"),
                 );
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(opts.accept_poll),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Idle beat: keep the depth gauge honest even while no
+                // submission or pickup is moving it.
+                telemetry.metrics.queue_depth.set(handle.pending() as u64);
+                thread::sleep(opts.accept_poll);
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
@@ -178,6 +200,7 @@ pub fn serve_on(
     }
     let cache = handle.cache_stats();
     let leftover = handle.shutdown(mode);
+    telemetry.flush();
     Ok(ServeSummary {
         connections,
         jobs_submitted: counters.submitted.load(Ordering::Relaxed),
@@ -185,6 +208,7 @@ pub fn serve_on(
         reports_delivered: counters.delivered.load(Ordering::Relaxed),
         leftover,
         cache,
+        uptime: started.elapsed(),
     })
 }
 
@@ -204,6 +228,7 @@ fn connection_loop(
     handle: &ServiceHandle,
     stop: &AtomicU8,
     counters: &Counters,
+    telemetry: &Telemetry,
     workers: usize,
     cache_enabled: bool,
     read_timeout: Duration,
@@ -250,7 +275,9 @@ fn connection_loop(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let reply = handle_frame(&line, client_id, handle, stop, counters, &mut owed);
+                let reply = handle_frame(
+                    &line, client_id, handle, stop, counters, telemetry, &mut owed,
+                );
                 if write_line(&mut out, &reply).is_err() {
                     return;
                 }
@@ -268,6 +295,7 @@ fn handle_frame(
     handle: &ServiceHandle,
     stop: &AtomicU8,
     counters: &Counters,
+    telemetry: &Telemetry,
     owed: &mut Vec<usize>,
 ) -> String {
     let frame = match Json::parse(line) {
@@ -276,6 +304,7 @@ fn handle_frame(
     };
     match frame.get("op").and_then(Json::as_str) {
         Some("ping") => frames::pong(),
+        Some("stats") => frames::stats(&telemetry.snapshot_json()),
         Some("shutdown") => match frame
             .get("mode")
             .and_then(Json::as_str)

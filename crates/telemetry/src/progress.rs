@@ -1,0 +1,141 @@
+//! Solver progress introspection: the sink trait and its handle.
+//!
+//! The solver and engines know nothing about metrics or tracing; they
+//! only see a [`ProgressHandle`] threaded down through the budget
+//! types. When no sink is installed (the default), every safe-point
+//! poll is a single `Option` discriminant branch — the same contract
+//! as the proof hooks: *observability that is not asked for is free*.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A point-in-time sample from a running solver, taken at a budget
+/// safe point. Counter fields are **deltas since the previous
+/// sample** (so a sink can accumulate rates); level fields are
+/// instantaneous.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Progress {
+    /// Conflicts since the previous sample.
+    pub conflicts: u64,
+    /// Propagations since the previous sample.
+    pub propagations: u64,
+    /// Restarts since the previous sample.
+    pub restarts: u64,
+    /// Current assignment-trail depth.
+    pub trail_depth: usize,
+    /// Current learnt-clause count.
+    pub learnts: usize,
+    /// Current live bytes (arena + watches).
+    pub live_bytes: usize,
+}
+
+/// Receives solver progress samples and engine bound transitions.
+///
+/// Implementations must be cheap and non-blocking: samples arrive
+/// from the solver's inner loop (once per 64 conflicts).
+pub trait ProgressSink: Send + Sync {
+    /// A progress sample from a solver safe point.
+    fn progress(&self, p: &Progress);
+
+    /// An engine is starting work on bound `k`.
+    fn bound_start(&self, engine: &'static str, k: usize) {
+        let _ = (engine, k);
+    }
+}
+
+/// An optional, shareable reference to a [`ProgressSink`].
+///
+/// The default (no sink) is what every existing call site gets via
+/// `..Default::default()`; polling through it costs one branch.
+#[derive(Clone, Default)]
+pub struct ProgressHandle(Option<Arc<dyn ProgressSink>>);
+
+impl ProgressHandle {
+    /// A handle reporting to `sink`.
+    pub fn new(sink: Arc<dyn ProgressSink>) -> Self {
+        ProgressHandle(Some(sink))
+    }
+
+    /// The inert handle (all reporting disabled).
+    pub fn none() -> Self {
+        ProgressHandle(None)
+    }
+
+    /// Whether a sink is installed.
+    pub fn installed(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Clones out the sink, if any — call sites that need to mutate
+    /// `self` while reporting clone first to end the borrow.
+    pub fn sink(&self) -> Option<Arc<dyn ProgressSink>> {
+        self.0.clone()
+    }
+
+    /// Forwards a sample if a sink is installed (one branch if not).
+    pub fn report(&self, p: &Progress) {
+        if let Some(sink) = &self.0 {
+            sink.progress(p);
+        }
+    }
+
+    /// Forwards a bound transition if a sink is installed.
+    pub fn on_bound(&self, engine: &'static str, k: usize) {
+        if let Some(sink) = &self.0 {
+            sink.bound_start(engine, k);
+        }
+    }
+}
+
+impl fmt::Debug for ProgressHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ProgressHandle(installed)"
+        } else {
+            "ProgressHandle(none)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        samples: AtomicU64,
+        bounds: AtomicU64,
+    }
+
+    impl ProgressSink for CountingSink {
+        fn progress(&self, _p: &Progress) {
+            self.samples.fetch_add(1, Ordering::Relaxed);
+        }
+        fn bound_start(&self, _engine: &'static str, _k: usize) {
+            self.bounds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn default_handle_is_inert() {
+        let h = ProgressHandle::default();
+        assert!(!h.installed());
+        h.report(&Progress::default());
+        h.on_bound("jsat", 3);
+        assert_eq!(format!("{h:?}"), "ProgressHandle(none)");
+    }
+
+    #[test]
+    fn installed_handle_forwards() {
+        let sink = Arc::new(CountingSink::default());
+        let h = ProgressHandle::new(sink.clone());
+        assert!(h.installed());
+        h.report(&Progress::default());
+        h.report(&Progress::default());
+        h.on_bound("unroll", 1);
+        assert_eq!(sink.samples.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.bounds.load(Ordering::Relaxed), 1);
+        assert_eq!(format!("{h:?}"), "ProgressHandle(installed)");
+    }
+}

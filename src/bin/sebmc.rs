@@ -18,8 +18,8 @@
 //! sebmc analyze <circuit.aag|circuit.aig|suite:NAME> [--json]
 //! sebmc serve [--addr HOST:PORT] [--workers N] [--cache-mb N] [--no-cache]
 //!       [--max-queue N] [--max-job-mb N] [--max-total-mb N] [--aging-ms N]
-//!       [--witness-dir DIR] [--proof-out DIR] [--quiet]
-//! sebmc client --addr HOST:PORT [JOBLINE ...] [--ping]
+//!       [--witness-dir DIR] [--proof-out DIR] [--trace-out FILE] [--quiet]
+//! sebmc client --addr HOST:PORT [JOBLINE ...] [--ping] [--stats]
 //!       [--shutdown graceful|now] [--timeout-s N] [--quiet]
 //! ```
 //!
@@ -723,7 +723,8 @@ fn serve_usage() -> ! {
     eprintln!(
         "usage: sebmc serve [--addr HOST:PORT] [--workers N] [--cache-mb N] \
          [--no-cache] [--max-queue N] [--max-job-mb N] [--max-total-mb N] \
-         [--aging-ms N] [--witness-dir DIR] [--proof-out DIR] [--quiet]"
+         [--aging-ms N] [--witness-dir DIR] [--proof-out DIR] \
+         [--trace-out FILE] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -740,6 +741,7 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     let mut aging_ms: Option<u64> = None;
     let mut witness_dir: Option<String> = None;
     let mut proof_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut quiet = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -754,6 +756,7 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             "--aging-ms" => aging_ms = Some(parse_num("aging-ms", it.next())),
             "--witness-dir" => witness_dir = Some(it.next().unwrap_or_else(|| serve_usage())),
             "--proof-out" => proof_dir = Some(it.next().unwrap_or_else(|| serve_usage())),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| serve_usage())),
             "--quiet" => quiet = true,
             "--help" | "-h" => serve_usage(),
             _ => serve_usage(),
@@ -784,6 +787,17 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     if let Some(ms) = aging_ms {
         config.priority_aging = Duration::from_millis(ms);
     }
+    let telemetry = match &trace_out {
+        Some(path) => match sebmc_repro::telemetry::Telemetry::with_trace_file(path.as_ref()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sebmc: cannot open trace file '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => sebmc_repro::telemetry::Telemetry::new(),
+    };
+    config = config.with_telemetry(std::sync::Arc::new(telemetry));
     if !quiet {
         eprintln!(
             "sebmc: serving on {local} with {} workers (cache {})",
@@ -812,7 +826,7 @@ fn run_serve(args: Vec<String>) -> ExitCode {
 
 fn client_usage() -> ! {
     eprintln!(
-        "usage: sebmc client --addr HOST:PORT [JOBLINE ...] [--ping] \
+        "usage: sebmc client --addr HOST:PORT [JOBLINE ...] [--ping] [--stats] \
          [--shutdown graceful|now] [--timeout-s N] [--quiet]\n\
          each JOBLINE is one job-file line, e.g. \
          'suite:token_ring4 jsat,unroll 6 priority=9'"
@@ -826,6 +840,7 @@ fn run_client(args: Vec<String>) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut lines: Vec<String> = Vec::new();
     let mut ping = false;
+    let mut stats = false;
     let mut shutdown: Option<String> = None;
     let mut timeout_s: u64 = 600;
     let mut quiet = false;
@@ -834,6 +849,7 @@ fn run_client(args: Vec<String>) -> ExitCode {
         match a.as_str() {
             "--addr" => addr = Some(it.next().unwrap_or_else(|| client_usage())),
             "--ping" => ping = true,
+            "--stats" => stats = true,
             "--shutdown" => {
                 let mode = it.next().unwrap_or_else(|| client_usage());
                 if mode != "graceful" && mode != "now" {
@@ -913,6 +929,15 @@ fn run_client(args: Vec<String>) -> ExitCode {
                 }
                 println!("{job}");
             }
+        }
+    }
+    if stats {
+        match wire.stats() {
+            Err(e) => {
+                eprintln!("sebmc: stats request failed: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(snapshot) => println!("{snapshot}"),
         }
     }
     if let Some(mode) = shutdown {

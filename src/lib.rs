@@ -27,6 +27,9 @@
 //!   engine sessions with portfolio-level deepening, per-job/service
 //!   cancellation and byte-budget admission control
 //!   ([`CheckService`](service::CheckService)/[`Job`](service::Job)/[`ServiceReport`](service::ServiceReport)).
+//! * [`telemetry`] — observability: the lock-free metrics registry,
+//!   structured JSONL tracing, and solver progress introspection
+//!   ([`Telemetry`](telemetry::Telemetry)/[`MetricsRegistry`](telemetry::MetricsRegistry)/[`ProgressSink`](telemetry::ProgressSink)).
 //!
 //! # Quickstart
 //!
@@ -51,3 +54,4 @@ pub use sebmc_proof as proof;
 pub use sebmc_qbf as qbf;
 pub use sebmc_sat as sat;
 pub use sebmc_service as service;
+pub use sebmc_telemetry as telemetry;

@@ -112,6 +112,70 @@ fn daemon_serves_duplicates_from_cache_and_shuts_down_gracefully() {
 }
 
 #[test]
+fn stats_frame_counters_agree_with_the_exit_summary() {
+    let (addr, server) =
+        spawn_daemon(ServiceConfig::with_workers(1).with_result_cache_bytes(8 << 20));
+    let mut wire = WireClient::connect(&addr).expect("connect");
+    // A cold run plus an identical duplicate answered from the cache.
+    for _ in 0..2 {
+        wire.submit(&spec("suite:ring_4 jsat 6"))
+            .expect("submit io")
+            .expect("accepted");
+    }
+    for _ in 0..2 {
+        wire.next_report(Some(Duration::from_secs(120)))
+            .expect("report io")
+            .expect("report arrives");
+    }
+    let snapshot = wire.stats().expect("stats round-trips");
+    assert!(
+        snapshot.get("uptime_ms").and_then(Json::as_u64).is_some(),
+        "snapshot carries the daemon's uptime: {snapshot}"
+    );
+    let metrics = snapshot.get("metrics").expect("metrics object").clone();
+    let counter = |key: &str| {
+        metrics
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metric '{key}' missing in {metrics}"))
+    };
+    assert_eq!(counter("jobs_submitted"), 2);
+    assert_eq!(counter("jobs_completed"), 1, "the cache hit never ran");
+    assert_eq!(counter("jobs_cached"), 1);
+    assert_eq!(counter("cache_hits"), 1);
+    assert_eq!(counter("cache_misses"), 1);
+    assert_eq!(
+        counter("queue_depth"),
+        0,
+        "drained once both reports landed"
+    );
+    assert_eq!(counter("jobs_in_flight"), 0);
+    assert_eq!(counter("queue_depth_high_water"), 1);
+    assert_eq!(
+        metrics
+            .get("solve_latency_ms")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "one solved job in the latency histogram"
+    );
+
+    wire.shutdown("graceful").expect("shutdown acked");
+    let summary = server.join().expect("server thread joins");
+    // The live snapshot and the exit summary tell the same story.
+    assert_eq!(summary.jobs_submitted, 2);
+    assert_eq!(summary.reports_delivered, 2);
+    assert_eq!(summary.cache, Some((1, 1)));
+    assert!(summary.uptime > Duration::ZERO);
+    let json = summary.to_json();
+    assert!(json.contains("\"uptime_ms\":"), "{json}");
+    assert!(
+        json.contains("\"cache\":{\"hits\":1,\"misses\":1}"),
+        "{json}"
+    );
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_jobs_and_rejects_new_submissions() {
     let (addr, server) = spawn_daemon(ServiceConfig::with_workers(1));
     let mut wire = WireClient::connect(&addr).expect("connect");
